@@ -1,0 +1,48 @@
+//! Criterion benches for the entropy/lossless substrate (Huffman, LZ, and
+//! the combined index pipeline) on realistic quantization index streams.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qip_codec::{decode_indices, encode_indices, huffman, lz};
+
+/// A realistic quantization index stream: peaked around zero with clustered
+/// runs, like post-interpolation residuals.
+fn index_stream(n: usize) -> Vec<i32> {
+    let mut state = 0xDEADBEEFu64;
+    let mut out = Vec::with_capacity(n);
+    let mut cluster = 0i32;
+    for i in 0..n {
+        if i % 97 == 0 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            cluster = ((state >> 33) % 7) as i32 - 3;
+        }
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let jitter = ((state >> 45) % 3) as i32 - 1;
+        out.push(cluster + jitter);
+    }
+    out
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let q = index_stream(1 << 20);
+    let huff = huffman::encode(&q);
+    let lz_input = huff.clone();
+    let lzed = lz::compress(&lz_input);
+    let pipeline = encode_indices(&q);
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes((q.len() * 4) as u64));
+    g.bench_function("huffman_encode_1M", |b| b.iter(|| huffman::encode(&q)));
+    g.bench_function("huffman_decode_1M", |b| b.iter(|| huffman::decode(&huff).unwrap()));
+    g.bench_function("lz_compress", |b| b.iter(|| lz::compress(&lz_input)));
+    g.bench_function("lz_decompress", |b| b.iter(|| lz::decompress(&lzed).unwrap()));
+    g.bench_function("encode_indices_1M", |b| b.iter(|| encode_indices(&q)));
+    g.bench_function("decode_indices_1M", |b| b.iter(|| decode_indices(&pipeline).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec
+}
+criterion_main!(benches);

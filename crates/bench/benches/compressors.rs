@@ -1,0 +1,42 @@
+//! Criterion benches: end-to-end compression/decompression throughput of all
+//! seven compressors on a Miranda-like block (the per-compressor view behind
+//! the paper's Figs. 16-17 and Table IV speed columns).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qip_bench::AnyCompressor;
+use qip_core::{Compressor, ErrorBound, QpConfig};
+use qip_data::Dataset;
+
+fn bench_compressors(c: &mut Criterion) {
+    let dims = [48usize, 64, 64];
+    let field = Dataset::Miranda.generate_f32(0, &dims);
+    let bound = ErrorBound::Rel(1e-3);
+    let raw = (field.len() * 4) as u64;
+
+    let mut all = AnyCompressor::base_four(QpConfig::off());
+    all.extend(AnyCompressor::comparators());
+
+    let mut g = c.benchmark_group("compressors");
+    g.throughput(Throughput::Bytes(raw));
+    for comp in all {
+        let name = Compressor::<f32>::name(&comp);
+        let bytes = comp.compress(&field, bound).expect("compress");
+        g.bench_function(format!("{name}/compress"), |b| {
+            b.iter(|| comp.compress(&field, bound).unwrap())
+        });
+        g.bench_function(format!("{name}/decompress"), |b| {
+            b.iter(|| {
+                let out: qip_tensor::Field<f32> = comp.decompress(&bytes).unwrap();
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compressors
+}
+criterion_main!(benches);

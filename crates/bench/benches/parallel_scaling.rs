@@ -1,0 +1,38 @@
+//! Criterion bench: block-parallel wrapper vs the monolithic compressor
+//! (the CPU analog of the paper's GPU-chunking trade-off).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qip_core::{Compressor, ErrorBound};
+use qip_data::Dataset;
+use qip_parallel::BlockParallel;
+use qip_sz3::Sz3;
+
+fn bench_parallel(c: &mut Criterion) {
+    let dims = [96usize, 96, 96];
+    let field = Dataset::Miranda.generate_f32(0, &dims);
+    let bound = ErrorBound::Rel(1e-3);
+    let raw = (field.len() * 4) as u64;
+
+    let mono = Sz3::new();
+    let par = BlockParallel::new(Sz3::new(), 48);
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.throughput(Throughput::Bytes(raw));
+    g.bench_function("sz3_monolithic", |b| b.iter(|| mono.compress(&field, bound).unwrap()));
+    g.bench_function("sz3_block_parallel_48", |b| b.iter(|| par.compress(&field, bound).unwrap()));
+    let bytes = par.compress(&field, bound).unwrap();
+    g.bench_function("sz3_block_parallel_48_decompress", |b| {
+        b.iter(|| {
+            let f: qip_tensor::Field<f32> = par.decompress(&bytes).unwrap();
+            f
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches: the QP stage's throughput overhead (the micro version
+//! of the paper's Sec. VI-C speed study) and the raw QP engine kernel cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qip_core::{Compressor, Condition, ErrorBound, Neighbors, PredMode, QpConfig, QpEngine};
+use qip_data::Dataset;
+use qip_sz3::{Pipeline, Sz3};
+
+fn bench_qp_overhead(c: &mut Criterion) {
+    let dims = [64usize, 64, 44];
+    let field = Dataset::SegSalt.generate_f32(0, &dims);
+    let bound = ErrorBound::Rel(1e-4);
+    let raw = (field.len() * 4) as u64;
+
+    let plain = Sz3::new().with_pipeline(Pipeline::Interpolation);
+    let with_qp = Sz3::new().with_pipeline(Pipeline::Interpolation).with_qp(QpConfig::best_fit());
+    let bytes_plain = plain.compress(&field, bound).unwrap();
+    let bytes_qp = with_qp.compress(&field, bound).unwrap();
+
+    let mut g = c.benchmark_group("qp_overhead");
+    g.throughput(Throughput::Bytes(raw));
+    g.bench_function("sz3_compress", |b| b.iter(|| plain.compress(&field, bound).unwrap()));
+    g.bench_function("sz3_qp_compress", |b| b.iter(|| with_qp.compress(&field, bound).unwrap()));
+    g.bench_function("sz3_decompress", |b| {
+        b.iter(|| {
+            let f: qip_tensor::Field<f32> = plain.decompress(&bytes_plain).unwrap();
+            f
+        })
+    });
+    g.bench_function("sz3_qp_decompress", |b| {
+        b.iter(|| {
+            let f: qip_tensor::Field<f32> = with_qp.decompress(&bytes_qp).unwrap();
+            f
+        })
+    });
+    g.finish();
+
+    // The raw quant_pred kernel (Algorithm 2): cost per prediction call.
+    let engine = QpEngine::new(QpConfig {
+        mode: PredMode::Lorenzo2d,
+        condition: Condition::CaseIII,
+        max_level: 2,
+    });
+    let nb = Neighbors::plane(Some(3), Some(4), Some(2));
+    let mut g2 = c.benchmark_group("qp_kernel");
+    g2.bench_function("quant_pred_case3", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for q in -64i32..64 {
+                acc += engine.transform(q, 1, &nb) as i64;
+            }
+            acc
+        })
+    });
+    g2.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qp_overhead
+}
+criterion_main!(benches);

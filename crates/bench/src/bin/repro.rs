@@ -1,0 +1,137 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [--scale N] [--fields K] [--out DIR] [--full]
+//!
+//! commands:
+//!   table1     qualitative compressor-traits table (paper Table I)
+//!   table2     SegSalt Pressure2000 statistics, PSNR aligned to 75
+//!   fig3       SZ3 index-slice visualizations (PGM dumps)
+//!   fig4       per-slice index entropy, stride 2
+//!   fig5       regional entropy, 4 compressors, Q vs Q'
+//!   fig7       CR increase by prediction dimension
+//!   fig8       CR increase by condition case
+//!   fig9       CR increase by start level
+//!   rd         rate-distortion (Figs. 10-15); --dataset selects one
+//!   speed      compression/decompression speed (Figs. 16-17)
+//!   table4     comparison with ZFP/TTHRESH/SPERR
+//!   fig18      end-to-end parallel transfer
+//!   ablate     ablation studies (DESIGN.md §8)
+//!   all        everything above in order
+//! ```
+//!
+//! `--scale N` divides every paper dimension by N (default 4); `--full` is
+//! `--scale 1` (paper sizes — hours of runtime and tens of GB of memory).
+
+use qip_bench::experiments::{self, Opts};
+use qip_data::{Dataset, RD_DATASETS};
+use std::path::PathBuf;
+
+fn print_table1() {
+    qip_bench::print_table(
+        "Table I: state-of-the-art interpolation-based compressors",
+        &["Compressor", "Speed", "Ratios", "Resol. reduction", "GPU", "QoI", "Quality oriented"],
+        &[
+            vec!["MGARD".into(), "Low".into(), "Low".into(), "yes".into(), "yes".into(), "yes".into(), "no".into()],
+            vec!["SZ3".into(), "High".into(), "Medium".into(), "no".into(), "no".into(), "yes".into(), "no".into()],
+            vec!["QoZ".into(), "High".into(), "Medium".into(), "no".into(), "yes".into(), "no".into(), "yes".into()],
+            vec!["HPEZ".into(), "Medium".into(), "High".into(), "no".into(), "no".into(), "no".into(), "yes".into()],
+        ],
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|table4|fig18|ablate|all> \
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut opts = Opts::default();
+    let mut dataset: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--fields" => {
+                i += 1;
+                opts.fields = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--full" => opts.scale = 1,
+            "--dataset" => {
+                i += 1;
+                dataset = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let rd_one = |ds: Dataset| experiments::rd::run_dataset(ds, &opts);
+    let rd_all = || {
+        for ds in RD_DATASETS {
+            rd_one(ds);
+        }
+    };
+    let pick_dataset = |name: &str| -> Dataset {
+        RD_DATASETS
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+            .unwrap_or_else(|| {
+                eprintln!("unknown dataset {name}; choose from Miranda/SegSalt/SCALE/CESM-3D/S3D/Hurricane");
+                std::process::exit(2);
+            })
+    };
+
+    match cmd.as_str() {
+        "table1" => print_table1(),
+        "table2" => experiments::characterize::table2(&opts),
+        "fig3" => experiments::characterize::fig3(&opts),
+        "fig4" => experiments::characterize::fig4(&opts),
+        "fig5" => experiments::characterize::fig5(&opts),
+        "fig7" => experiments::config_explore::fig7(&opts),
+        "fig8" => experiments::config_explore::fig8(&opts),
+        "fig9" => experiments::config_explore::fig9(&opts),
+        "rd" => match &dataset {
+            Some(name) => rd_one(pick_dataset(name)),
+            None => rd_all(),
+        },
+        "speed" => experiments::speed::run(&opts),
+        "table4" => experiments::sota::run(&opts),
+        "fig18" => experiments::transfer::run(&opts),
+        "ablate" => experiments::ablate::run(&opts),
+        "all" => {
+            print_table1();
+            experiments::characterize::table2(&opts);
+            experiments::characterize::fig3(&opts);
+            experiments::characterize::fig4(&opts);
+            experiments::characterize::fig5(&opts);
+            experiments::config_explore::fig7(&opts);
+            experiments::config_explore::fig8(&opts);
+            experiments::config_explore::fig9(&opts);
+            rd_all();
+            experiments::speed::run(&opts);
+            experiments::sota::run(&opts);
+            experiments::transfer::run(&opts);
+            experiments::ablate::run(&opts);
+        }
+        _ => usage(),
+    }
+}

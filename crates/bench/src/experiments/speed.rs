@@ -1,0 +1,65 @@
+//! Compression/decompression speed: paper Figs. 16–17.
+
+use super::{Opts, EB_SPEED};
+use crate::registry::AnyCompressor;
+use crate::report::{fmt, print_table, write_jsonl};
+use crate::runner::{run_once, RunRecord};
+use qip_core::{Compressor, QpConfig};
+use qip_data::Dataset;
+
+/// The four datasets the paper's speed figures cover.
+const SPEED_DATASETS: [Dataset; 4] =
+    [Dataset::Miranda, Dataset::SegSalt, Dataset::Scale, Dataset::Cesm];
+
+/// Run the speed grid and print both figures' series (compression MB/s for
+/// Fig. 16, decompression MB/s for Fig. 17), plus the QP overhead columns the
+/// paper discusses in Sec. VI-C.
+pub fn run(opts: &Opts) {
+    let mut records: Vec<RunRecord> = Vec::new();
+    for ds in SPEED_DATASETS {
+        let dims = ds.scaled_dims(opts.scale);
+        let field = ds.generate_f32(0, &dims);
+        for base in AnyCompressor::base_four(QpConfig::off()) {
+            let name = Compressor::<f32>::name(&base);
+            let with = AnyCompressor::by_name(&name, QpConfig::best_fit()).unwrap();
+            for &eb in &EB_SPEED {
+                records.push(run_once(&base, ds.name(), 0, &field, eb));
+                records.push(run_once(&with, ds.name(), 0, &field, eb));
+            }
+        }
+    }
+
+    for (title, f) in [
+        ("Fig. 16: compression speed (MB/s)", (|r: &RunRecord| r.compress_mbs) as fn(&RunRecord) -> f64),
+        ("Fig. 17: decompression speed (MB/s)", |r: &RunRecord| r.decompress_mbs),
+    ] {
+        let mut rows = Vec::new();
+        for ds in SPEED_DATASETS {
+            for base in ["MGARD", "SZ3", "QoZ", "HPEZ"] {
+                for &eb in &EB_SPEED {
+                    let get = |name: &str| {
+                        records
+                            .iter()
+                            .find(|r| {
+                                r.dataset == ds.name() && r.compressor == name && r.rel_eb == eb
+                            })
+                            .map(f)
+                            .unwrap_or(f64::NAN)
+                    };
+                    let plain = get(base);
+                    let qp = get(&format!("{base}+QP"));
+                    rows.push(vec![
+                        ds.name().into(),
+                        base.into(),
+                        format!("{eb:.0e}"),
+                        fmt(plain),
+                        fmt(qp),
+                        format!("{:+.1}%", (qp / plain - 1.0) * 100.0),
+                    ]);
+                }
+            }
+        }
+        print_table(title, &["dataset", "compressor", "eb", "base", "+QP", "QP overhead"], &rows);
+    }
+    let _ = write_jsonl(&opts.out, "speed", &records);
+}

@@ -1,0 +1,101 @@
+//! End-to-end data transfer: paper Fig. 18.
+//!
+//! RTM time slices are compressed slice-parallel; the WAN link is modeled at
+//! the paper's measured vanilla-Globus bandwidth; strong scaling over the
+//! paper's core counts. See `qip-transfer` for the model and DESIGN.md §5
+//! for the substitutions.
+
+use super::Opts;
+use crate::report::{fmt, print_table, write_jsonl};
+use qip_core::{ErrorBound, QpConfig};
+use qip_data::Dataset;
+use qip_sz3::Sz3;
+use qip_transfer::{
+    measure_slice_stats, model_pipeline, vanilla_transfer_s, FsModel, LinkModel,
+};
+
+/// Paper strong-scaling core counts.
+const CORES: [usize; 4] = [225, 450, 900, 1800];
+/// Number of sample slices actually measured.
+const SAMPLES: usize = 6;
+
+/// Run the Fig. 18 experiment for SZ3 and SZ3+QP.
+pub fn run(opts: &Opts) {
+    let paper = Dataset::Rtm.paper_dims();
+    let slice_dims: Vec<usize> =
+        paper[1..].iter().map(|&d| (d / opts.scale.max(1)).max(16)).collect();
+    let n_slices = (paper[0] / opts.scale.max(1)).max(CORES[0]);
+    let eb = 1e-3;
+
+    println!(
+        "RTM-like workload: {n_slices} slices of {slice_dims:?} (paper: 3600 x {:?})",
+        &paper[1..]
+    );
+    // Sample the active portion of the simulation (early snapshots are
+    // nearly empty before the wavefront develops, as in real RTM runs).
+    let slices: Vec<_> = (0..SAMPLES)
+        .map(|i| Dataset::Rtm.generate_f32(300 + i * (2800 / SAMPLES), &slice_dims))
+        .collect();
+
+    let link = LinkModel::paper_globus();
+    let fs = FsModel::default();
+    let raw_total = (slices[0].len() * 4) as f64 * n_slices as f64;
+    let vanilla = vanilla_transfer_s(raw_total, link);
+    println!(
+        "vanilla transfer of {:.2} GB at {:.2} MB/s: {:.1} s",
+        raw_total / 1e9,
+        link.bandwidth_mbs,
+        vanilla
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut totals: Vec<(String, usize, f64)> = Vec::new();
+    for (label, comp) in [
+        ("SZ3", Sz3::new()),
+        ("SZ3+QP", Sz3::new().with_qp(QpConfig::best_fit())),
+    ] {
+        let stats = measure_slice_stats(&comp, &slices, ErrorBound::Rel(eb));
+        println!(
+            "{label}: CR {:.2}, PSNR {:.2}, per-slice compress {:.3}s decompress {:.3}s",
+            stats.cr(),
+            stats.psnr,
+            stats.compress_s,
+            stats.decompress_s
+        );
+        for &cores in &CORES {
+            let rep = model_pipeline(&stats, n_slices, cores, link, fs);
+            rows.push(vec![
+                label.to_string(),
+                cores.to_string(),
+                fmt(rep.compress_s),
+                fmt(rep.write_s),
+                fmt(rep.transfer_s),
+                fmt(rep.read_s),
+                fmt(rep.decompress_s),
+                fmt(rep.total_s),
+            ]);
+            totals.push((label.to_string(), cores, rep.total_s));
+            records.push(rep);
+        }
+    }
+    print_table(
+        "Fig. 18: end-to-end data transfer (seconds per stage)",
+        &["compressor", "cores", "compress", "write", "transfer", "read", "decompress", "total"],
+        &rows,
+    );
+    for &cores in &CORES {
+        let t = |name: &str| {
+            totals
+                .iter()
+                .find(|(n, c, _)| n == name && *c == cores)
+                .map(|(_, _, t)| *t)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "cores {cores}: SZ3+QP end-to-end speedup over SZ3 = {:.3}x",
+            t("SZ3") / t("SZ3+QP")
+        );
+    }
+    let _ = write_jsonl(&opts.out, "fig18_transfer", &records);
+}

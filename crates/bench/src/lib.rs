@@ -1,0 +1,17 @@
+//! Experiment harness shared by the `repro` CLI and the Criterion benches.
+//!
+//! Everything the paper's evaluation section needs in one place: a unified
+//! compressor registry ([`AnyCompressor`]), measured runs with timing
+//! ([`run_once`]), PSNR alignment by bisection ([`find_eb_for_psnr`], used by
+//! Table II's "align PSNR to 75" protocol), and plain-text/JSONL reporting.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use registry::AnyCompressor;
+pub use report::{print_table, write_jsonl};
+pub use runner::{find_eb_for_psnr, run_once, RunRecord};

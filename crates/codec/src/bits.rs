@@ -1,0 +1,228 @@
+//! MSB-first bit-level I/O.
+
+use crate::CodecError;
+
+/// Accumulates bits MSB-first into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (MSB of those bits first). `n ≤ 57`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        self.acc = (self.acc << n) | (value & ((1u64 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.buf.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Flush (zero-padding the final partial byte) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.buf.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    byte_pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, byte_pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Refill the accumulator so it holds at least `n` bits (or all remaining).
+    #[inline]
+    fn refill(&mut self, n: u32) {
+        while self.nbits < n && self.byte_pos < self.data.len() {
+            self.acc = (self.acc << 8) | self.data[self.byte_pos] as u64;
+            self.byte_pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `n ≤ 57` bits; errors on exhausted input.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
+        debug_assert!(n <= 57);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill(n);
+        if self.nbits < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.nbits -= n;
+        let v = (self.acc >> self.nbits) & ((1u64 << n) - 1);
+        Ok(v)
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Peek up to `n ≤ 32` bits without consuming; missing bits are zero-padded
+    /// (used by table-driven Huffman decoding near the end of the stream).
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 32);
+        self.refill(n);
+        if self.nbits >= n {
+            (self.acc >> (self.nbits - n)) & ((1u64 << n) - 1)
+        } else {
+            // Left-align what we have inside an n-bit window.
+            let have = self.nbits;
+            let v = if have == 0 { 0 } else { self.acc & ((1u64 << have) - 1) };
+            v << (n - have)
+        }
+    }
+
+    /// Consume `n` bits previously peeked. Errors if fewer remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), CodecError> {
+        self.refill(n);
+        if self.nbits < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Number of whole bits remaining.
+    pub fn bits_remaining(&self) -> usize {
+        (self.data.len() - self.byte_pos) * 8 + self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b1111_0000, 8);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1111_0000);
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn roundtrip_many_widths() {
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        for n in 1..=57u32 {
+            let v = (0x0123_4567_89AB_CDEFu64) & ((1u64 << n) - 1);
+            w.write_bits(v, n);
+            expect.push((v, n));
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in expect {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = BitWriter::new().finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn eof_partial() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10101);
+        assert_eq!(r.read_bits(5), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn peek_and_consume() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1100_1010, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(4), 0b1100);
+        assert_eq!(r.peek_bits(4), 0b1100); // peek does not consume
+        r.consume(2).unwrap();
+        assert_eq!(r.peek_bits(4), 0b0010);
+        r.consume(6).unwrap();
+        assert!(r.consume(1).is_err());
+    }
+
+    #[test]
+    fn peek_pads_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish(); // one byte: 1000_0000
+        let mut r = BitReader::new(&bytes);
+        r.consume(8).unwrap();
+        assert_eq!(r.peek_bits(8), 0); // zero-padded
+    }
+
+    #[test]
+    fn bit_len_tracks() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+}

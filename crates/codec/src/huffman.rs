@@ -1,0 +1,364 @@
+//! Canonical Huffman coding over `i32` symbol alphabets.
+//!
+//! This is the entropy-encoder stage of the paper's pipeline ("variable-length
+//! encoding methods such as Huffman encoding", Sec. I). Quantization indices
+//! are signed integers with a heavily peaked distribution around zero, so the
+//! alphabet is sparse and stored explicitly in the header (zigzag varints),
+//! followed by canonical code lengths and the MSB-first code stream.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::bits::{BitReader, BitWriter};
+use crate::stream::{ByteReader, ByteWriter};
+use crate::CodecError;
+
+/// Maximum admissible code length; frequencies are scaled down and the tree
+/// rebuilt in the (pathological) case a longer code appears.
+const MAX_CODE_LEN: u32 = 48;
+
+/// Compute Huffman code lengths for the given positive frequencies.
+fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    debug_assert!(n >= 2);
+    // Heap of (frequency, node id); internal nodes get ids >= n.
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        freqs.iter().enumerate().map(|(i, &f)| Reverse((f, i))).collect();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().unwrap();
+        let Reverse((fb, b)) = heap.pop().unwrap();
+        parent[a] = next_id;
+        parent[b] = next_id;
+        heap.push(Reverse((fa + fb, next_id)));
+        next_id += 1;
+    }
+    let root = next_id - 1;
+    let mut lengths = vec![0u32; n];
+    for (i, len) in lengths.iter_mut().enumerate() {
+        let mut d = 0;
+        let mut node = i;
+        while node != root {
+            node = parent[node];
+            d += 1;
+        }
+        *len = d;
+    }
+    lengths
+}
+
+/// Length-limited code lengths: rebuilds with scaled frequencies until the
+/// maximum length fits (standard freq-halving trick; optimality loss is
+/// negligible and only triggers for astronomically skewed inputs).
+fn limited_code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = code_lengths(&f);
+        if lengths.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lengths;
+        }
+        for v in &mut f {
+            *v = (*v).div_ceil(2);
+        }
+    }
+}
+
+/// Canonical code assignment: symbols sorted by (length, symbol order as
+/// provided), codes assigned in increasing numeric order.
+fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![0u64; lengths.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &i in &order {
+        let len = lengths[i];
+        code <<= len - prev_len;
+        codes[i] = code;
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encode a symbol stream. The output is self-describing (alphabet + lengths
+/// + count + code stream) and decoded by [`decode`].
+pub fn encode(symbols: &[i32]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(symbols.len() / 2 + 64);
+    w.put_uvarint(symbols.len() as u64);
+    if symbols.is_empty() {
+        return w.finish();
+    }
+
+    let mut hist: HashMap<i32, u64> = HashMap::new();
+    for &s in symbols {
+        *hist.entry(s).or_insert(0) += 1;
+    }
+    let mut alphabet: Vec<i32> = hist.keys().copied().collect();
+    alphabet.sort_unstable();
+    w.put_uvarint(alphabet.len() as u64);
+
+    // Alphabet as deltas between sorted symbols (small for dense index sets).
+    let mut prev = 0i64;
+    for &sym in &alphabet {
+        w.put_ivarint(sym as i64 - prev);
+        prev = sym as i64;
+    }
+
+    if alphabet.len() == 1 {
+        // Degenerate single-symbol stream: header carries everything.
+        return w.finish();
+    }
+
+    let freqs: Vec<u64> = alphabet.iter().map(|s| hist[s]).collect();
+    let lengths = limited_code_lengths(&freqs);
+    for &l in &lengths {
+        w.put_u8(l as u8);
+    }
+    let codes = canonical_codes(&lengths);
+    let index: HashMap<i32, usize> =
+        alphabet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+
+    let mut bw = BitWriter::new();
+    for &s in symbols {
+        let i = index[&s];
+        let (code, len) = (codes[i], lengths[i]);
+        if len > 32 {
+            bw.write_bits(code >> 32, len - 32);
+            bw.write_bits(code & 0xFFFF_FFFF, 32);
+        } else {
+            bw.write_bits(code, len);
+        }
+    }
+    w.put_block(&bw.finish());
+    w.finish()
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_uvarint()? as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if count > (1 << 36) {
+        return Err(CodecError::Corrupt("huffman: implausible symbol count"));
+    }
+    let n_sym = r.get_uvarint()? as usize;
+    if n_sym == 0 {
+        return Err(CodecError::Corrupt("huffman: empty alphabet for nonempty stream"));
+    }
+    // Each alphabet delta takes at least one byte in the stream.
+    if n_sym > r.remaining() {
+        return Err(CodecError::Corrupt("huffman: alphabet exceeds stream"));
+    }
+    let mut alphabet = Vec::with_capacity(n_sym);
+    let mut prev = 0i64;
+    for _ in 0..n_sym {
+        let sym = prev + r.get_ivarint()?;
+        if sym < i32::MIN as i64 || sym > i32::MAX as i64 {
+            return Err(CodecError::Corrupt("huffman: symbol out of i32 range"));
+        }
+        alphabet.push(sym as i32);
+        prev = sym;
+    }
+    if n_sym == 1 {
+        // Fallible allocation: `count` is attacker-controlled.
+        let mut out = Vec::new();
+        out.try_reserve_exact(count)
+            .map_err(|_| CodecError::Corrupt("huffman: count exceeds memory"))?;
+        out.resize(count, alphabet[0]);
+        return Ok(out);
+    }
+
+    let mut lengths = Vec::with_capacity(n_sym);
+    for _ in 0..n_sym {
+        let l = r.get_u8()? as u32;
+        if l == 0 || l > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("huffman: invalid code length"));
+        }
+        lengths.push(l);
+    }
+
+    // Canonical decode tables: per length, the first code and the run of
+    // symbols (in canonical order) using that length.
+    let max_len = *lengths.iter().max().unwrap();
+    let mut order: Vec<usize> = (0..n_sym).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut first_code = vec![0u64; (max_len + 2) as usize];
+    let mut first_index = vec![0usize; (max_len + 2) as usize];
+    let mut count_by_len = vec![0usize; (max_len + 2) as usize];
+    for &i in &order {
+        count_by_len[lengths[i] as usize] += 1;
+    }
+    {
+        let mut code = 0u64;
+        let mut idx = 0usize;
+        for l in 1..=max_len as usize {
+            first_code[l] = code;
+            first_index[l] = idx;
+            code = (code + count_by_len[l] as u64) << 1;
+            idx += count_by_len[l];
+        }
+    }
+    // Kraft check: the lengths must describe a full prefix code.
+    let kraft: f64 = lengths.iter().map(|&l| (0.5f64).powi(l as i32)).sum();
+    if (kraft - 1.0).abs() > 1e-9 {
+        return Err(CodecError::Corrupt("huffman: lengths violate Kraft equality"));
+    }
+
+    let payload = r.get_block()?;
+    // Every symbol costs at least one bit, so a corrupted count cannot force
+    // an absurd decode loop.
+    if count > payload.len().saturating_mul(8) {
+        return Err(CodecError::Corrupt("huffman: count exceeds payload bits"));
+    }
+    let mut br = BitReader::new(payload);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut len = 0usize;
+        loop {
+            code = (code << 1) | br.read_bit()? as u64;
+            len += 1;
+            if len > max_len as usize {
+                return Err(CodecError::Corrupt("huffman: code longer than table"));
+            }
+            let offset = code.wrapping_sub(first_code[len]);
+            if len <= max_len as usize && offset < count_by_len[len] as u64 {
+                let sym_idx = order[first_index[len] + offset as usize];
+                out.push(alphabet[sym_idx]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[i32]) {
+        let enc = encode(symbols);
+        let dec = decode(&enc).expect("decode");
+        assert_eq!(dec, symbols);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        roundtrip(&[42; 1000]);
+        let enc = encode(&[42; 1000]);
+        assert!(enc.len() < 16, "degenerate stream should be tiny, got {}", enc.len());
+    }
+
+    #[test]
+    fn two_symbols() {
+        let s: Vec<i32> = (0..100).map(|i| if i % 3 == 0 { -5 } else { 9 }).collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% zeros: entropy ~0.29 bits, so ~1000 symbols -> well under 1000 bits.
+        let s: Vec<i32> = (0..4000).map(|i| if i % 20 == 0 { i % 7 } else { 0 }).collect();
+        let enc = encode(&s);
+        assert!(enc.len() * 8 < s.len() * 3, "got {} bytes", enc.len());
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn negative_and_large_symbols() {
+        let s = vec![i32::MIN, i32::MAX, 0, -1, 1, i32::MIN, i32::MAX];
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn uniform_wide_alphabet() {
+        let s: Vec<i32> = (0..2048).map(|i| (i % 256) - 128).collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn canonical_codes_prefix_free() {
+        let lengths = vec![2, 2, 2, 3, 4, 4];
+        let codes = canonical_codes(&lengths);
+        for i in 0..codes.len() {
+            for j in 0..codes.len() {
+                if i == j {
+                    continue;
+                }
+                let (li, lj) = (lengths[i], lengths[j]);
+                if li <= lj {
+                    assert_ne!(codes[i], codes[j] >> (lj - li), "prefix violation {i} {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_lengths_match_frequencies() {
+        // More frequent symbols never get longer codes.
+        let freqs = vec![100u64, 50, 20, 5, 1];
+        let lengths = code_lengths(&freqs);
+        for w in lengths.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let s: Vec<i32> = (0..500).map(|i| i % 17).collect();
+        let enc = encode(&s);
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_lengths_error_not_panic() {
+        let s: Vec<i32> = (0..100).map(|i| i % 5).collect();
+        let mut enc = encode(&s);
+        // Stomp on a code-length byte.
+        let len = enc.len();
+        enc[len / 3] ^= 0xFF;
+        let _ = decode(&enc); // must not panic; error or garbage both tolerable
+    }
+
+    #[test]
+    fn kraft_violation_detected() {
+        // Hand-build a header with lengths {1, 1, 1}: violates Kraft equality.
+        let mut w = ByteWriter::new();
+        w.put_uvarint(3); // count
+        w.put_uvarint(3); // alphabet size
+        w.put_ivarint(0);
+        w.put_ivarint(1);
+        w.put_ivarint(1);
+        w.put_u8(1);
+        w.put_u8(1);
+        w.put_u8(1);
+        w.put_block(&[0u8]);
+        assert_eq!(
+            decode(&w.finish()),
+            Err(CodecError::Corrupt("huffman: lengths violate Kraft equality"))
+        );
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        // Deterministic pseudo-random stream exercising many symbol shapes.
+        let mut state = 0x9E37_79B9u32;
+        let mut s = Vec::new();
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            s.push(((state >> 16) as i32 % 1000) - 500);
+        }
+        roundtrip(&s);
+    }
+}

@@ -1,0 +1,122 @@
+//! Combined Huffman → LZ pipeline for quantization index arrays.
+//!
+//! Mirrors the paper's encoding stage (Huffman encoding followed by ZSTD):
+//! the index array is entropy-coded first, then the generic lossless pass
+//! squeezes residual byte-level redundancy (headers, clustered code runs).
+//! The LZ pass is kept only when it actually shrinks the stream, signalled by
+//! a one-byte mode tag.
+
+use crate::{huffman, lz, range, CodecError};
+
+/// Mode tag: Huffman output stored raw.
+const MODE_HUFF: u8 = 0;
+/// Mode tag: Huffman output further LZ-compressed.
+const MODE_HUFF_LZ: u8 = 1;
+/// Mode tag: adaptive range-coder output stored raw.
+const MODE_RANGE: u8 = 2;
+/// Mode tag: range-coder output further LZ-compressed.
+const MODE_RANGE_LZ: u8 = 3;
+
+/// Streams below this symbol count also try the (slower) adaptive range
+/// coder, which shines exactly there: no code-length header, instant
+/// adaptation. Large streams stick to Huffman+LZ for throughput.
+const RANGE_TRY_LIMIT: usize = 1 << 16;
+
+/// Encode a quantization index array: entropy coding (canonical Huffman,
+/// plus the adaptive range coder for small streams), then LZ if profitable,
+/// keeping whichever combination is smallest.
+pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
+    let huff = huffman::encode(indices);
+    let lzed = lz::compress(&huff);
+    let mut best: (u8, Vec<u8>) = if lzed.len() < huff.len() {
+        (MODE_HUFF_LZ, lzed)
+    } else {
+        (MODE_HUFF, huff)
+    };
+    if indices.len() <= RANGE_TRY_LIMIT {
+        let rng = range::encode(indices);
+        if rng.len() < best.1.len() {
+            let rlz = lz::compress(&rng);
+            best = if rlz.len() < rng.len() { (MODE_RANGE_LZ, rlz) } else { (MODE_RANGE, rng) };
+        }
+    }
+    let mut out = Vec::with_capacity(best.1.len() + 1);
+    out.push(best.0);
+    out.extend_from_slice(&best.1);
+    out
+}
+
+/// Decode a stream produced by [`encode_indices`].
+pub fn decode_indices(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    let (&mode, rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
+    match mode {
+        MODE_HUFF => huffman::decode(rest),
+        MODE_HUFF_LZ => {
+            let huff = lz::decompress(rest)?;
+            huffman::decode(&huff)
+        }
+        MODE_RANGE => range::decode(rest),
+        MODE_RANGE_LZ => {
+            let rng = lz::decompress(rest)?;
+            range::decode(&rng)
+        }
+        _ => Err(CodecError::BadHeader("unknown lossless mode tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let enc = encode_indices(&[]);
+        assert_eq!(decode_indices(&enc).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn roundtrip_clustered() {
+        // Clustered indices (the paper's phenomenon): long runs of equal values.
+        let mut q = Vec::new();
+        for block in 0..50 {
+            q.extend(std::iter::repeat_n(block % 5 - 2, 200));
+        }
+        let enc = encode_indices(&q);
+        assert_eq!(decode_indices(&enc).unwrap(), q);
+        // Runs must compress far below 1 byte/symbol.
+        assert!(enc.len() * 4 < q.len(), "got {} bytes for {} symbols", enc.len(), q.len());
+    }
+
+    #[test]
+    fn lz_pass_helps_on_runs() {
+        let q = vec![1i32; 100_000];
+        let enc = encode_indices(&q);
+        assert!(enc.len() < 64);
+    }
+
+    #[test]
+    fn roundtrip_noise() {
+        let mut state = 7u64;
+        let q: Vec<i32> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+                ((state >> 33) as i32 % 65) - 32
+            })
+            .collect();
+        let enc = encode_indices(&q);
+        assert_eq!(decode_indices(&enc).unwrap(), q);
+    }
+
+    #[test]
+    fn bad_mode_tag() {
+        assert!(decode_indices(&[9, 0, 0]).is_err());
+        assert!(decode_indices(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let q: Vec<i32> = (0..1000).map(|i| i % 9 - 4).collect();
+        let enc = encode_indices(&q);
+        assert!(decode_indices(&enc[..enc.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! LZSS-style byte-level lossless compressor (the ZSTD substitute).
+//!
+//! Plays the role ZSTD plays in the paper's pipeline: a generic lossless pass
+//! over the entropy-coded quantization indices and side channels. Hash-chain
+//! match finding, greedy parsing, varint-coded (literal-run, match) tokens.
+//! See DESIGN.md §5 for the substitution rationale.
+
+use crate::stream::{ByteReader, ByteWriter};
+use crate::CodecError;
+
+/// Minimum match length worth emitting (shorter matches cost more than literals).
+const MIN_MATCH: usize = 4;
+/// Maximum backward distance searched.
+const WINDOW: usize = 1 << 20;
+/// Hash-chain search depth bound (compression/speed trade-off).
+const MAX_CHAIN: usize = 48;
+/// Number of hash buckets (power of two).
+const HASH_BITS: u32 = 16;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`; output is self-describing and decoded by [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(input.len() / 2 + 16);
+    w.put_uvarint(input.len() as u64);
+    if input.is_empty() {
+        return w.finish();
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(input, i);
+            let mut cand = head[h];
+            let mut depth = 0;
+            while cand != usize::MAX && depth < MAX_CHAIN {
+                let dist = i - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                // Cheap reject: candidate must beat the current best at its tail.
+                if best_len == 0
+                    || (i + best_len < input.len()
+                        && input.get(cand + best_len) == input.get(i + best_len))
+                {
+                    let limit = input.len() - i;
+                    let mut l = 0usize;
+                    while l < limit && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l >= 512 {
+                            break; // long enough; stop searching
+                        }
+                    }
+                }
+                cand = prev[cand];
+                depth += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Emit pending literals, then the match token.
+            w.put_uvarint((i - lit_start) as u64);
+            w.put_bytes(&input[lit_start..i]);
+            w.put_uvarint(best_len as u64);
+            w.put_uvarint(best_dist as u64);
+            // Insert the match positions into the chains (sparsely for speed).
+            let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let step = if best_len > 64 { 4 } else { 1 };
+            let mut j = i;
+            while j < end {
+                let h = hash4(input, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += step;
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            if i + MIN_MATCH <= input.len() {
+                let h = hash4(input, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    // Trailing literal run with a zero-length "match" sentinel omitted: the
+    // decoder stops when the declared output length is reached.
+    w.put_uvarint((i - lit_start) as u64);
+    w.put_bytes(&input[lit_start..i]);
+    w.finish()
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let out_len = r.get_uvarint()? as usize;
+    // Cap the speculative allocation: a corrupted header may claim any
+    // length, but real memory is only committed as tokens actually decode.
+    let mut out = Vec::with_capacity(out_len.min(1 << 24));
+    while out.len() < out_len {
+        let lit_len = r.get_uvarint()? as usize;
+        if lit_len > out_len - out.len() {
+            return Err(CodecError::Corrupt("lz: literal run exceeds output length"));
+        }
+        out.extend_from_slice(r.get_bytes(lit_len)?);
+        if out.len() == out_len {
+            break;
+        }
+        let match_len = r.get_uvarint()? as usize;
+        let dist = r.get_uvarint()? as usize;
+        if match_len < MIN_MATCH {
+            return Err(CodecError::Corrupt("lz: match too short"));
+        }
+        if dist == 0 || dist > out.len() {
+            return Err(CodecError::Corrupt("lz: distance out of range"));
+        }
+        if match_len > out_len - out.len() {
+            return Err(CodecError::Corrupt("lz: match exceeds output length"));
+        }
+        // Overlapping copies are legal (run-length-style matches).
+        let start = out.len() - dist;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn tiny() {
+        roundtrip(b"a");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn all_same_byte_compresses_hard() {
+        let data = vec![7u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "RLE-style input should collapse, got {}", c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repeated_pattern() {
+        let data: Vec<u8> = b"the quick brown fox ".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 10, "got {}", c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // "abcabcabc..." forces dist < match_len copies.
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(1000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_random() {
+        let mut state = 12345u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        // Expansion bounded by token overhead.
+        assert!(c.len() < data.len() + data.len() / 8 + 32);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn structured_then_random() {
+        let mut data = vec![0u8; 10_000];
+        let mut state = 999u64;
+        data.extend((0..10_000).map(|_| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (state >> 48) as u8
+        }));
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let data: Vec<u8> = b"hello world hello world hello world".to_vec();
+        let c = compress(&data);
+        for cut in 0..c.len() {
+            // Safety property: a truncated stream must never panic and never
+            // yield *wrong* data (the final sentinel byte is redundant, so the
+            // last cut may legitimately still decode to the exact input).
+            if let Ok(d) = decompress(&c[..cut]) { assert_eq!(d, data, "cut {cut} produced wrong data") }
+        }
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_uvarint(20); // out_len
+        w.put_uvarint(2); // 2 literals
+        w.put_bytes(b"ab");
+        w.put_uvarint(8); // match len
+        w.put_uvarint(100); // distance beyond what's decoded
+        assert!(decompress(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn corrupt_literal_overrun_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_uvarint(3); // out_len
+        w.put_uvarint(10); // claims 10 literals for a 3-byte output
+        w.put_bytes(b"0123456789");
+        assert!(decompress(&w.finish()).is_err());
+    }
+}

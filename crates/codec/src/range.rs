@@ -1,0 +1,383 @@
+//! Adaptive range coder over `i32` symbol alphabets.
+//!
+//! SZ3 ships an arithmetic-coding alternative to Huffman for the quantization
+//! index stream; this is the workspace equivalent — a carry-less byte-wise
+//! range coder (Subbotin style) with adaptive frequencies maintained in a
+//! Fenwick tree, so symbol probabilities track the stream without a second
+//! pass. Unlike the canonical-Huffman path it needs no code-length header and
+//! adapts to local statistics, typically beating Huffman on small streams and
+//! skewed, drifting distributions; it is slower, which is why
+//! [`crate::lossless`] keeps both and picks per stream.
+
+use crate::stream::{ByteReader, ByteWriter};
+use crate::CodecError;
+
+const TOP: u32 = 1 << 24;
+const BOTTOM: u32 = 1 << 16;
+/// Rescale frequencies when the total reaches this bound (keeps ranges
+/// non-degenerate and adapts to drift).
+const MAX_TOTAL: u32 = 1 << 15;
+
+/// Fenwick (binary indexed) tree over symbol frequencies.
+struct Fenwick {
+    tree: Vec<u32>,
+    n: usize,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        let mut f = Fenwick { tree: vec![0; n + 1], n };
+        for i in 0..n {
+            f.add(i, 1); // every symbol starts with frequency 1
+        }
+        f
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i <= self.n {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of frequencies of symbols `0..i`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn total(&self) -> u32 {
+        self.prefix(self.n)
+    }
+
+    /// Frequency of symbol `i`.
+    fn freq(&self, i: usize) -> u32 {
+        self.prefix(i + 1) - self.prefix(i)
+    }
+
+    /// Largest symbol index whose prefix sum is ≤ `target` (decode search).
+    fn find(&self, target: u32) -> usize {
+        let mut pos = 0usize;
+        let mut rem = target;
+        let mut step = self.n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // symbol index (0-based): prefix(pos) <= target < prefix(pos+1)
+    }
+
+    /// Halve all frequencies (keeping them ≥ 1) to adapt to drift.
+    fn rescale(&mut self) {
+        let freqs: Vec<u32> = (0..self.n).map(|i| self.freq(i)).collect();
+        self.tree.iter_mut().for_each(|v| *v = 0);
+        for (i, f) in freqs.into_iter().enumerate() {
+            self.add(i, f.div_ceil(2).max(1) as i64);
+        }
+    }
+
+    fn bump(&mut self, i: usize, inc: u32) {
+        self.add(i, inc as i64);
+        if self.total() >= MAX_TOTAL {
+            self.rescale();
+        }
+    }
+}
+
+/// Carry-less range encoder state.
+struct RangeEncoder {
+    low: u64,
+    range: u32,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, out: Vec::new() }
+    }
+
+    fn encode(&mut self, cum: u32, freq: u32, total: u32) {
+        debug_assert!(freq > 0 && cum + freq <= total);
+        let r = self.range / total;
+        self.low = self.low.wrapping_add((r * cum) as u64);
+        self.range = r * freq;
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        // Emit bytes while the top byte is settled or the range underflows.
+        // Wrapping arithmetic: the comparison is a settledness test, and a
+        // wrapped sum simply reads as "not settled".
+        while (self.low ^ (self.low.wrapping_add(self.range as u64))) < TOP as u64
+            || (self.range < BOTTOM && {
+                self.range = self.low.wrapping_neg() as u32 & (BOTTOM - 1);
+                true
+            })
+        {
+            self.out.push((self.low >> 56) as u8);
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for _ in 0..8 {
+            self.out.push((self.low >> 56) as u8);
+            self.low <<= 8;
+        }
+        self.out
+    }
+}
+
+/// Matching decoder.
+struct RangeDecoder<'a> {
+    low: u64,
+    range: u32,
+    code: u64,
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        let mut d = RangeDecoder { low: 0, range: u32::MAX, code: 0, data, pos: 0 };
+        for _ in 0..8 {
+            d.code = (d.code << 8) | d.next_byte();
+        }
+        d
+    }
+
+    fn next_byte(&mut self) -> u64 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b as u64
+    }
+
+    fn decode_target(&self, total: u32) -> u32 {
+        let r = self.range / total;
+        // Wrapping: corrupted input can break the low ≤ code invariant; the
+        // decoder must then produce garbage, never panic.
+        ((self.code.wrapping_sub(self.low) / (r as u64).max(1)) as u32).min(total - 1)
+    }
+
+    fn decode_update(&mut self, cum: u32, freq: u32, total: u32) {
+        let r = (self.range / total).max(1);
+        self.low = self.low.wrapping_add((r * cum) as u64);
+        self.range = r * freq;
+        while (self.low ^ (self.low.wrapping_add(self.range as u64))) < TOP as u64
+            || (self.range < BOTTOM && {
+                self.range = self.low.wrapping_neg() as u32 & (BOTTOM - 1);
+                true
+            })
+        {
+            self.code = (self.code << 8) | self.next_byte();
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+}
+
+/// Encode a symbol stream with the adaptive range coder. Self-describing;
+/// decoded by [`decode`].
+pub fn encode(symbols: &[i32]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(symbols.len() / 2 + 64);
+    w.put_uvarint(symbols.len() as u64);
+    if symbols.is_empty() {
+        return w.finish();
+    }
+    // Dense alphabet, like the Huffman header.
+    let mut alphabet: Vec<i32> = symbols.to_vec();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    w.put_uvarint(alphabet.len() as u64);
+    let mut prev = 0i64;
+    for &s in &alphabet {
+        w.put_ivarint(s as i64 - prev);
+        prev = s as i64;
+    }
+    if alphabet.len() == 1 {
+        return w.finish();
+    }
+    let index = |s: i32| alphabet.binary_search(&s).expect("symbol in alphabet");
+
+    let mut model = Fenwick::new(alphabet.len());
+    let mut enc = RangeEncoder::new();
+    for &s in symbols {
+        let i = index(s);
+        let cum = model.prefix(i);
+        let freq = model.freq(i);
+        let total = model.total();
+        enc.encode(cum, freq, total);
+        model.bump(i, 32);
+    }
+    w.put_block(&enc.finish());
+    w.finish()
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_uvarint()? as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if count > (1 << 36) {
+        return Err(CodecError::Corrupt("range: implausible symbol count"));
+    }
+    let n_sym = r.get_uvarint()? as usize;
+    if n_sym == 0 {
+        return Err(CodecError::Corrupt("range: empty alphabet"));
+    }
+    if n_sym > r.remaining() {
+        return Err(CodecError::Corrupt("range: alphabet exceeds stream"));
+    }
+    let mut alphabet = Vec::with_capacity(n_sym);
+    let mut prev = 0i64;
+    for _ in 0..n_sym {
+        let s = prev + r.get_ivarint()?;
+        if s < i32::MIN as i64 || s > i32::MAX as i64 {
+            return Err(CodecError::Corrupt("range: symbol out of i32 range"));
+        }
+        alphabet.push(s as i32);
+        prev = s;
+    }
+    if n_sym == 1 {
+        let mut out = Vec::new();
+        out.try_reserve_exact(count)
+            .map_err(|_| CodecError::Corrupt("range: count exceeds memory"))?;
+        out.resize(count, alphabet[0]);
+        return Ok(out);
+    }
+    let payload = r.get_block()?;
+    if payload.len() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    // Adaptive coding can go far below 1 bit/symbol but not below ~2⁻¹³ bits
+    // (the frequency cap), so a generous per-byte bound stops absurd claims.
+    if count > payload.len().saturating_mul(8192).saturating_add(4096) {
+        return Err(CodecError::Corrupt("range: count exceeds payload capacity"));
+    }
+
+    let mut model = Fenwick::new(n_sym);
+    let mut dec = RangeDecoder::new(payload);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        let total = model.total();
+        let target = dec.decode_target(total);
+        let i = model.find(target);
+        let cum = model.prefix(i);
+        let freq = model.freq(i);
+        dec.decode_update(cum, freq, total);
+        out.push(alphabet[i]);
+        model.bump(i, 32);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[i32]) {
+        let enc = encode(symbols);
+        assert_eq!(decode(&enc).expect("decode"), symbols, "stream {} syms", symbols.len());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[7]);
+        roundtrip(&[42; 500]);
+    }
+
+    #[test]
+    fn small_alphabet() {
+        let s: Vec<i32> = (0..5000).map(|i| [0, 0, 0, 1, -1][i % 5]).collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn adaptive_beats_static_on_drifting_stream() {
+        // First half all zeros, second half uniform over 64 symbols: the
+        // adaptive model tracks the change.
+        let mut s = vec![0i32; 20_000];
+        s.extend((0..20_000i32).map(|i| i % 64));
+        let enc = encode(&s);
+        roundtrip(&s);
+        // Entropy of the mix is ~3.5 bits/symbol averaged; adaptive coding
+        // should land well under a naive 6-bit static code.
+        assert!((enc.len() * 8) as f64 / (s.len() as f64) < 4.2, "{} bytes", enc.len());
+    }
+
+    #[test]
+    fn skewed_compresses_hard() {
+        let s: Vec<i32> = (0..50_000i32)
+            .map(|i| if i % 50 == 0 { (i % 13) - 6 } else { 0 })
+            .collect();
+        let enc = encode(&s);
+        assert!(enc.len() * 16 < s.len(), "{} bytes for {} symbols", enc.len(), s.len());
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn wide_random_alphabet() {
+        let mut state = 99u64;
+        let s: Vec<i32> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                ((state >> 35) % 3000) as i32 - 1500
+            })
+            .collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn extreme_symbols() {
+        roundtrip(&[i32::MIN, i32::MAX, 0, i32::MIN, 5, i32::MAX]);
+    }
+
+    #[test]
+    fn truncation_detected_or_harmless() {
+        let s: Vec<i32> = (0..2000).map(|i| (i % 17) - 8).collect();
+        let enc = encode(&s);
+        // Cutting the payload must never panic; wrong output is impossible
+        // because the block length no longer matches.
+        for cut in [0, 1, enc.len() / 2] {
+            let _ = decode(&enc[..cut]);
+        }
+    }
+
+    #[test]
+    fn fenwick_consistency() {
+        let mut f = Fenwick::new(10);
+        assert_eq!(f.total(), 10);
+        f.add(3, 5);
+        assert_eq!(f.freq(3), 6);
+        assert_eq!(f.prefix(3), 3);
+        assert_eq!(f.prefix(4), 9);
+        // find: target below prefix(3)=3 lands before symbol 3.
+        assert_eq!(f.find(2), 2);
+        assert_eq!(f.find(3), 3);
+        assert_eq!(f.find(8), 3);
+        assert_eq!(f.find(9), 4);
+    }
+
+    #[test]
+    fn fenwick_rescale_preserves_order() {
+        let mut f = Fenwick::new(4);
+        f.add(0, 1000);
+        f.add(2, 100);
+        f.rescale();
+        assert!(f.freq(0) > f.freq(2));
+        assert!(f.freq(2) > 0 && f.freq(1) > 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Checked little-endian byte stream reader/writer.
+//!
+//! Every compressor in the workspace serializes its header and side channels
+//! through these, so truncated or corrupted inputs surface as [`CodecError`]s
+//! instead of panics.
+
+use crate::varint;
+use crate::CodecError;
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Unsigned LEB128.
+    pub fn put_uvarint(&mut self, v: u64) {
+        varint::write_uvarint(&mut self.buf, v);
+    }
+
+    /// Zigzag LEB128.
+    pub fn put_ivarint(&mut self, v: i64) {
+        varint::write_ivarint(&mut self.buf, v);
+    }
+
+    /// Raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed (uvarint) byte block.
+    pub fn put_block(&mut self, bytes: &[u8]) {
+        self.put_uvarint(bytes.len() as u64);
+        self.put_bytes(bytes);
+    }
+
+    /// Finish, returning the accumulated bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a byte slice with checked reads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Little-endian f64.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Unsigned LEB128.
+    pub fn get_uvarint(&mut self) -> Result<u64, CodecError> {
+        varint::read_uvarint(self.data, &mut self.pos)
+    }
+
+    /// Zigzag LEB128.
+    pub fn get_ivarint(&mut self) -> Result<i64, CodecError> {
+        varint::read_ivarint(self.data, &mut self.pos)
+    }
+
+    /// Raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Length-prefixed byte block written by [`ByteWriter::put_block`].
+    pub fn get_block(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_uvarint()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        self.take(n)
+    }
+
+    /// All remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-1.5);
+        w.put_uvarint(300);
+        w.put_ivarint(-300);
+        w.put_block(b"hello");
+        w.put_bytes(b"tail");
+        let bytes = w.finish();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), -1.5);
+        assert_eq!(r.get_uvarint().unwrap(), 300);
+        assert_eq!(r.get_ivarint().unwrap(), -300);
+        assert_eq!(r.get_block().unwrap(), b"hello");
+        assert_eq!(r.rest(), b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_error_everywhere() {
+        let mut w = ByteWriter::new();
+        w.put_u32(42);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes[..3]);
+        assert_eq!(r.get_u32(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn block_with_lying_length_is_error() {
+        let mut w = ByteWriter::new();
+        w.put_uvarint(1000); // claims 1000 bytes follow
+        w.put_bytes(b"xy");
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_block(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_block() {
+        let mut w = ByteWriter::new();
+        w.put_block(b"");
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_block().unwrap(), b"");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: every codec path round-trips arbitrary symbol streams.
+
+use proptest::prelude::*;
+use qip_codec::{decode_indices, encode_indices, huffman, lossless, lz, range};
+
+fn arb_symbols() -> impl Strategy<Value = Vec<i32>> {
+    prop_oneof![
+        // Peaked around zero (quantization-index-like).
+        proptest::collection::vec(-8i32..8, 0..4000),
+        // Sparse alphabet with outliers.
+        proptest::collection::vec(
+            prop_oneof![Just(0i32), Just(1), Just(-1), any::<i32>()],
+            0..2000
+        ),
+        // Wide uniform.
+        proptest::collection::vec(any::<i32>(), 0..500),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn huffman_roundtrip(symbols in arb_symbols()) {
+        let enc = huffman::encode(&symbols);
+        prop_assert_eq!(huffman::decode(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn range_roundtrip(symbols in arb_symbols()) {
+        let enc = range::encode(&symbols);
+        prop_assert_eq!(range::decode(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn lossless_pipeline_roundtrip(symbols in arb_symbols()) {
+        let enc = encode_indices(&symbols);
+        prop_assert_eq!(decode_indices(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn lz_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8000)) {
+        let enc = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = huffman::decode(&data);
+        let _ = range::decode(&data);
+        let _ = lz::decompress(&data);
+        let _ = lossless::decode_indices(&data);
+    }
+}

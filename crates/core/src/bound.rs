@@ -1,0 +1,56 @@
+//! User-facing error-bound specification.
+
+/// Error bound requested by the user.
+///
+/// The paper evaluates under *absolute* bounds tied to each field's value
+/// range (its "1E-3" settings are value-range-relative, the SZ3 convention),
+/// so both forms are provided. Compressors resolve to an absolute bound via
+/// [`ErrorBound::absolute`] before quantizing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|d − d'| ≤ ε`.
+    Abs(f64),
+    /// Value-range-relative bound: `|d − d'| ≤ ε · (max(d) − min(d))`.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound given the field's value range.
+    ///
+    /// Degenerate cases (constant field under a relative bound, zero/negative
+    /// inputs) clamp to a tiny positive bound, which drives every point into
+    /// the unpredictable channel — lossless storage, never a bound violation.
+    pub fn absolute(&self, value_range: f64) -> f64 {
+        let eb = match *self {
+            ErrorBound::Abs(e) => e,
+            ErrorBound::Rel(e) => e * value_range,
+        };
+        if eb.is_finite() && eb > 0.0 {
+            eb
+        } else {
+            f64::MIN_POSITIVE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_passthrough() {
+        assert_eq!(ErrorBound::Abs(1e-3).absolute(100.0), 1e-3);
+    }
+
+    #[test]
+    fn rel_scales_by_range() {
+        assert_eq!(ErrorBound::Rel(1e-2).absolute(50.0), 0.5);
+    }
+
+    #[test]
+    fn degenerate_clamps_positive() {
+        assert!(ErrorBound::Rel(1e-3).absolute(0.0) > 0.0);
+        assert!(ErrorBound::Abs(0.0).absolute(1.0) > 0.0);
+        assert!(ErrorBound::Abs(f64::NAN).absolute(1.0) > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The compressor trait and error type shared across the workspace.
+
+use crate::ErrorBound;
+use qip_codec::CodecError;
+use qip_tensor::{Field, Scalar, TensorError};
+
+/// Errors surfaced by compression or decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Underlying codec failure (truncated/corrupt stream).
+    Codec(CodecError),
+    /// Underlying tensor failure (shape/buffer mismatch).
+    Tensor(TensorError),
+    /// The stream was produced by a different compressor or format version.
+    WrongFormat(&'static str),
+    /// The input violates a precondition of this compressor.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Codec(e) => write!(f, "codec error: {e}"),
+            CompressError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CompressError::WrongFormat(m) => write!(f, "wrong format: {m}"),
+            CompressError::Unsupported(m) => write!(f, "unsupported input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<CodecError> for CompressError {
+    fn from(e: CodecError) -> Self {
+        CompressError::Codec(e)
+    }
+}
+
+impl From<TensorError> for CompressError {
+    fn from(e: TensorError) -> Self {
+        CompressError::Tensor(e)
+    }
+}
+
+/// An error-bounded lossy compressor over fields of `T`.
+///
+/// Streams are self-describing: `decompress` recovers the shape from the
+/// stream header, and the error-bound contract is
+/// `|d[i] − decompress(compress(d))[i]| ≤ ε` for the resolved absolute ε.
+pub trait Compressor<T: Scalar> {
+    /// Short stable name used in experiment reports ("SZ3", "QoZ+QP", …).
+    fn name(&self) -> String;
+
+    /// Compress `field` under `bound`.
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError>;
+
+    /// Decompress a stream produced by [`Compressor::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversions() {
+        let c: CompressError = CodecError::UnexpectedEof.into();
+        assert!(matches!(c, CompressError::Codec(_)));
+        let t: CompressError = TensorError::BadBytes("x").into();
+        assert!(matches!(t, CompressError::Tensor(_)));
+    }
+
+    #[test]
+    fn display_messages() {
+        let c = CompressError::WrongFormat("not an SZ3 stream");
+        assert!(c.to_string().contains("not an SZ3 stream"));
+    }
+}

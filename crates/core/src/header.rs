@@ -1,0 +1,125 @@
+//! Self-describing stream header shared by all compressors.
+
+use crate::CompressError;
+use qip_codec::{ByteReader, ByteWriter};
+use qip_tensor::Shape;
+
+/// Common stream header: compressor magic, scalar width, shape, absolute
+/// error bound actually used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamHeader {
+    /// Compressor identity byte (each compressor crate defines its own).
+    pub magic: u8,
+    /// Bits per scalar sample (32 or 64).
+    pub scalar_bits: u8,
+    /// Field shape.
+    pub shape: Shape,
+    /// Resolved absolute error bound.
+    pub abs_eb: f64,
+}
+
+impl StreamHeader {
+    /// Serialize into `w`.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_u8(self.magic);
+        w.put_u8(self.scalar_bits);
+        w.put_u8(self.shape.ndim() as u8);
+        for &d in self.shape.dims() {
+            w.put_uvarint(d as u64);
+        }
+        w.put_f64(self.abs_eb);
+    }
+
+    /// Parse from `r`, verifying the expected magic and scalar width.
+    pub fn read(
+        r: &mut ByteReader,
+        expect_magic: u8,
+        expect_bits: u8,
+    ) -> Result<Self, CompressError> {
+        let magic = r.get_u8()?;
+        if magic != expect_magic {
+            return Err(CompressError::WrongFormat("magic byte mismatch"));
+        }
+        let scalar_bits = r.get_u8()?;
+        if scalar_bits != expect_bits {
+            return Err(CompressError::WrongFormat("scalar width mismatch"));
+        }
+        let ndim = r.get_u8()? as usize;
+        if ndim == 0 || ndim > 4 {
+            return Err(CompressError::WrongFormat("dimensionality out of range"));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        let mut volume: u128 = 1;
+        for _ in 0..ndim {
+            let d = r.get_uvarint()? as usize;
+            if d > (1 << 40) {
+                return Err(CompressError::WrongFormat("implausible extent"));
+            }
+            volume = volume.saturating_mul(d.max(1) as u128);
+            dims.push(d);
+        }
+        // Allocation guard: decoders build buffers of this volume, so a
+        // corrupted header must not be able to demand absurd memory.
+        if volume > (1u128 << 36) {
+            return Err(CompressError::WrongFormat("implausible field volume"));
+        }
+        let abs_eb = r.get_f64()?;
+        if !(abs_eb > 0.0 && abs_eb.is_finite()) {
+            return Err(CompressError::WrongFormat("non-positive error bound"));
+        }
+        Ok(StreamHeader { magic, scalar_bits, shape: Shape::new(&dims), abs_eb })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = StreamHeader {
+            magic: 0xA1,
+            scalar_bits: 32,
+            shape: Shape::d3(10, 20, 30),
+            abs_eb: 1e-4,
+        };
+        let mut w = ByteWriter::new();
+        h.write(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let g = StreamHeader::read(&mut r, 0xA1, 32).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let h = StreamHeader { magic: 1, scalar_bits: 64, shape: Shape::d1(5), abs_eb: 0.5 };
+        let mut w = ByteWriter::new();
+        h.write(&mut w);
+        let bytes = w.finish();
+        assert!(StreamHeader::read(&mut ByteReader::new(&bytes), 2, 64).is_err());
+        assert!(StreamHeader::read(&mut ByteReader::new(&bytes), 1, 32).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let h = StreamHeader { magic: 1, scalar_bits: 32, shape: Shape::d2(4, 4), abs_eb: 1.0 };
+        let mut w = ByteWriter::new();
+        h.write(&mut w);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            assert!(StreamHeader::read(&mut ByteReader::new(&bytes[..cut]), 1, 32).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_eb_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(32);
+        w.put_u8(1);
+        w.put_uvarint(8);
+        w.put_f64(-1.0);
+        assert!(StreamHeader::read(&mut ByteReader::new(&w.finish()), 1, 32).is_err());
+    }
+}

@@ -1,0 +1,568 @@
+//! The adaptive quantization index prediction engine (paper Sec. V).
+//!
+//! QP is a reversible transform on the quantization index array, applied
+//! point-by-point *inside* the base compressor's quantization loop
+//! (Algorithm 1): the compressor emits `Q'[i] = Q[i] − quant_pred(...)` and
+//! the decompressor inverts it with `Q[i] = Q'[i] + quant_pred(...)`, using
+//! only indices it has already reconstructed. The engine is pure — the base
+//! compressor supplies the neighbor indices on the current pass lattice via
+//! [`Neighbors`] — which is what makes the method generic across MGARD, SZ3,
+//! QoZ and HPEZ.
+//!
+//! The configuration axes mirror the paper's exploration:
+//! * [`PredMode`] — prediction dimension (Fig. 7): 1-D along the
+//!   interpolation direction (`Back1`) or either orthogonal axis
+//!   (`Top1`/`Left1`), 2-D Lorenzo on the orthogonal plane, 3-D Lorenzo.
+//! * [`Condition`] — gating cases I–IV (Fig. 8).
+//! * `max_level` — highest interpolation level that still predicts (Fig. 9).
+//!
+//! [`QpConfig::best_fit`] is the paper's Algorithm 2: 2-D Lorenzo, Case III,
+//! levels 1–2.
+
+use crate::CompressError;
+use qip_codec::{ByteReader, ByteWriter};
+use qip_predict::{lorenzo2, lorenzo3};
+use qip_quant::UNPRED;
+
+/// Prediction dimension/direction for `quant_pred` (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredMode {
+    /// QP disabled: the identity transform.
+    Off,
+    /// 1-D along the interpolation direction ("1D-Back").
+    Back1,
+    /// 1-D along the first orthogonal axis ("1D-Top").
+    Top1,
+    /// 1-D along the second orthogonal axis ("1D-Left").
+    Left1,
+    /// 2-D Lorenzo on the plane orthogonal to the interpolation direction
+    /// (the paper's pick).
+    Lorenzo2d,
+    /// 3-D Lorenzo including the interpolation direction.
+    Lorenzo3d,
+}
+
+impl PredMode {
+    /// Stable stream tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            PredMode::Off => 0,
+            PredMode::Back1 => 1,
+            PredMode::Top1 => 2,
+            PredMode::Left1 => 3,
+            PredMode::Lorenzo2d => 4,
+            PredMode::Lorenzo3d => 5,
+        }
+    }
+
+    /// Inverse of [`PredMode::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => PredMode::Off,
+            1 => PredMode::Back1,
+            2 => PredMode::Top1,
+            3 => PredMode::Left1,
+            4 => PredMode::Lorenzo2d,
+            5 => PredMode::Lorenzo3d,
+            _ => return None,
+        })
+    }
+}
+
+/// Adaptive gating condition (paper Fig. 8 / Sec. V-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// Case I: predict everywhere the neighbors exist.
+    CaseI,
+    /// Case II: skip when any involved neighbor is unpredictable.
+    CaseII,
+    /// Case III: Case II **and** the left/top neighbors share a strict sign
+    /// (the clustering indicator; the paper's pick).
+    CaseIII,
+    /// Case IV: Case II **and** *all* involved neighbors share a strict sign.
+    CaseIV,
+}
+
+impl Condition {
+    /// Stable stream tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Condition::CaseI => 0,
+            Condition::CaseII => 1,
+            Condition::CaseIII => 2,
+            Condition::CaseIV => 3,
+        }
+    }
+
+    /// Inverse of [`Condition::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Condition::CaseI,
+            1 => Condition::CaseII,
+            2 => Condition::CaseIII,
+            3 => Condition::CaseIV,
+            _ => return None,
+        })
+    }
+}
+
+/// Neighbor quantization indices on the current pass lattice, as seen from
+/// the point being coded. `None` means the neighbor does not exist (outside
+/// the field, or not part of this pass).
+///
+/// Axis naming follows the paper: *left*/*top* span the plane orthogonal to
+/// the interpolation direction; *back* is along the interpolation direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Neighbors {
+    /// Orthogonal-plane neighbor at −s₁.
+    pub left: Option<i32>,
+    /// Orthogonal-plane neighbor at −s₂.
+    pub top: Option<i32>,
+    /// Orthogonal-plane diagonal at −s₁−s₂.
+    pub diag: Option<i32>,
+    /// Neighbor at −s_b along the interpolation direction.
+    pub back: Option<i32>,
+    /// −s₁−s_b neighbor (3-D Lorenzo only).
+    pub left_back: Option<i32>,
+    /// −s₂−s_b neighbor (3-D Lorenzo only).
+    pub top_back: Option<i32>,
+    /// −s₁−s₂−s_b neighbor (3-D Lorenzo only).
+    pub diag_back: Option<i32>,
+}
+
+impl Neighbors {
+    /// Plane-only neighbors (sufficient for all modes except 3-D Lorenzo).
+    pub fn plane(left: Option<i32>, top: Option<i32>, diag: Option<i32>) -> Self {
+        Neighbors { left, top, diag, ..Default::default() }
+    }
+}
+
+/// QP configuration: one per compressed stream, stored in the header so the
+/// decompressor applies the identical inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpConfig {
+    /// Prediction dimension/direction.
+    pub mode: PredMode,
+    /// Gating condition.
+    pub condition: Condition,
+    /// Highest interpolation level on which prediction fires (level 1 is the
+    /// finest). Levels above carry <2 % of the data (paper Sec. V-C3).
+    pub max_level: usize,
+}
+
+impl QpConfig {
+    /// The paper's best-fit configuration (Algorithm 2): 2-D Lorenzo,
+    /// Case III, levels 1–2.
+    pub fn best_fit() -> Self {
+        QpConfig { mode: PredMode::Lorenzo2d, condition: Condition::CaseIII, max_level: 2 }
+    }
+
+    /// QP disabled (the vanilla base compressor).
+    pub fn off() -> Self {
+        QpConfig { mode: PredMode::Off, condition: Condition::CaseI, max_level: 0 }
+    }
+
+    /// Whether this config ever transforms anything.
+    pub fn is_enabled(&self) -> bool {
+        self.mode != PredMode::Off && self.max_level >= 1
+    }
+
+    /// Serialize (3 bytes).
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_u8(self.mode.tag());
+        w.put_u8(self.condition.tag());
+        w.put_u8(self.max_level.min(255) as u8);
+    }
+
+    /// Deserialize a config written by [`QpConfig::write`].
+    pub fn read(r: &mut ByteReader) -> Result<Self, CompressError> {
+        let mode = PredMode::from_tag(r.get_u8()?)
+            .ok_or(CompressError::WrongFormat("bad QP mode tag"))?;
+        let condition = Condition::from_tag(r.get_u8()?)
+            .ok_or(CompressError::WrongFormat("bad QP condition tag"))?;
+        let max_level = r.get_u8()? as usize;
+        Ok(QpConfig { mode, condition, max_level })
+    }
+}
+
+impl Default for QpConfig {
+    fn default() -> Self {
+        QpConfig::best_fit()
+    }
+}
+
+/// The QP transform engine. Stateless; cheap to copy into inner loops.
+///
+/// ```
+/// use qip_core::{Neighbors, QpConfig, QpEngine};
+///
+/// let qp = QpEngine::new(QpConfig::best_fit());
+/// // A positive cluster on the orthogonal plane (paper Fig. 5's phenomenon):
+/// let nb = Neighbors::plane(Some(4), Some(5), Some(4));
+/// // 2-D Lorenzo predicts 4 + 5 − 4 = 5; the clustered index collapses to 0.
+/// let q = 5;
+/// let q_prime = qp.transform(q, 1, &nb);
+/// assert_eq!(q_prime, 0);
+/// // The decompressor inverts it exactly from the same neighbors:
+/// assert_eq!(qp.recover(q_prime, 1, &nb), q);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QpEngine {
+    config: QpConfig,
+}
+
+/// In Case I the unpredictable label takes part in arithmetic; its magnitude
+/// is meaningless (real SZ3 stores unpredictables in a reserved bin), so it
+/// contributes zero — matching the paper's observation that Case I degrades
+/// near unpredictable data rather than exploding.
+#[inline]
+fn val(v: i32) -> i64 {
+    if v == UNPRED {
+        0
+    } else {
+        v as i64
+    }
+}
+
+impl QpEngine {
+    /// Engine for a fixed configuration.
+    pub fn new(config: QpConfig) -> Self {
+        QpEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &QpConfig {
+        &self.config
+    }
+
+    /// The `quant_pred` subroutine (paper Algorithm 2, generalized to every
+    /// configuration): the compensation to subtract from the current index.
+    pub fn predict(&self, level: usize, nb: &Neighbors) -> i32 {
+        if !self.config.is_enabled() || level > self.config.max_level {
+            return 0;
+        }
+
+        // Gather the neighbors involved in the chosen mode; all must exist.
+        let involved: &[Option<i32>] = match self.config.mode {
+            PredMode::Off => return 0,
+            PredMode::Back1 => &[nb.back],
+            PredMode::Top1 => &[nb.top],
+            PredMode::Left1 => &[nb.left],
+            PredMode::Lorenzo2d => &[nb.left, nb.top, nb.diag],
+            PredMode::Lorenzo3d => &[
+                nb.left,
+                nb.top,
+                nb.back,
+                nb.diag,
+                nb.left_back,
+                nb.top_back,
+                nb.diag_back,
+            ],
+        };
+        let mut vals = [0i64; 7];
+        for (slot, n) in vals.iter_mut().zip(involved) {
+            match n {
+                Some(v) => *slot = *v as i64,
+                None => return 0,
+            }
+        }
+
+        // Gating conditions.
+        let any_unpred = involved.iter().any(|n| n.unwrap() == UNPRED);
+        match self.config.condition {
+            Condition::CaseI => {}
+            Condition::CaseII => {
+                if any_unpred {
+                    return 0;
+                }
+            }
+            Condition::CaseIII => {
+                if any_unpred {
+                    return 0;
+                }
+                // Strict same-sign check on the plane neighbors (or the
+                // single neighbor for 1-D modes).
+                let (a, b) = match self.config.mode {
+                    PredMode::Lorenzo2d | PredMode::Lorenzo3d => {
+                        (nb.left.unwrap(), nb.top.unwrap())
+                    }
+                    PredMode::Back1 => (nb.back.unwrap(), nb.back.unwrap()),
+                    PredMode::Top1 => (nb.top.unwrap(), nb.top.unwrap()),
+                    PredMode::Left1 => (nb.left.unwrap(), nb.left.unwrap()),
+                    PredMode::Off => unreachable!(),
+                };
+                if !((a > 0 && b > 0) || (a < 0 && b < 0)) {
+                    return 0;
+                }
+            }
+            Condition::CaseIV => {
+                if any_unpred {
+                    return 0;
+                }
+                let all_pos = involved.iter().all(|n| n.unwrap() > 0);
+                let all_neg = involved.iter().all(|n| n.unwrap() < 0);
+                if !(all_pos || all_neg) {
+                    return 0;
+                }
+            }
+        }
+
+        // Case I may involve the sentinel; substitute zero there.
+        let get = |n: Option<i32>| val(n.unwrap());
+        let c: i64 = match self.config.mode {
+            PredMode::Off => 0,
+            PredMode::Back1 => get(nb.back),
+            PredMode::Top1 => get(nb.top),
+            PredMode::Left1 => get(nb.left),
+            PredMode::Lorenzo2d => lorenzo2(get(nb.left), get(nb.top), get(nb.diag)),
+            PredMode::Lorenzo3d => lorenzo3(
+                get(nb.left),
+                get(nb.top),
+                get(nb.back),
+                get(nb.diag),
+                get(nb.left_back),
+                get(nb.top_back),
+                get(nb.diag_back),
+            ),
+        };
+        c as i32
+    }
+
+    /// Compression side (Algorithm 1 line 7): `Q'[i] = Q[i] − quant_pred`.
+    /// Unpredictable labels pass through untouched so the decompressor can
+    /// recognize them before inverting.
+    #[inline]
+    pub fn transform(&self, q: i32, level: usize, nb: &Neighbors) -> i32 {
+        if q == UNPRED {
+            q
+        } else {
+            q - self.predict(level, nb)
+        }
+    }
+
+    /// Decompression side: `Q[i] = Q'[i] + quant_pred`, the exact inverse of
+    /// [`QpEngine::transform`] given identical neighbors.
+    #[inline]
+    pub fn recover(&self, q_prime: i32, level: usize, nb: &Neighbors) -> i32 {
+        if q_prime == UNPRED {
+            q_prime
+        } else {
+            q_prime + self.predict(level, nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_modes() -> Vec<PredMode> {
+        vec![
+            PredMode::Off,
+            PredMode::Back1,
+            PredMode::Top1,
+            PredMode::Left1,
+            PredMode::Lorenzo2d,
+            PredMode::Lorenzo3d,
+        ]
+    }
+
+    fn all_conditions() -> Vec<Condition> {
+        vec![Condition::CaseI, Condition::CaseII, Condition::CaseIII, Condition::CaseIV]
+    }
+
+    fn full_neighbors(v: i32) -> Neighbors {
+        Neighbors {
+            left: Some(v),
+            top: Some(v),
+            diag: Some(v),
+            back: Some(v),
+            left_back: Some(v),
+            top_back: Some(v),
+            diag_back: Some(v),
+        }
+    }
+
+    #[test]
+    fn config_tags_roundtrip() {
+        for m in all_modes() {
+            assert_eq!(PredMode::from_tag(m.tag()), Some(m));
+        }
+        for c in all_conditions() {
+            assert_eq!(Condition::from_tag(c.tag()), Some(c));
+        }
+        assert_eq!(PredMode::from_tag(99), None);
+        assert_eq!(Condition::from_tag(99), None);
+    }
+
+    #[test]
+    fn config_stream_roundtrip() {
+        for m in all_modes() {
+            for c in all_conditions() {
+                let cfg = QpConfig { mode: m, condition: c, max_level: 3 };
+                let mut w = ByteWriter::new();
+                cfg.write(&mut w);
+                let bytes = w.finish();
+                let got = QpConfig::read(&mut ByteReader::new(&bytes)).unwrap();
+                assert_eq!(got, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn best_fit_matches_algorithm2() {
+        let c = QpConfig::best_fit();
+        assert_eq!(c.mode, PredMode::Lorenzo2d);
+        assert_eq!(c.condition, Condition::CaseIII);
+        assert_eq!(c.max_level, 2);
+        assert!(c.is_enabled());
+        assert!(!QpConfig::off().is_enabled());
+    }
+
+    #[test]
+    fn transform_recover_inverse_all_configs() {
+        // Reversibility f⁻¹(f(Q)) = Q for every mode × condition × neighbor set.
+        let neighbor_sets = [
+            Neighbors::default(),
+            Neighbors::plane(Some(3), Some(2), Some(1)),
+            Neighbors::plane(Some(-3), Some(-2), Some(-1)),
+            Neighbors::plane(Some(3), None, Some(1)),
+            Neighbors::plane(Some(UNPRED), Some(2), Some(1)),
+            full_neighbors(5),
+            full_neighbors(-7),
+            full_neighbors(UNPRED),
+        ];
+        for m in all_modes() {
+            for c in all_conditions() {
+                for lvl in [1usize, 2, 3] {
+                    let eng = QpEngine::new(QpConfig { mode: m, condition: c, max_level: 2 });
+                    for nb in &neighbor_sets {
+                        for q in [-100, -1, 0, 1, 100, UNPRED] {
+                            let t = eng.transform(q, lvl, nb);
+                            assert_eq!(
+                                eng.recover(t, lvl, nb),
+                                q,
+                                "mode={m:?} cond={c:?} lvl={lvl} nb={nb:?} q={q}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_fit_predicts_cluster() {
+        // A positive cluster: left=top=diag=4 predicts 4.
+        let eng = QpEngine::new(QpConfig::best_fit());
+        let nb = Neighbors::plane(Some(4), Some(4), Some(4));
+        assert_eq!(eng.predict(1, &nb), 4);
+        assert_eq!(eng.transform(4, 1, &nb), 0); // cluster collapses to zero
+    }
+
+    #[test]
+    fn case3_requires_same_strict_sign() {
+        let eng = QpEngine::new(QpConfig::best_fit());
+        // Mixed signs: no prediction.
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(4), Some(-4), Some(0))), 0);
+        // Zero neighbor: no prediction (strict sign).
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(0), Some(4), Some(0))), 0);
+        // Both negative: predicts.
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(-2), Some(-3), Some(-1))), -4);
+    }
+
+    #[test]
+    fn case2_skips_unpredictable_neighbors() {
+        let eng = QpEngine::new(QpConfig {
+            mode: PredMode::Lorenzo2d,
+            condition: Condition::CaseII,
+            max_level: 2,
+        });
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(UNPRED), Some(4), Some(1))), 0);
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(2), Some(4), Some(1))), 5);
+    }
+
+    #[test]
+    fn case1_predicts_through_unpredictable_as_zero() {
+        let eng = QpEngine::new(QpConfig {
+            mode: PredMode::Lorenzo2d,
+            condition: Condition::CaseI,
+            max_level: 2,
+        });
+        // UNPRED left counts as 0: prediction = 0 + 4 − 1 = 3.
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(UNPRED), Some(4), Some(1))), 3);
+    }
+
+    #[test]
+    fn case4_needs_all_same_sign() {
+        let eng = QpEngine::new(QpConfig {
+            mode: PredMode::Lorenzo2d,
+            condition: Condition::CaseIV,
+            max_level: 2,
+        });
+        // left/top positive but diag negative: Case IV refuses, Case III accepts.
+        let nb = Neighbors::plane(Some(2), Some(3), Some(-1));
+        assert_eq!(eng.predict(1, &nb), 0);
+        let eng3 = QpEngine::new(QpConfig::best_fit());
+        assert_eq!(eng3.predict(1, &nb), 6);
+    }
+
+    #[test]
+    fn level_gate() {
+        let eng = QpEngine::new(QpConfig::best_fit()); // max_level = 2
+        let nb = Neighbors::plane(Some(2), Some(3), Some(1));
+        assert_ne!(eng.predict(1, &nb), 0);
+        assert_ne!(eng.predict(2, &nb), 0);
+        assert_eq!(eng.predict(3, &nb), 0);
+        assert_eq!(eng.predict(9, &nb), 0);
+    }
+
+    #[test]
+    fn missing_neighbor_disables_prediction() {
+        let eng = QpEngine::new(QpConfig::best_fit());
+        assert_eq!(eng.predict(1, &Neighbors::plane(None, Some(3), Some(1))), 0);
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(3), None, Some(1))), 0);
+        assert_eq!(eng.predict(1, &Neighbors::plane(Some(3), Some(3), None)), 0);
+    }
+
+    #[test]
+    fn one_d_modes_use_their_axis() {
+        let nb = Neighbors {
+            left: Some(10),
+            top: Some(20),
+            diag: Some(30),
+            back: Some(40),
+            ..Default::default()
+        };
+        let mk = |m| {
+            QpEngine::new(QpConfig { mode: m, condition: Condition::CaseI, max_level: 2 })
+        };
+        assert_eq!(mk(PredMode::Left1).predict(1, &nb), 10);
+        assert_eq!(mk(PredMode::Top1).predict(1, &nb), 20);
+        assert_eq!(mk(PredMode::Back1).predict(1, &nb), 40);
+    }
+
+    #[test]
+    fn lorenzo3d_mode_uses_all_seven() {
+        let eng = QpEngine::new(QpConfig {
+            mode: PredMode::Lorenzo3d,
+            condition: Condition::CaseI,
+            max_level: 2,
+        });
+        // Constant neighborhood of 5: 3-D Lorenzo gives 5+5+5−5−5−5+5 = 5.
+        assert_eq!(eng.predict(1, &full_neighbors(5)), 5);
+        // Any missing corner: no prediction.
+        let mut nb = full_neighbors(5);
+        nb.diag_back = None;
+        assert_eq!(eng.predict(1, &nb), 0);
+    }
+
+    #[test]
+    fn off_mode_is_identity() {
+        let eng = QpEngine::new(QpConfig::off());
+        let nb = full_neighbors(9);
+        for q in [-5, 0, 5, UNPRED] {
+            assert_eq!(eng.transform(q, 1, &nb), q);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-dataset field generators.
+//!
+//! Coordinates are normalized to `[0, 1]` per axis so the structure is
+//! resolution-independent: the same features appear at scaled-down and paper
+//! dims, only sampled more or less densely.
+
+use crate::noise::SpectralNoise;
+use qip_tensor::{Field, Shape};
+
+/// Clamp a nominal finest wavenumber so features stay resolved (≥ ~6 samples
+/// per cycle) at scaled-down grids — real datasets remain smooth at sample
+/// scale when downsampled, and the generators must too.
+fn resolved_k(dims: &[usize], nominal: f64) -> f64 {
+    let max_dim = dims.iter().copied().max().unwrap_or(16) as f64;
+    nominal.min((max_dim / 6.0).max(2.0))
+}
+
+/// Normalized coordinates of a grid point.
+#[inline]
+fn norm(c: &[usize], dims: &[usize]) -> (f64, f64, f64) {
+    let g = |i: usize| -> f64 {
+        if i < dims.len() && dims[i] > 1 {
+            c[i] as f64 / (dims[i] - 1) as f64
+        } else {
+            0.0
+        }
+    };
+    (g(0), g(1), g(2))
+}
+
+/// Miranda-like hydrodynamic turbulence: Kolmogorov-spectrum fluctuations on
+/// a smooth large-scale profile (density/velocity-style fields).
+pub fn miranda_like(seed: u64, dims: &[usize]) -> Field<f32> {
+    // Steeper-than-Kolmogorov amplitude slope: Miranda's density/velocity
+    // fields are dominated by large eddies and very smooth at sample scale.
+    let turb = SpectralNoise::new(seed, 48, 1.5, resolved_k(dims, 32.0), 1.4);
+    let large = SpectralNoise::new(seed.wrapping_add(1), 8, 0.5, 2.0, 1.0);
+    Field::from_fn(Shape::new(dims), |c| {
+        let (x, y, z) = norm(c, dims);
+        let base = 1.0 + 0.6 * large.eval(x, y, z);
+        (base + 0.2 * turb.eval(x, y, z)) as f32
+    })
+}
+
+/// Hurricane-like weather field: a vortex with an eye, vertical shear and
+/// mesoscale noise (wind-speed-style variable).
+pub fn hurricane_like(seed: u64, dims: &[usize]) -> Field<f32> {
+    let meso = SpectralNoise::new(seed, 32, 2.0, resolved_k(dims, 24.0), 1.0);
+    // Axis 0 is the (shallow) vertical in the paper layout 100×500×500.
+    Field::from_fn(Shape::new(dims), |c| {
+        let (z, y, x) = norm(c, dims);
+        let (cx, cy) = (0.45 + 0.1 * (seed % 3) as f64 * 0.1, 0.55);
+        let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+        // Rankine-like tangential wind profile with an eye at r0.
+        let r0 = 0.06 + 0.01 * (seed % 5) as f64;
+        let v = if r < r0 { r / r0 } else { (r0 / r).powf(0.6) };
+        let shear = 1.0 - 0.5 * z;
+        (40.0 * v * shear + 3.0 * meso.eval(x, y, z)) as f32
+    })
+}
+
+/// SegSalt-like seismic field: layered medium with undulating interfaces, an
+/// intrusive salt dome with a sharp boundary, and an oscillatory pressure
+/// wavefield — the combination that produces the paper's clustering regions.
+pub fn segsalt_like(seed: u64, dims: &[usize]) -> Field<f32> {
+    let undulation = SpectralNoise::new(seed, 16, 1.0, 6.0, 1.2);
+    let texture = SpectralNoise::new(seed.wrapping_add(9), 24, 3.0, resolved_k(dims, 16.0), 1.2);
+    // Paper layout 1008×1008×352: axes (x, y, depth).
+    Field::from_fn(Shape::new(dims), |c| {
+        let (x, y, z) = norm(c, dims);
+        // Layered background velocity/pressure increasing with depth, with
+        // interface undulation.
+        let warped_depth = z + 0.05 * undulation.eval(x, y, 0.0);
+        let layer = (warped_depth * 14.0).floor() / 14.0;
+        let mut v = 1.5 + 2.5 * layer;
+        // Salt dome: ellipsoid with a sharp contrast.
+        let d = ((x - 0.5) / 0.28).powi(2) + ((y - 0.5) / 0.24).powi(2)
+            + ((z - 0.75) / 0.35).powi(2);
+        if d < 1.0 {
+            v = 4.8;
+        }
+        // Oscillatory wavefield superimposed (pressure snapshot).
+        let r = ((x - 0.5).powi(2) + (y - 0.45).powi(2) + (z - 0.2).powi(2)).sqrt();
+        let wave = (60.0 * (r - 0.35)).sin() * (-((r - 0.35) / 0.18).powi(2)).exp();
+        (v + 0.8 * wave + 0.02 * texture.eval(x, y, z)) as f32
+    })
+}
+
+/// SCALE-like regional weather field: synoptic gradients plus convective
+/// plumes (localized bumps) and boundary-layer noise.
+pub fn scale_like(seed: u64, dims: &[usize]) -> Field<f32> {
+    let synoptic = SpectralNoise::new(seed, 8, 0.5, 3.0, 1.0);
+    let bl = SpectralNoise::new(seed.wrapping_add(3), 32, 4.0, resolved_k(dims, 48.0), 1.0);
+    // Plume centers, deterministic from seed.
+    let plumes: Vec<(f64, f64, f64)> = (0..10)
+        .map(|i| {
+            let h = seed.wrapping_mul(0x9E37).wrapping_add(i * 2_654_435_761);
+            let px = ((h >> 8) % 1000) as f64 / 1000.0;
+            let py = ((h >> 24) % 1000) as f64 / 1000.0;
+            let amp = 0.5 + ((h >> 40) % 100) as f64 / 100.0;
+            (px, py, amp)
+        })
+        .collect();
+    // Paper layout 98×1200×1200: (vertical, y, x).
+    Field::from_fn(Shape::new(dims), |c| {
+        let (z, y, x) = norm(c, dims);
+        let mut v = 290.0 - 25.0 * z + 4.0 * synoptic.eval(x, y, z);
+        for &(px, py, amp) in &plumes {
+            let d2 = ((x - px).powi(2) + (y - py).powi(2)) / 0.004;
+            if d2 < 12.0 {
+                // Plumes decay with altitude.
+                v += amp * 6.0 * (-d2).exp() * (1.0 - z).max(0.0);
+            }
+        }
+        (v + 0.4 * bl.eval(x, y, z) * (1.0 - z)) as f32
+    })
+}
+
+/// S3D-like combustion field (double precision): wrinkled flame fronts
+/// separating burnt/unburnt regions, plus fine-scale turbulence.
+pub fn s3d_like(seed: u64, dims: &[usize]) -> Field<f64> {
+    let wrinkle = SpectralNoise::new(seed, 24, 2.0, 16.0, 1.0);
+    let turb = SpectralNoise::new(seed.wrapping_add(5), 32, 4.0, resolved_k(dims, 64.0), 5.0 / 6.0);
+    Field::from_fn(Shape::new(dims), |c| {
+        let (x, y, z) = norm(c, dims);
+        // Flame surface around x = 0.5, wrinkled by the noise.
+        let front = 0.5 + 0.08 * wrinkle.eval(0.0, y, z);
+        let w = 0.015; // flame thickness
+        let progress = 1.0 / (1.0 + ((front - x) / w).exp());
+        // Temperature-like variable: unburnt 300, burnt 2100, plus small
+        // turbulent fluctuations on the burnt side.
+        300.0 + 1800.0 * progress + 15.0 * progress * turb.eval(x, y, z)
+    })
+}
+
+/// CESM-like climate slab: strong latitudinal gradient, planetary waves, and
+/// weak variation across the thin vertical dimension.
+pub fn cesm_like(seed: u64, dims: &[usize]) -> Field<f32> {
+    let waves = SpectralNoise::new(seed, 12, 1.0, 6.0, 1.0);
+    let fine = SpectralNoise::new(seed.wrapping_add(7), 24, 4.0, resolved_k(dims, 40.0), 1.2);
+    // Paper layout 26×1800×3600: (level, lat, lon).
+    Field::from_fn(Shape::new(dims), |c| {
+        let (lev, lat, lon) = norm(c, dims);
+        let latitude = (lat - 0.5) * std::f64::consts::PI; // −π/2 .. π/2
+        let mut v = 255.0 + 45.0 * latitude.cos(); // warm equator
+        v += 6.0 * waves.eval(lon, lat, 0.0); // planetary waves
+        v += 1.5 * fine.eval(lon, lat, lev); // weather noise
+        v -= 20.0 * lev; // lapse with model level
+        v as f32
+    })
+}
+
+/// RTM-like wavefield snapshot `t` (of a nominal 3600-step simulation):
+/// an expanding spherical wavefront in a layered medium with reflections.
+pub fn rtm_like(seed: u64, t: usize, dims: &[usize]) -> Field<f32> {
+    let hetero = SpectralNoise::new(seed.wrapping_add(11), 16, 2.0, resolved_k(dims, 12.0), 1.0);
+    let ct = 0.05 + 0.9 * (t % 3600) as f64 / 3600.0; // front radius
+    Field::from_fn(Shape::new(dims), |c| {
+        let (x, y, z) = norm(c, dims);
+        let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2) + (z - 0.1).powi(2)).sqrt();
+        // Primary front.
+        let front = (80.0 * (r - ct)).sin() * (-((r - ct) / 0.05).powi(2)).exp();
+        // Reflection off the mid-depth interface (weaker, lagging).
+        let rr = ((x - 0.5).powi(2) + (y - 0.5).powi(2) + (z - 0.9).powi(2)).sqrt();
+        let refl = 0.4 * (80.0 * (rr - ct * 0.8)).sin() * (-((rr - ct * 0.8) / 0.05).powi(2)).exp();
+        ((front + refl) * (1.0 + 0.1 * hetero.eval(x, y, z))) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segsalt_has_sharp_dome_boundary() {
+        // Values inside the dome are constant-ish; a traverse crossing the
+        // boundary must show a jump larger than the in-dome variation.
+        let dims = [48usize, 48, 32];
+        let f = segsalt_like(17, &dims);
+        // Traverse along x at y = center, depth z-index 24 (≈ 0.77 deep).
+        let mut vals = Vec::new();
+        for x in 0..48 {
+            vals.push(f.get(&[x, 24, 24]) as f64);
+        }
+        let max_jump = vals.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        assert!(max_jump > 0.5, "expected a sharp interface, max jump {max_jump}");
+    }
+
+    #[test]
+    fn s3d_flame_has_two_plateaus() {
+        let dims = [64usize, 16, 16];
+        let f = s3d_like(3, &dims);
+        let unburnt = f.get(&[2, 8, 8]);
+        let burnt = f.get(&[61, 8, 8]);
+        assert!(unburnt < 500.0, "unburnt side {unburnt}");
+        assert!(burnt > 1800.0, "burnt side {burnt}");
+    }
+
+    #[test]
+    fn hurricane_eye_is_calm() {
+        let dims = [16usize, 64, 64];
+        let f = hurricane_like(0, &dims);
+        // Eye center ≈ (0.45, 0.55) in (x, y) = (axis2, axis1) normalized.
+        let eye = f.get(&[8, 35, 28]);
+        let wall = f.get(&[8, 35, 33]);
+        assert!(eye < wall, "eye {eye} should be calmer than wall {wall}");
+    }
+
+    #[test]
+    fn cesm_equator_warmer_than_pole() {
+        let dims = [8usize, 64, 64];
+        let f = cesm_like(0, &dims);
+        let equator = f.get(&[0, 32, 10]);
+        let pole = f.get(&[0, 0, 10]);
+        assert!(equator > pole + 10.0, "equator {equator} pole {pole}");
+    }
+
+    #[test]
+    fn scale_has_temperature_like_range() {
+        let dims = [16usize, 48, 48];
+        let f = scale_like(2, &dims);
+        let (lo, hi) = f.min_max().unwrap();
+        assert!(lo > 200.0 && hi < 350.0, "range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn rtm_front_moves_outward() {
+        let dims = [32usize, 32, 32];
+        let early = rtm_like(0, 200, &dims);
+        let late = rtm_like(0, 2000, &dims);
+        // Energy near the source is higher early than late.
+        let near = |f: &Field<f32>| -> f64 {
+            let mut acc = 0.0;
+            for i in 12..20 {
+                acc += (f.get(&[i, 16, 6]) as f64).abs();
+            }
+            acc
+        };
+        assert!(near(&early) > near(&late) * 0.5);
+    }
+
+    #[test]
+    fn miranda_multiscale() {
+        // Turbulence must contain energy at fine scales: decimation should
+        // lose detail (decimated field differs from a smooth interpolation).
+        let dims = [48usize, 48, 48];
+        let f = miranda_like(1, &dims);
+        let mut fine_diff = 0.0f64;
+        for i in 0..47 {
+            fine_diff += (f.get(&[i + 1, 24, 24]) as f64 - f.get(&[i, 24, 24]) as f64).abs();
+        }
+        assert!(fine_diff > 0.5, "turbulence too smooth: {fine_diff}");
+    }
+}

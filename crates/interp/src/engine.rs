@@ -1,0 +1,888 @@
+//! The interpolation compression/decompression driver.
+//!
+//! One code path walks levels → passes → lattice points for both directions;
+//! a `PointSink` supplies the asymmetric part (quantize-and-record vs
+//! read-and-reconstruct). This makes the iteration order — which the QP
+//! transform's reversibility depends on — symmetric by construction.
+
+use crate::config::{order_from_tag, order_tag, EngineConfig, LevelParams, PassStructure};
+use crate::lattice::{build_passes, for_each_point, num_levels, Pass};
+use crate::select::choose_level_params;
+use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_core::{CompressError, Compressor, ErrorBound, Neighbors, QpEngine, StreamHeader};
+use qip_predict::{
+    cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind,
+};
+use qip_quant::{LinearQuantizer, Quantized, UNPRED};
+use qip_tensor::{Field, Scalar};
+
+/// Stream format version byte.
+const FMT_VERSION: u8 = 1;
+
+/// An interpolation-based compressor instance (SZ3/QoZ/HPEZ are thin
+/// configuration wrappers around this).
+#[derive(Debug, Clone)]
+pub struct InterpEngine {
+    cfg: EngineConfig,
+}
+
+impl InterpEngine {
+    /// Engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        InterpEngine { cfg }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Mutable access (used by the compressor crates' tuners).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.cfg
+    }
+}
+
+/// Captured quantization state for the characterization experiments (paper
+/// Figs. 3–5): the original index array `Q`, the QP-transformed array `Q'`,
+/// and the interpolation level of every point — all in spatial (row-major)
+/// layout. Anchor points carry index 0 and level 0.
+#[derive(Debug, Clone)]
+pub struct QuantCapture {
+    /// Original quantization indices (`UNPRED` marks unpredictable points).
+    pub q: Vec<i32>,
+    /// QP-transformed indices actually handed to the encoder.
+    pub q_prime: Vec<i32>,
+    /// Interpolation level per point (1 = finest; 0 = anchor/seed).
+    pub level: Vec<u8>,
+}
+
+impl QuantCapture {
+    fn zeros(n: usize) -> Self {
+        QuantCapture { q: vec![0; n], q_prime: vec![0; n], level: vec![0; n] }
+    }
+
+    /// Fraction of points per interpolation level where QP actually fired
+    /// (`Q' ≠ Q`): the adaptivity profile behind the paper's Figs. 8–9.
+    /// Returns `(level, points, fire_rate)` sorted by level.
+    pub fn fire_rate_by_level(&self) -> Vec<(u8, usize, f64)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<u8, (usize, usize)> = BTreeMap::new();
+        for ((&q, &qp), &lvl) in self.q.iter().zip(&self.q_prime).zip(&self.level) {
+            let e = counts.entry(lvl).or_insert((0, 0));
+            e.0 += 1;
+            if q != qp {
+                e.1 += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(lvl, (n, fired))| (lvl, n, fired as f64 / n.max(1) as f64))
+            .collect()
+    }
+}
+
+/// 1-D spline prediction along `axis` at the pass stride, with boundary
+/// degradation (cubic → quadratic → linear → extrapolation → copy).
+#[inline]
+fn predict_1d<T: Scalar>(
+    buf: &[T],
+    dim: usize,
+    axis_stride: usize,
+    coord: usize,
+    flat: usize,
+    s: usize,
+    kind: InterpKind,
+) -> f64 {
+    debug_assert!(coord >= s);
+    let m1 = buf[flat - s * axis_stride].to_f64();
+    let p1 = (coord + s < dim).then(|| buf[flat + s * axis_stride].to_f64());
+    match kind {
+        InterpKind::Linear => match p1 {
+            Some(p1) => linear_mid(m1, p1),
+            None => {
+                if coord >= 3 * s {
+                    linear_edge2(buf[flat - 3 * s * axis_stride].to_f64(), m1)
+                } else {
+                    m1
+                }
+            }
+        },
+        InterpKind::Cubic => {
+            let m3 = (coord >= 3 * s).then(|| buf[flat - 3 * s * axis_stride].to_f64());
+            let p3 = (coord + 3 * s < dim).then(|| buf[flat + 3 * s * axis_stride].to_f64());
+            match (m3, p1, p3) {
+                (Some(m3), Some(p1), Some(p3)) => cubic_interior(m3, m1, p1, p3),
+                (None, Some(p1), Some(p3)) => quad_begin(m1, p1, p3),
+                (Some(m3), Some(p1), None) => quad_end(m3, m1, p1),
+                (None, Some(p1), None) => linear_mid(m1, p1),
+                (Some(m3), None, _) => linear_edge2(m3, m1),
+                (None, None, _) => m1,
+            }
+        }
+    }
+}
+
+/// Multi-axis prediction: the mean of the 1-D predictions along each
+/// interpolation axis (a single axis for directional passes; HPEZ's
+/// multi-dimensional interpolation for parity-class passes).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn predict_point<T: Scalar>(
+    buf: &[T],
+    dims: &[usize],
+    strides: &[usize],
+    coords: &[usize],
+    flat: usize,
+    pass: &Pass,
+    kind: InterpKind,
+    axis_mask: u8,
+) -> f64 {
+    let s = pass.stride;
+    let mut acc = 0.0;
+    let mut used = 0usize;
+    for &a in &pass.interp_axes {
+        if axis_mask & (1 << a) != 0 {
+            acc += predict_1d(buf, dims[a], strides[a], coords[a], flat, s, kind);
+            used += 1;
+        }
+    }
+    if used == 0 {
+        // Every odd axis frozen: fall back to the full set.
+        for &a in &pass.interp_axes {
+            acc += predict_1d(buf, dims[a], strides[a], coords[a], flat, s, kind);
+            used += 1;
+        }
+    }
+    acc / used as f64
+}
+
+/// Resolve the QP neighbor values for the current point from the pass
+/// geometry and the already-reconstructed index store.
+#[inline]
+fn qp_neighbors(
+    qstore: &[i32],
+    pass: &Pass,
+    coords: &[usize],
+    flat: usize,
+    strides: &[usize],
+) -> Neighbors {
+    let (la, ta, ba) = pass.qp_axes;
+    let avail = |a: Option<usize>| -> Option<usize> {
+        let a = a?;
+        (coords[a] >= pass.start[a] + pass.step[a]).then(|| pass.step[a] * strides[a])
+    };
+    let l = avail(la);
+    let t = avail(ta);
+    let b = avail(ba);
+    let get = |off: Option<usize>| off.map(|o| qstore[flat - o]);
+    let combine = |x: Option<usize>, y: Option<usize>| match (x, y) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
+    Neighbors {
+        left: get(l),
+        top: get(t),
+        diag: get(combine(l, t)),
+        back: get(b),
+        left_back: get(combine(l, b)),
+        top_back: get(combine(t, b)),
+        diag_back: get(combine(combine(l, t), b)),
+    }
+}
+
+/// The asymmetric half of the pipeline.
+trait PointSink<T: Scalar> {
+    /// Per-level parameters: chosen and recorded at compression, replayed at
+    /// decompression.
+    fn params_for_level(
+        &mut self,
+        level: usize,
+        buf: &[T],
+        dims: &[usize],
+        strides: &[usize],
+    ) -> Result<LevelParams, CompressError>;
+
+    /// Handle an anchor-grid point (raw, lossless).
+    fn anchor(&mut self, flat: usize, buf: &mut [T]) -> Result<(), CompressError>;
+
+    /// Handle one interpolated point: returns the value to write into the
+    /// working buffer, the *original* quantization index for the store, and
+    /// the transformed index that goes to (or came from) the encoder.
+    fn handle(
+        &mut self,
+        current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError>;
+}
+
+/// Shared driver: walks the full lattice schedule, feeding the sink.
+fn run_pipeline<T: Scalar, S: PointSink<T>>(
+    cfg: &EngineConfig,
+    dims: &[usize],
+    strides: &[usize],
+    buf: &mut [T],
+    sink: &mut S,
+    mut capture: Option<&mut QuantCapture>,
+) -> Result<(), CompressError> {
+    let max_dim = dims.iter().copied().max().unwrap_or(0);
+    let levels = num_levels(max_dim);
+    let start_level = match cfg.anchor_log2 {
+        Some(m) => (m as usize).min(levels).max(1.min(levels)),
+        None => levels,
+    };
+
+    // Anchor grid: the known lattice before the first processed level.
+    let anchor_step = 1usize << start_level;
+    let anchor_pass = Pass {
+        level: start_level.max(1),
+        stride: anchor_step,
+        start: vec![0; dims.len()],
+        step: vec![anchor_step; dims.len()],
+        interp_axes: vec![],
+        qp_axes: (None, None, None),
+    };
+    let mut anchor_flats = Vec::new();
+    for_each_point(&anchor_pass, dims, strides, |_c, flat| anchor_flats.push(flat));
+    for flat in anchor_flats {
+        sink.anchor(flat, buf)?;
+    }
+    if levels == 0 {
+        return Ok(());
+    }
+
+    let qp = QpEngine::new(cfg.qp);
+    let qp_enabled = cfg.qp.is_enabled();
+    let mut qstore = vec![0i32; buf.len()];
+
+    for level in (1..=start_level).rev() {
+        let params = sink.params_for_level(level, buf, dims, strides)?;
+        let passes = build_passes(dims.len(), level, &params.order, cfg.passes);
+        for pass in &passes {
+            if pass.is_empty(dims) {
+                continue;
+            }
+            // Collect the pass points first so we can hand `buf` mutably to
+            // the sink inside the loop.
+            let mut result: Result<(), CompressError> = Ok(());
+            let mut coords_buf: Vec<(Vec<usize>, usize)> = Vec::with_capacity(pass.len(dims));
+            for_each_point(pass, dims, strides, |c, flat| {
+                coords_buf.push((c.to_vec(), flat));
+            });
+            for (coords, flat) in coords_buf {
+                let pred = predict_point(
+                    buf,
+                    dims,
+                    strides,
+                    &coords,
+                    flat,
+                    pass,
+                    params.kind,
+                    params.axis_mask,
+                );
+                let nb = if qp_enabled && level <= cfg.qp.max_level {
+                    qp_neighbors(&qstore, pass, &coords, flat, strides)
+                } else {
+                    Neighbors::default()
+                };
+                let _ = &qp;
+                match sink.handle(buf[flat], pred, level, &nb) {
+                    Ok((value, q, q_prime)) => {
+                        buf[flat] = value;
+                        qstore[flat] = q;
+                        if let Some(cap) = capture.as_deref_mut() {
+                            cap.q[flat] = q;
+                            cap.q_prime[flat] = q_prime;
+                            cap.level[flat] = level as u8;
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            result?;
+        }
+    }
+    Ok(())
+}
+
+/// Compression-side sink.
+struct CompressSink<T: Scalar> {
+    cfg: EngineConfig,
+    eb: f64,
+    qp: QpEngine,
+    level_tags: Vec<(u8, u8, u8)>,
+    anchors: Vec<u8>,
+    unpred: Vec<T>,
+    qprime: Vec<i32>,
+    quantizers: Vec<LinearQuantizer>,
+}
+
+impl<T: Scalar> CompressSink<T> {
+    fn new(cfg: EngineConfig, eb: f64, max_level: usize) -> Self {
+        let quantizers = (0..=max_level)
+            .map(|l| LinearQuantizer::with_radius(cfg.level_eb(eb, l.max(1)), cfg.radius))
+            .collect();
+        CompressSink {
+            cfg,
+            eb,
+            qp: QpEngine::new(cfg.qp),
+            level_tags: Vec::new(),
+            anchors: Vec::new(),
+            unpred: Vec::new(),
+            qprime: Vec::new(),
+            quantizers,
+        }
+    }
+}
+
+impl<T: Scalar> PointSink<T> for CompressSink<T> {
+    fn params_for_level(
+        &mut self,
+        level: usize,
+        buf: &[T],
+        dims: &[usize],
+        strides: &[usize],
+    ) -> Result<LevelParams, CompressError> {
+        let params = choose_level_params(&self.cfg, dims, strides, buf, level);
+        self.level_tags
+            .push((params.kind.tag(), order_tag(&params.order), params.axis_mask));
+        Ok(params)
+    }
+
+    fn anchor(&mut self, flat: usize, buf: &mut [T]) -> Result<(), CompressError> {
+        buf[flat].write_le(&mut self.anchors);
+        Ok(())
+    }
+
+    fn handle(
+        &mut self,
+        current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError> {
+        let quant = &self.quantizers[level.min(self.quantizers.len() - 1)];
+        let _ = self.eb;
+        match quant.quantize(current, pred) {
+            Quantized::Pred { index, recon } => {
+                let qp = self.qp.transform(index, level, nb);
+                self.qprime.push(qp);
+                Ok((recon, index, qp))
+            }
+            Quantized::Unpred => {
+                self.qprime.push(UNPRED);
+                self.unpred.push(current);
+                Ok((current, UNPRED, UNPRED))
+            }
+        }
+    }
+}
+
+/// Decompression-side sink.
+struct DecompressSink<T: Scalar> {
+    qp: QpEngine,
+    level_tags: Vec<(u8, u8, u8)>,
+    level_cursor: usize,
+    anchors: Vec<T>,
+    anchor_cursor: usize,
+    unpred: Vec<T>,
+    unpred_cursor: usize,
+    qprime: Vec<i32>,
+    q_cursor: usize,
+    quantizers: Vec<LinearQuantizer>,
+}
+
+impl<T: Scalar> PointSink<T> for DecompressSink<T> {
+    fn params_for_level(
+        &mut self,
+        _level: usize,
+        _buf: &[T],
+        dims: &[usize],
+        _strides: &[usize],
+    ) -> Result<LevelParams, CompressError> {
+        let &(kind_tag, ord_tag, axis_mask) = self
+            .level_tags
+            .get(self.level_cursor)
+            .ok_or(CompressError::WrongFormat("missing level parameters"))?;
+        self.level_cursor += 1;
+        let kind = InterpKind::from_tag(kind_tag)
+            .ok_or(CompressError::WrongFormat("bad interpolation kind tag"))?;
+        let order = order_from_tag(dims.len(), ord_tag)
+            .ok_or(CompressError::WrongFormat("bad dimension order tag"))?;
+        Ok(LevelParams { kind, order, axis_mask })
+    }
+
+    fn anchor(&mut self, flat: usize, buf: &mut [T]) -> Result<(), CompressError> {
+        let v = *self
+            .anchors
+            .get(self.anchor_cursor)
+            .ok_or(CompressError::WrongFormat("anchor channel exhausted"))?;
+        self.anchor_cursor += 1;
+        buf[flat] = v;
+        Ok(())
+    }
+
+    fn handle(
+        &mut self,
+        _current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError> {
+        let q_prime = *self
+            .qprime
+            .get(self.q_cursor)
+            .ok_or(CompressError::WrongFormat("quantization index stream exhausted"))?;
+        self.q_cursor += 1;
+        let q = self.qp.recover(q_prime, level, nb);
+        if q == UNPRED {
+            let v = *self
+                .unpred
+                .get(self.unpred_cursor)
+                .ok_or(CompressError::WrongFormat("unpredictable channel exhausted"))?;
+            self.unpred_cursor += 1;
+            Ok((v, UNPRED, q_prime))
+        } else {
+            let quant = &self.quantizers[level.min(self.quantizers.len() - 1)];
+            Ok((quant.recover::<T>(pred, q), q, q_prime))
+        }
+    }
+}
+
+impl<T: Scalar> Compressor<T> for InterpEngine {
+    fn name(&self) -> String {
+        format!("interp-engine(0x{:02x})", self.cfg.magic)
+    }
+
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        self.compress_impl(field, bound, None)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        self.decompress_impl(bytes)
+    }
+}
+
+impl InterpEngine {
+    /// Compress while capturing the quantization index arrays (the
+    /// characterization API used by the paper's Figs. 3–5 experiments).
+    pub fn compress_capturing<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+    ) -> Result<(Vec<u8>, QuantCapture), CompressError> {
+        let mut cap = QuantCapture::zeros(field.len());
+        let bytes = self.compress_impl(field, bound, Some(&mut cap))?;
+        Ok((bytes, cap))
+    }
+
+    fn compress_impl<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        capture: Option<&mut QuantCapture>,
+    ) -> Result<Vec<u8>, CompressError> {
+        let cfg = &self.cfg;
+        let dims = field.shape().dims().to_vec();
+        if dims.len() > 4 {
+            return Err(CompressError::Unsupported(
+                "interpolation engine supports 1-4 dimensions",
+            ));
+        }
+        let strides = field.shape().strides().to_vec();
+        let abs_eb = bound.absolute(field.value_range());
+
+        let mut w = ByteWriter::with_capacity(field.len() / 4 + 128);
+        StreamHeader {
+            magic: cfg.magic,
+            scalar_bits: T::BITS as u8,
+            shape: field.shape().clone(),
+            abs_eb,
+        }
+        .write(&mut w);
+        w.put_u8(FMT_VERSION);
+        w.put_f64(cfg.alpha);
+        w.put_f64(cfg.beta);
+        w.put_u8(cfg.passes.tag());
+        cfg.qp.write(&mut w);
+        w.put_u32(cfg.radius as u32);
+
+        let max_dim = dims.iter().copied().max().unwrap_or(0);
+        let levels = num_levels(max_dim);
+        let start_level = match cfg.anchor_log2 {
+            Some(m) => (m as usize).min(levels).max(1.min(levels)),
+            None => levels,
+        };
+        w.put_u8(start_level as u8);
+
+        if field.is_empty() {
+            return Ok(w.finish());
+        }
+
+        let mut buf = field.as_slice().to_vec();
+        let mut sink = CompressSink::<T>::new(*cfg, abs_eb, start_level);
+        run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
+
+        for &(k, o, m) in &sink.level_tags {
+            w.put_u8(k);
+            w.put_u8(o);
+            w.put_u8(m);
+        }
+        w.put_block(&sink.anchors);
+        let mut unpred_bytes = Vec::with_capacity(sink.unpred.len() * T::BYTES);
+        for v in &sink.unpred {
+            v.write_le(&mut unpred_bytes);
+        }
+        w.put_block(&unpred_bytes);
+        w.put_block(&encode_indices(&sink.qprime));
+        Ok(w.finish())
+    }
+
+    fn decompress_impl<T: Scalar>(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let cfg = &self.cfg;
+        let mut r = ByteReader::new(bytes);
+        let header = StreamHeader::read(&mut r, cfg.magic, T::BITS as u8)?;
+        let version = r.get_u8()?;
+        if version != FMT_VERSION {
+            return Err(CompressError::WrongFormat("unknown format version"));
+        }
+        let alpha = r.get_f64()?;
+        let beta = r.get_f64()?;
+        let plausible = |v: f64| v.is_finite() && (1.0..=1e6).contains(&v);
+        if !plausible(alpha) || !plausible(beta) {
+            return Err(CompressError::WrongFormat("implausible level-bound parameters"));
+        }
+        let passes = PassStructure::from_tag(r.get_u8()?)
+            .ok_or(CompressError::WrongFormat("bad pass structure tag"))?;
+        let qp_cfg = qip_core::QpConfig::read(&mut r)?;
+        let radius = r.get_u32()? as i32;
+        if radius < 2 {
+            return Err(CompressError::WrongFormat("bad quantizer radius"));
+        }
+        let start_level = r.get_u8()? as usize;
+
+        let dims = header.shape.dims().to_vec();
+        let strides = header.shape.strides().to_vec();
+        let n: usize = dims.iter().product();
+        if n == 0 {
+            return Ok(Field::zeros(header.shape));
+        }
+
+        // Reconstruct the effective engine config from the stream (so a
+        // stream survives engine-default changes).
+        let mut eff = *cfg;
+        eff.alpha = alpha;
+        eff.beta = beta;
+        eff.passes = passes;
+        eff.qp = qp_cfg;
+        eff.radius = radius;
+        eff.anchor_log2 = Some(start_level as u32);
+
+        let max_dim = dims.iter().copied().max().unwrap_or(0);
+        let levels = num_levels(max_dim);
+        let expect_start = (start_level).min(levels.max(1));
+        if start_level != expect_start {
+            return Err(CompressError::WrongFormat("inconsistent start level"));
+        }
+
+        let mut level_tags = Vec::with_capacity(start_level);
+        for _ in 0..start_level {
+            let k = r.get_u8()?;
+            let o = r.get_u8()?;
+            let m = r.get_u8()?;
+            level_tags.push((k, o, m));
+        }
+
+        let anchor_bytes = r.get_block()?;
+        if anchor_bytes.len() % T::BYTES != 0 {
+            return Err(CompressError::WrongFormat("anchor block misaligned"));
+        }
+        let mut anchors = Vec::with_capacity(anchor_bytes.len() / T::BYTES);
+        for chunk in anchor_bytes.chunks_exact(T::BYTES) {
+            anchors.push(T::read_le(chunk)?);
+        }
+
+        let unpred_bytes = r.get_block()?;
+        if unpred_bytes.len() % T::BYTES != 0 {
+            return Err(CompressError::WrongFormat("unpredictable block misaligned"));
+        }
+        let mut unpred = Vec::with_capacity(unpred_bytes.len() / T::BYTES);
+        for chunk in unpred_bytes.chunks_exact(T::BYTES) {
+            unpred.push(T::read_le(chunk)?);
+        }
+
+        let qprime = decode_indices(r.get_block()?)?;
+
+        let quantizers: Vec<LinearQuantizer> = (0..=start_level)
+            .map(|l| LinearQuantizer::with_radius(eff.level_eb(header.abs_eb, l.max(1)), radius))
+            .collect();
+
+        let mut buf = vec![T::ZERO; n];
+        let mut sink = DecompressSink {
+            qp: QpEngine::new(qp_cfg),
+            level_tags,
+            level_cursor: 0,
+            anchors,
+            anchor_cursor: 0,
+            unpred,
+            unpred_cursor: 0,
+            qprime,
+            q_cursor: 0,
+            quantizers,
+        };
+        run_pipeline(&eff, &dims, &strides, &mut buf, &mut sink, None)?;
+        Ok(Field::from_vec(header.shape, buf)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_core::{Condition, PredMode, QpConfig};
+    use qip_tensor::Shape;
+    use qip_metrics::max_abs_error;
+
+    fn smooth_field(dims: &[usize]) -> Field<f32> {
+        Field::from_fn(Shape::new(dims), |c| {
+            let x = c.first().copied().unwrap_or(0) as f32;
+            let y = c.get(1).copied().unwrap_or(0) as f32;
+            let z = c.get(2).copied().unwrap_or(0) as f32;
+            (0.11 * x).sin() + (0.07 * y).cos() * 0.5 + 0.02 * z + 0.3 * (0.05 * x * y).sin()
+        })
+    }
+
+    fn engines() -> Vec<(&'static str, EngineConfig)> {
+        vec![
+            ("sz3-like", EngineConfig::sz3_like(0x10)),
+            ("qoz-like", EngineConfig::qoz_like(0x11)),
+            ("hpez-like", EngineConfig::hpez_like(0x12)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_bound_3d_all_presets() {
+        let field = smooth_field(&[17, 12, 9]);
+        for (name, cfg) in engines() {
+            for qp in [QpConfig::off(), QpConfig::best_fit()] {
+                let mut cfg = cfg;
+                cfg.qp = qp;
+                let eng = InterpEngine::new(cfg);
+                let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+                let out: Field<f32> = eng.decompress(&bytes).unwrap();
+                assert_eq!(out.shape(), field.shape());
+                let err = max_abs_error(&field, &out);
+                assert!(err <= 1e-3 + 1e-9, "{name} qp={:?}: err {err}", qp.mode);
+            }
+        }
+    }
+
+    #[test]
+    fn qp_does_not_change_decompressed_data() {
+        // The paper's core guarantee: QP alters only the encoded stream.
+        let field = smooth_field(&[33, 21, 14]);
+        for (name, cfg) in engines() {
+            let mut with = cfg;
+            with.qp = QpConfig::best_fit();
+            let mut without = cfg;
+            without.qp = QpConfig::off();
+            let a: Field<f32> = InterpEngine::new(with)
+                .decompress(&InterpEngine::new(with).compress(&field, ErrorBound::Abs(1e-3)).unwrap())
+                .unwrap();
+            let b: Field<f32> = InterpEngine::new(without)
+                .decompress(
+                    &InterpEngine::new(without).compress(&field, ErrorBound::Abs(1e-3)).unwrap(),
+                )
+                .unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{name}: QP changed the data");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_qp_modes_and_conditions() {
+        let field = smooth_field(&[13, 11, 7]);
+        let cfg0 = EngineConfig::sz3_like(0x10);
+        for mode in [
+            PredMode::Back1,
+            PredMode::Top1,
+            PredMode::Left1,
+            PredMode::Lorenzo2d,
+            PredMode::Lorenzo3d,
+        ] {
+            for cond in
+                [Condition::CaseI, Condition::CaseII, Condition::CaseIII, Condition::CaseIV]
+            {
+                for max_level in [1usize, 2, 4] {
+                    let mut cfg = cfg0;
+                    cfg.qp = QpConfig { mode, condition: cond, max_level };
+                    let eng = InterpEngine::new(cfg);
+                    let bytes = eng.compress(&field, ErrorBound::Abs(5e-3)).unwrap();
+                    let out: Field<f32> = eng.decompress(&bytes).unwrap();
+                    let err = max_abs_error(&field, &out);
+                    assert!(
+                        err <= 5e-3 + 1e-9,
+                        "mode={mode:?} cond={cond:?} lvl={max_level}: err {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_and_2d() {
+        for dims in [vec![97usize], vec![31, 22]] {
+            let field = smooth_field(&dims);
+            for (name, mut cfg) in engines() {
+                cfg.qp = QpConfig::best_fit();
+                let eng = InterpEngine::new(cfg);
+                let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+                let out: Field<f32> = eng.decompress(&bytes).unwrap();
+                let err = max_abs_error(&field, &out);
+                assert!(err <= 1e-3 + 1e-9, "{name} dims={dims:?}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bound_resolved_against_range() {
+        let field = smooth_field(&[20, 20, 10]);
+        let range = field.value_range();
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Rel(1e-3)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&field, &out) <= 1e-3 * range + 1e-9);
+    }
+
+    #[test]
+    fn f64_fields() {
+        let field = Field::<f64>::from_fn(Shape::d3(12, 10, 8), |c| {
+            (c[0] as f64 * 0.2).sin() + (c[1] as f64 * 0.1).cos() + c[2] as f64 * 1e-3
+        });
+        for (_, mut cfg) in engines() {
+            cfg.qp = QpConfig::best_fit();
+            let eng = InterpEngine::new(cfg);
+            let bytes = eng.compress(&field, ErrorBound::Abs(1e-6)).unwrap();
+            let out: Field<f64> = eng.decompress(&bytes).unwrap();
+            assert!(max_abs_error(&field, &out) <= 1e-6 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn constant_field_tiny_stream() {
+        let field = Field::from_vec(Shape::d3(16, 16, 16), vec![3.25f32; 4096]).unwrap();
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-4)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert_eq!(out.as_slice(), field.as_slice());
+        assert!(bytes.len() < 256, "constant field should compress to ~nothing, got {}", bytes.len());
+    }
+
+    #[test]
+    fn rough_field_falls_back_to_unpredictable() {
+        // White noise with a tight bound: mostly unpredictable, still bounded.
+        let mut state = 42u64;
+        let field = Field::from_fn(Shape::d3(9, 9, 9), |_| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((state >> 40) as f32 / 16777216.0) * 2000.0 - 1000.0
+        });
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-6)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&field, &out) <= 1e-6 + 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_survive_via_unpred_channel() {
+        let mut field = smooth_field(&[8, 8, 8]);
+        field.as_mut_slice()[100] = f32::NAN;
+        field.as_mut_slice()[200] = f32::INFINITY;
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert!(out.as_slice()[100].is_nan());
+        assert!(out.as_slice()[200].is_infinite());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let field = smooth_field(&[16, 12, 8]);
+        let eng = InterpEngine::new(EngineConfig::qoz_like(0x11));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        for cut in [0, 4, bytes.len() / 3, bytes.len() - 2] {
+            assert!(
+                <InterpEngine as Compressor<f32>>::decompress(&eng, &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let field = smooth_field(&[8, 8, 8]);
+        let a = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let b = InterpEngine::new(EngineConfig::sz3_like(0x66));
+        let bytes = a.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        assert!(<InterpEngine as Compressor<f32>>::decompress(&b, &bytes).is_err());
+    }
+
+    #[test]
+    fn qp_shrinks_stream_on_clustered_data() {
+        // A field with a sharp front: interpolation residuals cluster around
+        // the discontinuity, which is exactly what QP exploits.
+        let field = Field::<f32>::from_fn(Shape::d3(48, 48, 24), |c| {
+            let d = (c[0] as f32 - 24.0).hypot(c[1] as f32 - 24.0);
+            if d < 12.0 {
+                1.0 + 0.05 * (c[2] as f32 * 0.4).sin()
+            } else {
+                0.05 * (0.2 * c[0] as f32).sin() * (0.15 * c[1] as f32).cos()
+            }
+        });
+        let mut with = EngineConfig::sz3_like(0x10);
+        with.qp = QpConfig::best_fit();
+        let mut without = with;
+        without.qp = QpConfig::off();
+        let b_with =
+            InterpEngine::new(with).compress(&field, ErrorBound::Abs(2e-4)).unwrap();
+        let b_without =
+            InterpEngine::new(without).compress(&field, ErrorBound::Abs(2e-4)).unwrap();
+        assert!(
+            b_with.len() < b_without.len(),
+            "QP should shrink the clustered stream: {} vs {}",
+            b_with.len(),
+            b_without.len()
+        );
+    }
+
+    #[test]
+    fn empty_field() {
+        let field = Field::<f32>::zeros(Shape::d2(0, 7));
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1.0)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert_eq!(out.shape().dims(), &[0, 7]);
+    }
+
+    #[test]
+    fn single_point_field() {
+        let field = Field::from_vec(Shape::d1(1), vec![42.0f32]).unwrap();
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert_eq!(out.as_slice(), &[42.0]);
+    }
+
+    #[test]
+    fn four_d_supported_small() {
+        let field = Field::<f32>::from_fn(Shape::new(&[3, 3, 3, 3]), |c| {
+            (c[0] + 2 * c[1] + 3 * c[2] + 4 * c[3]) as f32 * 0.1
+        });
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        let out: Field<f32> = eng.decompress(&bytes).unwrap();
+        assert!(qip_metrics::max_abs_error(&field, &out) <= 1e-3 + 1e-9);
+    }
+}

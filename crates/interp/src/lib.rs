@@ -1,0 +1,36 @@
+//! Multilevel interpolation compression engine (the SZ3-family substrate).
+//!
+//! This crate implements the interpolation-based compression pipeline that
+//! SZ3, QoZ and HPEZ share (paper Sec. IV-A): the field is decomposed into
+//! levels with stride `2^(l−1)`; each level predicts its new lattice points by
+//! spline interpolation from already-reconstructed points, quantizes the
+//! residuals, and hands the quantization index array to the Huffman→LZ stack.
+//! The QP hook (paper Algorithm 1) fires inside each interpolation pass with
+//! the pass geometry, so the same engine serves as the integration surface for
+//! the paper's contribution.
+//!
+//! Engine features are orthogonal switches, combined differently by the three
+//! compressor crates built on top:
+//!
+//! | feature | SZ3 | QoZ | HPEZ |
+//! |---|---|---|---|
+//! | per-level linear/cubic auto-selection | ✓ | ✓ | ✓ |
+//! | anchor grid stored losslessly | — | ✓ | ✓ |
+//! | per-level error bounds (α/β) | — | ✓ | ✓ |
+//! | per-level dimension-order auto-tuning | — | — | ✓ |
+//! | multi-dimensional (parity-class) interpolation | — | — | ✓ |
+//!
+//! The driver ([`engine`]) walks levels → passes → lattice points in one code
+//! path shared by compression and decompression (a `PointSink` (internal trait)
+//! abstracts the difference), which makes the two sides symmetric by
+//! construction — the property QP's reversibility depends on.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lattice;
+pub mod select;
+
+pub use config::{EngineConfig, LevelParams, PassStructure};
+pub use engine::{InterpEngine, QuantCapture};

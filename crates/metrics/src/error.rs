@@ -1,0 +1,148 @@
+//! Distortion metrics between original and decompressed fields.
+
+use qip_tensor::{Field, Scalar};
+
+/// Mean squared error between two equally-shaped fields.
+///
+/// Panics if the shapes differ (a reproduction bug, not a runtime condition).
+pub fn mse<T: Scalar>(a: &Field<T>, b: &Field<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse: shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = x.to_f64() - y.to_f64();
+        acc += d * d;
+    }
+    acc / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio (paper Sec. III-A):
+/// `PSNR = 20·log10((max(d) − min(d)) / sqrt(MSE))`.
+///
+/// Returns `f64::INFINITY` for identical fields and `f64::NAN` when the
+/// original field has zero value range (PSNR is undefined there).
+pub fn psnr<T: Scalar>(original: &Field<T>, decompressed: &Field<T>) -> f64 {
+    let range = original.value_range();
+    let e = mse(original, decompressed);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    if range == 0.0 {
+        return f64::NAN;
+    }
+    20.0 * (range / e.sqrt()).log10()
+}
+
+/// Maximum pointwise absolute error.
+pub fn max_abs_error<T: Scalar>(a: &Field<T>, b: &Field<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_error: shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum *value-range relative* error: max |d−d'| / (max(d) − min(d)),
+/// the convention used by the paper's Table II ("Max Relative Error").
+pub fn max_rel_error<T: Scalar>(a: &Field<T>, b: &Field<T>) -> f64 {
+    let range = a.value_range();
+    if range == 0.0 {
+        return if max_abs_error(a, b) == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    max_abs_error(a, b) / range
+}
+
+/// Bundle of the distortion figures reported in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Peak signal-to-noise ratio in dB.
+    pub psnr: f64,
+    /// Max pointwise absolute error.
+    pub max_abs: f64,
+    /// Max value-range-relative error.
+    pub max_rel: f64,
+}
+
+impl ErrorStats {
+    /// Compute all distortion figures in one pass-pair.
+    pub fn between<T: Scalar>(original: &Field<T>, decompressed: &Field<T>) -> Self {
+        ErrorStats {
+            mse: mse(original, decompressed),
+            psnr: psnr(original, decompressed),
+            max_abs: max_abs_error(original, decompressed),
+            max_rel: max_rel_error(original, decompressed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_tensor::Shape;
+
+    fn f(data: Vec<f32>) -> Field<f32> {
+        let n = data.len();
+        Field::from_vec(Shape::d1(n), data).unwrap()
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = f(vec![1.0, 2.0, 3.0]);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let a = f(vec![0.0, 0.0]);
+        let b = f(vec![1.0, 3.0]);
+        assert!((mse(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_hand_computed() {
+        // range = 10, mse = 1 -> PSNR = 20 dB.
+        let a = f(vec![0.0, 10.0]);
+        let b = f(vec![1.0, 9.0]);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_undefined_for_constant_original() {
+        let a = f(vec![5.0, 5.0]);
+        let b = f(vec![5.5, 4.5]);
+        assert!(psnr(&a, &b).is_nan());
+    }
+
+    #[test]
+    fn max_errors() {
+        let a = f(vec![0.0, 4.0]);
+        let b = f(vec![1.0, 4.5]);
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+        assert!((max_rel_error(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_constant_field() {
+        let a = f(vec![2.0, 2.0]);
+        assert_eq!(max_rel_error(&a, &a), 0.0);
+        let b = f(vec![2.0, 3.0]);
+        assert!(max_rel_error(&a, &b).is_infinite());
+    }
+
+    #[test]
+    fn stats_bundle_agrees() {
+        let a = f(vec![0.0, 10.0, 5.0]);
+        let b = f(vec![0.5, 9.0, 5.0]);
+        let s = ErrorStats::between(&a, &b);
+        assert_eq!(s.mse, mse(&a, &b));
+        assert_eq!(s.psnr, psnr(&a, &b));
+        assert_eq!(s.max_abs, max_abs_error(&a, &b));
+        assert_eq!(s.max_rel, max_rel_error(&a, &b));
+    }
+}

@@ -1,0 +1,178 @@
+//! Structural similarity (SSIM) for volumetric fields.
+//!
+//! QoZ's defining feature is *quality-metric-oriented* auto-tuning: the user
+//! picks the metric (compression ratio at fixed bound, PSNR, or SSIM) and the
+//! tuner optimizes for it. This module provides the windowed SSIM used for
+//! that third target — the standard Wang et al. formula evaluated over
+//! sliding cubic windows and averaged.
+
+use qip_tensor::{Field, Scalar};
+
+/// Window edge length (8, the convention for volumetric SSIM in the SZ/QoZ
+/// evaluation tooling).
+const WINDOW: usize = 8;
+/// Window stride (overlapping windows at half the edge).
+const STRIDE: usize = 4;
+/// Stabilization constants (Wang et al.): `C1 = (K1·L)²`, `C2 = (K2·L)²`.
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+
+/// Mean SSIM between two equally-shaped fields.
+///
+/// Returns 1.0 for identical fields; panics on shape mismatch (reproduction
+/// bug, not a runtime condition). Fields smaller than one window fall back to
+/// a single whole-field window.
+pub fn ssim<T: Scalar>(a: &Field<T>, b: &Field<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "ssim: shape mismatch");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let range = a.value_range().max(f64::MIN_POSITIVE);
+    let c1 = (K1 * range) * (K1 * range);
+    let c2 = (K2 * range) * (K2 * range);
+
+    let dims = a.shape().dims();
+    let ndim = dims.len();
+    let win: Vec<usize> = dims.iter().map(|&d| d.min(WINDOW)).collect();
+
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    // Window origins at STRIDE spacing, clamped so windows stay inside.
+    let mut origin = vec![0usize; ndim];
+    loop {
+        let (sa, sb, saa, sbb, sab, n) = window_moments(a, b, &origin, &win);
+        let nf = n as f64;
+        let (ma, mb) = (sa / nf, sb / nf);
+        let va = (saa / nf - ma * ma).max(0.0);
+        let vb = (sbb / nf - mb * mb).max(0.0);
+        let cov = sab / nf - ma * mb;
+        let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+            / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+        acc += s;
+        count += 1;
+
+        // Advance the window odometer.
+        let mut axis = ndim;
+        loop {
+            if axis == 0 {
+                let mean = acc / count as f64;
+                return mean.clamp(-1.0, 1.0);
+            }
+            axis -= 1;
+            if origin[axis] + STRIDE + win[axis] <= dims[axis] {
+                origin[axis] += STRIDE;
+                break;
+            }
+            // Last window flush against the edge, then wrap.
+            let last = dims[axis] - win[axis];
+            if origin[axis] < last {
+                origin[axis] = last;
+                break;
+            }
+            origin[axis] = 0;
+        }
+    }
+}
+
+/// Raw moments over one window.
+fn window_moments<T: Scalar>(
+    a: &Field<T>,
+    b: &Field<T>,
+    origin: &[usize],
+    win: &[usize],
+) -> (f64, f64, f64, f64, f64, usize) {
+    let ndim = origin.len();
+    let strides = a.shape().strides();
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let n: usize = win.iter().product();
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut coords = origin.to_vec();
+    for _ in 0..n {
+        let flat: usize = coords.iter().zip(strides).map(|(&c, &s)| c * s).sum();
+        let x = av[flat].to_f64();
+        let y = bv[flat].to_f64();
+        sa += x;
+        sb += y;
+        saa += x * x;
+        sbb += y * y;
+        sab += x * y;
+        for axis in (0..ndim).rev() {
+            coords[axis] += 1;
+            if coords[axis] < origin[axis] + win[axis] {
+                break;
+            }
+            coords[axis] = origin[axis];
+        }
+    }
+    (sa, sb, saa, sbb, sab, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_tensor::Shape;
+
+    fn field(dims: &[usize], f: impl FnMut(&[usize]) -> f32) -> Field<f32> {
+        Field::from_fn(Shape::new(dims), f)
+    }
+
+    #[test]
+    fn identical_fields_score_one() {
+        let a = field(&[20, 20, 12], |c| (c[0] as f32 * 0.3).sin() + c[1] as f32 * 0.1);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_noise_scores_high() {
+        let a = field(&[24, 24], |c| (c[0] + c[1]) as f32);
+        let mut b = a.clone();
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            *v += if i % 2 == 0 { 0.01 } else { -0.01 };
+        }
+        let s = ssim(&a, &b);
+        assert!(s > 0.95, "got {s}");
+    }
+
+    #[test]
+    fn structural_destruction_scores_low() {
+        // b is a shuffled (structure-destroyed) version of a.
+        let a = field(&[16, 16], |c| ((c[0] * 16 + c[1]) as f32).sin() * 5.0 + c[0] as f32);
+        let mut vals: Vec<f32> = a.as_slice().to_vec();
+        vals.reverse();
+        let b = Field::from_vec(a.shape().clone(), vals).unwrap();
+        let s = ssim(&a, &b);
+        assert!(s < 0.6, "got {s}");
+    }
+
+    #[test]
+    fn ordering_matches_distortion_level() {
+        let a = field(&[20, 20, 10], |c| (c[0] as f32 * 0.4).cos() * 3.0 + c[2] as f32 * 0.2);
+        let noisy = |amp: f32| {
+            let mut b = a.clone();
+            let mut state = 7u64;
+            for v in b.as_mut_slice() {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                *v += amp * (((state >> 40) as f32 / 16_777_216.0) - 0.5);
+            }
+            b
+        };
+        let s_small = ssim(&a, &noisy(0.05));
+        let s_large = ssim(&a, &noisy(1.0));
+        assert!(s_small > s_large, "{s_small} vs {s_large}");
+    }
+
+    #[test]
+    fn tiny_field_single_window() {
+        let a = field(&[3, 3], |c| c[0] as f32);
+        let b = field(&[3, 3], |c| c[0] as f32 + 0.001);
+        let s = ssim(&a, &b);
+        assert!(s > 0.99 && s <= 1.0, "got {s}");
+    }
+
+    #[test]
+    fn one_dimensional_supported() {
+        let a = field(&[64], |c| (c[0] as f32 * 0.2).sin());
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

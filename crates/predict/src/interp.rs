@@ -1,0 +1,131 @@
+//! Interpolation kernels for the multilevel decorrelation passes.
+//!
+//! SZ3-family compressors predict the midpoint of a lattice edge from its
+//! already-decompressed neighbors along one axis (paper Fig. 2). Two spline
+//! families are used: linear (2-point) and cubic (4-point, the "cubic spline
+//! interpolation" of \[6\]); near boundaries the cubic kernel degrades to the
+//! asymmetric 3-point quadratic or the 2-point forms below.
+
+/// Which interpolation family a level uses (selected per level by sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpKind {
+    /// 2-point linear midpoint interpolation.
+    Linear,
+    /// 4-point cubic interpolation with boundary fallbacks.
+    Cubic,
+}
+
+impl InterpKind {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            InterpKind::Linear => 0,
+            InterpKind::Cubic => 1,
+        }
+    }
+
+    /// Inverse of [`InterpKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(InterpKind::Linear),
+            1 => Some(InterpKind::Cubic),
+            _ => None,
+        }
+    }
+}
+
+/// Linear midpoint: average of the two bracketing samples at ±s.
+#[inline]
+pub fn linear_mid(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}
+
+/// One-sided 2-point extrapolation for the trailing boundary point at +s
+/// past the last interior sample: `2·b − a` continues the local slope from
+/// samples at −3s (`a`) and −s (`b`).
+#[inline]
+pub fn linear_edge2(a: f64, b: f64) -> f64 {
+    2.0 * b - a
+}
+
+/// Interior 4-point cubic: predicts the midpoint from samples at
+/// −3s, −s, +s, +3s with weights (−1, 9, 9, −1)/16. Exact for cubics.
+#[inline]
+pub fn cubic_interior(m3: f64, m1: f64, p1: f64, p3: f64) -> f64 {
+    (-m3 + 9.0 * m1 + 9.0 * p1 - p3) / 16.0
+}
+
+/// Leading-boundary 3-point quadratic: midpoint from samples at −s, +s, +3s
+/// with weights (3, 6, −1)/8. Exact for quadratics.
+#[inline]
+pub fn quad_begin(m1: f64, p1: f64, p3: f64) -> f64 {
+    (3.0 * m1 + 6.0 * p1 - p3) / 8.0
+}
+
+/// Trailing-boundary 3-point quadratic: midpoint from samples at −3s, −s, +s
+/// with weights (−1, 6, 3)/8. Exact for quadratics.
+#[inline]
+pub fn quad_end(m3: f64, m1: f64, p1: f64) -> f64 {
+    (-m3 + 6.0 * m1 + 3.0 * p1) / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for k in [InterpKind::Linear, InterpKind::Cubic] {
+            assert_eq!(InterpKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(InterpKind::from_tag(9), None);
+    }
+
+    #[test]
+    fn linear_exact_on_lines() {
+        // f(t) = 2t + 1 sampled at t = -1, 1; midpoint t = 0.
+        let f = |t: f64| 2.0 * t + 1.0;
+        assert!((linear_mid(f(-1.0), f(1.0)) - f(0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_edge_extrapolates_lines() {
+        // samples at t = -3, -1 predict t = 1 on a line.
+        let f = |t: f64| -0.5 * t + 4.0;
+        assert!((linear_edge2(f(-3.0), f(-1.0)) - f(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cubic_exact_on_cubics() {
+        let f = |t: f64| 2.0 * t * t * t - t * t + 3.0 * t - 5.0;
+        let got = cubic_interior(f(-3.0), f(-1.0), f(1.0), f(3.0));
+        assert!((got - f(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_not_exact_on_quartics() {
+        let f = |t: f64| t * t * t * t;
+        let got = cubic_interior(f(-3.0), f(-1.0), f(1.0), f(3.0));
+        assert!((got - f(0.0)).abs() > 1.0);
+    }
+
+    #[test]
+    fn quad_kernels_exact_on_quadratics() {
+        let f = |t: f64| 1.5 * t * t - 2.0 * t + 7.0;
+        assert!((quad_begin(f(-1.0), f(1.0), f(3.0)) - f(0.0)).abs() < 1e-12);
+        assert!((quad_end(f(-3.0), f(-1.0), f(1.0)) - f(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_reproduce_constants() {
+        for k in [
+            linear_mid(5.0, 5.0),
+            linear_edge2(5.0, 5.0),
+            cubic_interior(5.0, 5.0, 5.0, 5.0),
+            quad_begin(5.0, 5.0, 5.0),
+            quad_end(5.0, 5.0, 5.0),
+        ] {
+            assert!((k - 5.0).abs() < 1e-15);
+        }
+    }
+}

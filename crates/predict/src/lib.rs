@@ -1,0 +1,16 @@
+//! Prediction kernels: Lorenzo closed forms and spline interpolation.
+//!
+//! Two consumers:
+//! * the interpolation engine (`qip-interp`) uses the [`interp`] kernels for
+//!   data decorrelation (paper Sec. IV-A),
+//! * the SZ3 Lorenzo fallback and the QP engine (`qip-core`) use the
+//!   [`lorenzo`] closed forms (paper Fig. 6) — on floating-point samples and
+//!   on integer quantization indices respectively.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod lorenzo;
+
+pub use interp::{cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind};
+pub use lorenzo::{lorenzo1, lorenzo2, lorenzo3};

@@ -1,0 +1,126 @@
+//! Lorenzo predictor closed forms (paper Fig. 6).
+//!
+//! The Lorenzo predictor assumes the local neighborhood follows a low-order
+//! multivariate polynomial and predicts the corner of a unit cube from its
+//! already-processed neighbors using only additions and subtractions. The
+//! prediction error of the k-D Lorenzo form is the k-fold *mixed* finite
+//! difference of the field: 1-D reproduces constants in the scan direction,
+//! 2-D reproduces any additively separable `g(x)+h(y)` (all planes and axis
+//! quadratics), 3-D additionally cancels every pairwise product term.
+//!
+//! Generic over any ring-ish element (`f64` for data, `i64` for quantization
+//! indices), so the same code backs value prediction and QP.
+
+use std::ops::{Add, Sub};
+
+/// 1-D Lorenzo: previous value.
+#[inline]
+pub fn lorenzo1<T: Copy>(back: T) -> T {
+    back
+}
+
+/// 2-D Lorenzo: `left + top − diag` (diag = top-left).
+#[inline]
+pub fn lorenzo2<T: Copy + Add<Output = T> + Sub<Output = T>>(left: T, top: T, diag: T) -> T {
+    left + top - diag
+}
+
+/// 3-D Lorenzo over the seven processed neighbors of a unit cube corner:
+/// faces `f100,f010,f001` minus edges `f110,f101,f011` plus corner `f111`,
+/// where the bit pattern gives the offset along (axis0, axis1, axis2).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn lorenzo3<T: Copy + Add<Output = T> + Sub<Output = T>>(
+    f100: T,
+    f010: T,
+    f001: T,
+    f110: T,
+    f101: T,
+    f011: T,
+    f111: T,
+) -> T {
+    f100 + f010 + f001 - f110 - f101 - f011 + f111
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo1_identity() {
+        assert_eq!(lorenzo1(5i64), 5);
+        assert_eq!(lorenzo1(2.5f64), 2.5);
+    }
+
+    #[test]
+    fn lorenzo2_exact_on_planes() {
+        // f(x,y) = 3x + 4y + 7 — 2-D Lorenzo must predict exactly.
+        let f = |x: i64, y: i64| 3 * x + 4 * y + 7;
+        let (x, y) = (10, 20);
+        let pred = lorenzo2(f(x - 1, y), f(x, y - 1), f(x - 1, y - 1));
+        assert_eq!(pred, f(x, y));
+    }
+
+    #[test]
+    fn lorenzo2_exact_on_separable_quadratics() {
+        // Error is the mixed difference, so g(x)+h(y) is reproduced exactly
+        // even with quadratic terms.
+        let f = |x: f64, y: f64| x * x - 3.0 * y * y + 2.0 * x + 0.5;
+        let (x, y) = (4.0, 9.0);
+        let pred = lorenzo2(f(x - 1.0, y), f(x, y - 1.0), f(x - 1.0, y - 1.0));
+        assert!((pred - f(x, y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lorenzo2_error_on_cross_term() {
+        // f(x,y) = xy has mixed difference 1: the exact prediction error.
+        let f = |x: i64, y: i64| x * y;
+        let (x, y) = (4, 9);
+        let pred = lorenzo2(f(x - 1, y), f(x, y - 1), f(x - 1, y - 1));
+        assert_eq!(f(x, y) - pred, 1);
+    }
+
+    #[test]
+    fn lorenzo2_error_on_mixed_quadratic() {
+        // f(x,y) = x²y: mixed difference is 2x−1.
+        let f = |x: i64, y: i64| x * x * y;
+        let (x, y) = (5, 8);
+        let pred = lorenzo2(f(x - 1, y), f(x, y - 1), f(x - 1, y - 1));
+        assert_eq!(f(x, y) - pred, 2 * x - 1);
+    }
+
+    #[test]
+    fn lorenzo3_exact_on_pairwise_products() {
+        // All pairwise products cancel in the triple mixed difference.
+        let f = |x: f64, y: f64, z: f64| {
+            1.0 + 2.0 * x - 3.0 * y + 0.5 * z + x * y - y * z + 2.0 * x * z
+        };
+        let (x, y, z) = (3.0, 7.0, 11.0);
+        let pred = lorenzo3(
+            f(x - 1.0, y, z),
+            f(x, y - 1.0, z),
+            f(x, y, z - 1.0),
+            f(x - 1.0, y - 1.0, z),
+            f(x - 1.0, y, z - 1.0),
+            f(x, y - 1.0, z - 1.0),
+            f(x - 1.0, y - 1.0, z - 1.0),
+        );
+        assert!((pred - f(x, y, z)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lorenzo3_on_integers() {
+        let f = |x: i64, y: i64, z: i64| x + 10 * y + 100 * z;
+        let (x, y, z) = (2, 3, 4);
+        let pred = lorenzo3(
+            f(x - 1, y, z),
+            f(x, y - 1, z),
+            f(x, y, z - 1),
+            f(x - 1, y - 1, z),
+            f(x - 1, y, z - 1),
+            f(x, y - 1, z - 1),
+            f(x - 1, y - 1, z - 1),
+        );
+        assert_eq!(pred, f(x, y, z));
+    }
+}

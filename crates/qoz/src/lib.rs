@@ -1,0 +1,270 @@
+//! QoZ: dynamic quality-metric-oriented error-bounded compressor.
+//!
+//! QoZ (paper ref \[8\]) extends SZ3's interpolation pipeline with
+//! (1) a lossless **anchor grid** (every 64th point per axis stored raw),
+//! (2) **per-level error bounds** `eb_l = max(eb/α^(l−1), eb/β)` so coarse
+//! levels — whose errors propagate through the interpolation hierarchy — are
+//! coded more precisely, and (3) an **auto-tuner** that picks (α, β) online by
+//! trial-compressing a sample block and keeping the best rate at fixed bound.
+//! Unlike SZ3 it never switches away from interpolation (the paper leans on
+//! this: "the compression overhead of QP is much more steady on QoZ because
+//! QoZ does not make the Lorenzo switch").
+
+#![warn(missing_docs)]
+
+use qip_core::{CompressError, Compressor, ErrorBound, QpConfig};
+use qip_interp::{EngineConfig, InterpEngine};
+use qip_tensor::{Field, Scalar};
+
+/// Stream magic for QoZ.
+const MAGIC_QOZ: u8 = 0x30;
+
+/// Candidate (α, β) pairs explored by the auto-tuner (α = 1 reproduces the
+/// uniform SZ3 bounds; larger α spends more bits on coarse levels).
+const TUNE_CANDIDATES: [(f64, f64); 4] = [(1.0, 1.0), (1.25, 2.0), (1.5, 2.0), (2.0, 4.0)];
+
+/// What the online tuner optimizes for — QoZ's "dynamic quality metric"
+/// (paper ref \[8\]): the compressor adapts its internals to the metric the
+/// user actually cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TuneTarget {
+    /// Best compression ratio at the requested bound (the default).
+    #[default]
+    Ratio,
+    /// Best SSIM per stored bit at the requested bound.
+    Ssim,
+}
+
+/// The QoZ compressor.
+#[derive(Debug, Clone)]
+pub struct Qoz {
+    qp: QpConfig,
+    /// Pin (α, β) instead of auto-tuning (used by ablation benches).
+    fixed_alpha_beta: Option<(f64, f64)>,
+    target: TuneTarget,
+}
+
+impl Qoz {
+    /// QoZ with QP disabled and auto-tuning on.
+    pub fn new() -> Self {
+        Qoz { qp: QpConfig::off(), fixed_alpha_beta: None, target: TuneTarget::Ratio }
+    }
+
+    /// Select the quality metric the online tuner optimizes (builder style).
+    pub fn with_target(mut self, target: TuneTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Enable/replace the QP configuration (builder style).
+    pub fn with_qp(mut self, qp: QpConfig) -> Self {
+        self.qp = qp;
+        self
+    }
+
+    /// Pin the per-level bound parameters, disabling the tuner.
+    pub fn with_alpha_beta(mut self, alpha: f64, beta: f64) -> Self {
+        self.fixed_alpha_beta = Some((alpha, beta));
+        self
+    }
+
+    /// The active QP configuration.
+    pub fn qp(&self) -> &QpConfig {
+        &self.qp
+    }
+
+    /// Capture the quantization index arrays (characterization API).
+    pub fn quant_capture<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+    ) -> Result<qip_interp::QuantCapture, CompressError> {
+        let (a, b) = self.tune(field, bound);
+        Ok(self.engine(a, b).compress_capturing(field, bound)?.1)
+    }
+
+    fn engine(&self, alpha: f64, beta: f64) -> InterpEngine {
+        let mut cfg = EngineConfig::qoz_like(MAGIC_QOZ);
+        cfg.alpha = alpha;
+        cfg.beta = beta;
+        cfg.qp = self.qp;
+        InterpEngine::new(cfg)
+    }
+
+    /// Pick (α, β) by trial compression of a central sample block: the
+    /// smallest stream wins (same bound ⇒ same worst-case quality).
+    fn tune<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> (f64, f64) {
+        if let Some(ab) = self.fixed_alpha_beta {
+            return ab;
+        }
+        if field.len() < 8192 {
+            return TUNE_CANDIDATES[1];
+        }
+        let dims = field.shape().dims();
+        let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
+        let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
+        let block = field.subregion(&origin, &extent);
+        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        // The tuner runs QP-blind so QP never shifts (α, β) — and therefore
+        // never changes the decompressed data (the paper's invariant).
+        let mut blind = self.clone();
+        blind.qp = qip_core::QpConfig::off();
+        let mut best = TUNE_CANDIDATES[1];
+        let mut best_score = f64::NEG_INFINITY;
+        for &(a, b) in &TUNE_CANDIDATES {
+            let eng = blind.engine(a, b);
+            let Ok(bytes) = eng.compress(&block, abs) else { continue };
+            let score = match self.target {
+                // Smaller stream = better (same worst-case quality).
+                TuneTarget::Ratio => -(bytes.len() as f64),
+                // SSIM per stored bit: decompress the trial and measure.
+                TuneTarget::Ssim => match eng.decompress(&bytes) {
+                    Ok(out) => {
+                        qip_metrics::ssim(&block, &out) / (bytes.len().max(1) as f64)
+                    }
+                    Err(_) => continue,
+                },
+            };
+            if score > best_score {
+                best_score = score;
+                best = (a, b);
+            }
+        }
+        best
+    }
+}
+
+impl Default for Qoz {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> Compressor<T> for Qoz {
+    fn name(&self) -> String {
+        if self.qp.is_enabled() {
+            "QoZ+QP".into()
+        } else {
+            "QoZ".into()
+        }
+    }
+
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let (alpha, beta) = self.tune(field, bound);
+        self.engine(alpha, beta).compress(field, bound)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        // α/β live in the stream; the engine overrides its defaults from it.
+        self.engine(1.0, 1.0).decompress(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_metrics::max_abs_error;
+    use qip_tensor::Shape;
+
+    fn smooth(dims: &[usize]) -> Field<f32> {
+        Field::from_fn(Shape::new(dims), |c| {
+            let x = c[0] as f32;
+            let y = c.get(1).copied().unwrap_or(0) as f32;
+            let z = c.get(2).copied().unwrap_or(0) as f32;
+            (0.08 * x).sin() + (0.06 * y).cos() * 0.7 + (0.04 * z).sin() * 0.3
+        })
+    }
+
+    #[test]
+    fn roundtrip_bound() {
+        let f = smooth(&[26, 20, 14]);
+        for qp in [QpConfig::off(), QpConfig::best_fit()] {
+            let qoz = Qoz::new().with_qp(qp);
+            let bytes = qoz.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+            let out = qoz.decompress(&bytes).unwrap();
+            assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn qp_preserves_decompressed_data() {
+        let f = smooth(&[36, 28, 18]);
+        // Pin α/β so both runs use identical engine parameters.
+        let plain = Qoz::new().with_alpha_beta(1.25, 2.0);
+        let qp = Qoz::new().with_alpha_beta(1.25, 2.0).with_qp(QpConfig::best_fit());
+        let a: Field<f32> =
+            plain.decompress(&plain.compress(&f, ErrorBound::Abs(1e-4)).unwrap()).unwrap();
+        let b: Field<f32> =
+            qp.decompress(&qp.compress(&f, ErrorBound::Abs(1e-4)).unwrap()).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn tuner_respects_pinned_parameters() {
+        let f = smooth(&[64, 32, 16]);
+        let qoz = Qoz::new().with_alpha_beta(2.0, 4.0);
+        assert_eq!(qoz.tune(&f, ErrorBound::Abs(1e-3)), (2.0, 4.0));
+    }
+
+    #[test]
+    fn tuned_stream_decompresses_with_any_instance() {
+        // α/β travel in the stream, so a default-configured instance decodes.
+        let f = smooth(&[40, 40, 12]);
+        let enc = Qoz::new().with_alpha_beta(2.0, 4.0);
+        let bytes = enc.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+        let out: Field<f32> = Qoz::new().decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+    }
+
+    #[test]
+    fn name_reflects_qp() {
+        assert_eq!(Compressor::<f32>::name(&Qoz::new()), "QoZ");
+        assert_eq!(Compressor::<f32>::name(&Qoz::new().with_qp(QpConfig::best_fit())), "QoZ+QP");
+    }
+
+    #[test]
+    fn rejects_foreign_streams() {
+        let f = smooth(&[16, 16, 8]);
+        let sz3_bytes = qip_sz3_stub_stream(&f);
+        let res: Result<Field<f32>, _> = Qoz::new().decompress(&sz3_bytes);
+        assert!(res.is_err());
+    }
+
+    /// A valid stream from a different compressor (just bytes with a wrong magic).
+    fn qip_sz3_stub_stream(f: &Field<f32>) -> Vec<u8> {
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x21));
+        eng.compress(f, ErrorBound::Abs(1e-3)).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+    use qip_metrics::{max_abs_error, ssim};
+    use qip_tensor::Shape;
+
+    #[test]
+    fn ssim_target_roundtrips_with_bound() {
+        let f = Field::<f32>::from_fn(Shape::d3(40, 36, 20), |c| {
+            (c[0] as f32 * 0.1).sin() + (c[1] as f32 * 0.07).cos() * 0.5 + c[2] as f32 * 0.01
+        });
+        let qoz = Qoz::new().with_target(TuneTarget::Ssim).with_qp(QpConfig::best_fit());
+        let bytes = qoz.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
+        let out = qoz.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-3 * f.value_range() + 1e-9);
+        assert!(ssim(&f, &out) > 0.9);
+    }
+
+    #[test]
+    fn targets_may_pick_different_parameters() {
+        // Both targets must at least run the tuner to completion; on most
+        // fields they settle on the same (α, β), which is fine.
+        let f = Field::<f32>::from_fn(Shape::d3(48, 40, 24), |c| {
+            (c[0] as f32 * 0.2).sin() * (c[1] as f32 * 0.15).cos() + c[2] as f32 * 0.05
+        });
+        let a = Qoz::new().tune(&f, ErrorBound::Rel(1e-3));
+        let b = Qoz::new().with_target(TuneTarget::Ssim).tune(&f, ErrorBound::Rel(1e-3));
+        assert!(TUNE_CANDIDATES.contains(&a));
+        assert!(TUNE_CANDIDATES.contains(&b));
+    }
+}

@@ -1,0 +1,203 @@
+//! Linear-scaling quantization with strict error control (paper Sec. IV-A).
+//!
+//! The quantizer maps a prediction residual to an integer index:
+//! `q = round((d − p) / 2ε)`, reconstructing `d' = p + 2qε` with
+//! `|d − d'| ≤ ε` guaranteed. Residuals whose index would fall outside the
+//! quantizer radius — or whose reconstruction fails the bound check after
+//! rounding to the storage type — are *unpredictable* (paper Sec. V-C2): the
+//! exact value is stored in a side channel and the index array records the
+//! reserved [`UNPRED`] label.
+
+#![warn(missing_docs)]
+
+use qip_tensor::Scalar;
+
+/// Reserved quantization index labelling unpredictable data points.
+///
+/// Real SZ3 reserves index 0 of the shifted range; we keep indices signed and
+/// centered (as the paper's figures do) and reserve a sentinel instead.
+pub const UNPRED: i32 = i32::MIN;
+
+/// Outcome of quantizing one data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized<T: Scalar> {
+    /// Within range: the index to encode and the reconstructed value the
+    /// decompressor will produce (must overwrite the working buffer).
+    Pred {
+        /// Quantization index to encode.
+        index: i32,
+        /// Reconstructed value (as the decompressor will see it).
+        recon: T,
+    },
+    /// Out of range: store the exact value in the unpredictable side channel.
+    Unpred,
+}
+
+/// Linear-scaling quantizer with a fixed absolute error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearQuantizer {
+    eb: f64,
+    radius: i32,
+}
+
+impl LinearQuantizer {
+    /// Default index radius (SZ3's `quantization_bin_total/2` default).
+    pub const DEFAULT_RADIUS: i32 = 32768;
+
+    /// Quantizer with absolute bound `eb > 0` and the default radius.
+    pub fn new(eb: f64) -> Self {
+        Self::with_radius(eb, Self::DEFAULT_RADIUS)
+    }
+
+    /// Quantizer with an explicit radius (indices satisfy `|q| < radius`).
+    pub fn with_radius(eb: f64, radius: i32) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive and finite");
+        assert!(radius > 1);
+        LinearQuantizer { eb, radius }
+    }
+
+    /// The absolute error bound.
+    #[inline]
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// The index radius.
+    #[inline]
+    pub fn radius(&self) -> i32 {
+        self.radius
+    }
+
+    /// Quantize `d` against prediction `pred`.
+    ///
+    /// The bound is verified on the value *as stored* (after rounding to `T`),
+    /// so `f32` fields keep the guarantee even when `2qε` is not representable.
+    #[inline]
+    pub fn quantize<T: Scalar>(&self, d: T, pred: f64) -> Quantized<T> {
+        let df = d.to_f64();
+        if !df.is_finite() {
+            return Quantized::Unpred;
+        }
+        let diff = df - pred;
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() >= self.radius as f64 {
+            return Quantized::Unpred;
+        }
+        let q = q as i32;
+        let recon = T::from_f64(pred + 2.0 * q as f64 * self.eb);
+        if (recon.to_f64() - df).abs() > self.eb {
+            return Quantized::Unpred;
+        }
+        Quantized::Pred { index: q, recon }
+    }
+
+    /// Reconstruct a value from its prediction and index (decompression side).
+    #[inline]
+    pub fn recover<T: Scalar>(&self, pred: f64, index: i32) -> T {
+        T::from_f64(pred + 2.0 * index as f64 * self.eb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_prediction_gives_zero_index() {
+        let q = LinearQuantizer::new(0.1);
+        match q.quantize(5.0f64, 5.0) {
+            Quantized::Pred { index, recon } => {
+                assert_eq!(index, 0);
+                assert!((recon - 5.0).abs() <= 0.1);
+            }
+            Quantized::Unpred => panic!("should be predictable"),
+        }
+    }
+
+    #[test]
+    fn bound_enforced_roundtrip() {
+        let quant = LinearQuantizer::new(1e-3);
+        let preds = [0.0, 1.0, -2.5, 100.0];
+        let offsets = [0.0, 1e-4, -1e-4, 0.01, -0.01, 0.5, -0.5];
+        for &p in &preds {
+            for &o in &offsets {
+                let d = p + o;
+                if let Quantized::Pred { index, recon } = quant.quantize(d, p) {
+                    assert!((recon - d).abs() <= 1e-3 + 1e-12, "d={d} p={p}");
+                    // recover() must agree with the compression-side recon.
+                    let r2: f64 = quant.recover(p, index);
+                    assert_eq!(r2, recon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_radius_is_unpredictable() {
+        let q = LinearQuantizer::with_radius(1e-3, 16);
+        // |q| would be ~500 >> 16.
+        assert_eq!(q.quantize(1.0f64, 0.0), Quantized::Unpred);
+        // Just inside: q = 15.
+        assert!(matches!(q.quantize(15.0 * 2e-3, 0.0), Quantized::Pred { index: 15, .. }));
+        // At the radius: rejected (strict inequality).
+        assert_eq!(q.quantize(16.0 * 2e-3, 0.0), Quantized::Unpred);
+    }
+
+    #[test]
+    fn nan_and_inf_are_unpredictable() {
+        let q = LinearQuantizer::new(0.5);
+        assert_eq!(q.quantize(f64::NAN, 0.0), Quantized::Unpred);
+        assert_eq!(q.quantize(f64::INFINITY, 0.0), Quantized::Unpred);
+    }
+
+    #[test]
+    fn f32_storage_rounding_still_bounded() {
+        // A bound so tight that f32 rounding matters: the quantizer must
+        // either meet the bound on the f32 value or declare Unpred.
+        let quant = LinearQuantizer::new(1e-7);
+        let d: f32 = 123.456;
+        match quant.quantize(d, 123.0) {
+            Quantized::Pred { recon, .. } => {
+                assert!((recon as f64 - d as f64).abs() <= 1e-7);
+            }
+            Quantized::Unpred => {} // legitimate outcome
+        }
+    }
+
+    #[test]
+    fn negative_indices() {
+        let quant = LinearQuantizer::new(0.5);
+        match quant.quantize(-3.0f64, 0.0) {
+            Quantized::Pred { index, recon } => {
+                assert_eq!(index, -3);
+                assert!((recon - -3.0).abs() <= 0.5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_bin() {
+        let quant = LinearQuantizer::new(1.0); // bins of width 2
+        for (d, want) in [(0.9f64, 0), (1.1, 1), (2.9, 1), (3.1, 2), (-1.1, -1)] {
+            match quant.quantize(d, 0.0) {
+                Quantized::Pred { index, .. } => assert_eq!(index, want, "d={d}"),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_rejected() {
+        let _ = LinearQuantizer::new(0.0);
+    }
+
+    #[test]
+    fn unpred_sentinel_outside_radius() {
+        // No legal index can ever equal the sentinel (checked against the
+        // runtime radius so the assertion isn't constant-folded away).
+        let quant = LinearQuantizer::new(1.0);
+        assert!(UNPRED < -quant.radius());
+    }
+}

@@ -1,0 +1,295 @@
+//! SPERR: wavelet-based error-bounded compressor.
+//!
+//! Reimplementation of the SPERR model (paper ref \[12\]): a multi-level
+//! separable **CDF 9/7 lifting wavelet** decorrelates the field, the
+//! coefficients are entropy-coded, and an **outlier correction** pass stores
+//! explicit residual corrections for every point whose reconstruction error
+//! would exceed the requested bound — the mechanism that gives SPERR its
+//! strict pointwise guarantee.
+//!
+//! Substitution note (DESIGN.md §5): the original encodes coefficients with
+//! SPECK set partitioning; we use uniform deadzone quantization + the
+//! workspace Huffman→LZ stack, which preserves SPERR's evaluation profile in
+//! Table IV — top-tier ratios, wavelet-dominated (low) throughput — without
+//! reproducing SPECK bit-for-bit.
+
+#![warn(missing_docs)]
+
+mod wavelet;
+
+pub use wavelet::{dwt2d_3d_levels, inverse_multilevel, forward_multilevel};
+
+use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_core::{CompressError, Compressor, ErrorBound, StreamHeader};
+use qip_tensor::{Field, Scalar};
+
+/// Stream magic for SPERR.
+const MAGIC_SPERR: u8 = 0x70;
+/// Coefficient quantization step as a fraction of the error bound: small
+/// enough that outliers are rare, large enough to keep the rate low.
+const STEP_FRACTION: f64 = 0.75;
+/// Coefficient indices beyond this magnitude go to the raw side channel.
+const Q_CLAMP: i64 = 1 << 30;
+/// Sentinel index marking a raw-coefficient escape.
+const ESCAPE: i32 = i32::MIN;
+
+/// The SPERR compressor.
+#[derive(Debug, Clone, Default)]
+pub struct Sperr;
+
+impl Sperr {
+    /// A SPERR instance.
+    pub fn new() -> Self {
+        Sperr
+    }
+}
+
+impl<T: Scalar> Compressor<T> for Sperr {
+    fn name(&self) -> String {
+        "SPERR".into()
+    }
+
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let dims = field.shape().dims().to_vec();
+        if dims.len() > 3 {
+            return Err(CompressError::Unsupported("SPERR supports 1-3 dimensions"));
+        }
+        let abs_eb = bound.absolute(field.value_range());
+        let mut w = ByteWriter::with_capacity(field.len() / 4 + 128);
+        StreamHeader {
+            magic: MAGIC_SPERR,
+            scalar_bits: T::BITS as u8,
+            shape: field.shape().clone(),
+            abs_eb,
+        }
+        .write(&mut w);
+        if field.is_empty() {
+            return Ok(w.finish());
+        }
+
+        // Forward multi-level 9/7 transform.
+        let mut coeffs: Vec<f64> = field.as_slice().iter().map(|v| v.to_f64()).collect();
+        let levels = dwt2d_3d_levels(&dims);
+        forward_multilevel(&mut coeffs, &dims, levels);
+
+        // Uniform deadzone quantization.
+        let step = STEP_FRACTION * abs_eb;
+        let mut q = Vec::with_capacity(coeffs.len());
+        let mut raw: Vec<u8> = Vec::new();
+        for &c in &coeffs {
+            let qi = (c / step).round();
+            if !qi.is_finite() || qi.abs() as i64 >= Q_CLAMP {
+                q.push(ESCAPE);
+                raw.extend_from_slice(&c.to_le_bytes());
+            } else {
+                q.push(qi as i32);
+            }
+        }
+
+        // Reconstruct exactly as the decompressor will, to find outliers.
+        let mut recon: Vec<f64> = {
+            let mut raw_cursor = 0usize;
+            q.iter()
+                .map(|&qi| {
+                    if qi == ESCAPE {
+                        let c = f64::from_le_bytes(
+                            raw[raw_cursor..raw_cursor + 8].try_into().unwrap(),
+                        );
+                        raw_cursor += 8;
+                        c
+                    } else {
+                        qi as f64 * step
+                    }
+                })
+                .collect()
+        };
+        inverse_multilevel(&mut recon, &dims, levels);
+
+        // Outlier correction records: (delta position, residual index) so the
+        // final pointwise error is ≤ eb/2 at corrected points, ≤ eb elsewhere.
+        let mut corrections = ByteWriter::new();
+        let mut n_corr = 0u64;
+        let mut last = 0usize;
+        for (i, (&orig, &rec)) in field.as_slice().iter().zip(&recon).enumerate() {
+            let of = orig.to_f64();
+            // The bound must hold on the value *as stored* (after rounding to
+            // T), so every check below goes through T::from_f64.
+            let stored_err = |v: f64| (T::from_f64(v).to_f64() - of).abs();
+            if stored_err(rec) <= abs_eb && of.is_finite() {
+                continue;
+            }
+            let res = of - rec;
+            let qr = (res / abs_eb).round();
+            corrections.put_uvarint((i - last) as u64);
+            last = i;
+            let quantized_ok = qr.is_finite()
+                && (qr.abs() as i64) < Q_CLAMP
+                && of.is_finite()
+                && stored_err(rec + qr * abs_eb) <= abs_eb;
+            if quantized_ok {
+                corrections.put_ivarint(qr as i64);
+            } else {
+                // Escape: store the exact original value.
+                corrections.put_ivarint(i64::MIN + 1);
+                corrections.put_f64(of);
+            }
+            n_corr += 1;
+        }
+
+        w.put_block(&encode_indices(&q));
+        w.put_block(&raw);
+        w.put_uvarint(n_corr);
+        w.put_block(&corrections.finish());
+        Ok(w.finish())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let mut r = ByteReader::new(bytes);
+        let header = StreamHeader::read(&mut r, MAGIC_SPERR, T::BITS as u8)?;
+        let dims = header.shape.dims().to_vec();
+        let n: usize = dims.iter().product();
+        if n == 0 {
+            return Ok(Field::zeros(header.shape));
+        }
+        let q = decode_indices(r.get_block()?)?;
+        if q.len() != n {
+            return Err(CompressError::WrongFormat("coefficient count mismatch"));
+        }
+        let raw = r.get_block()?;
+        if raw.len() % 8 != 0 {
+            return Err(CompressError::WrongFormat("raw coefficient block misaligned"));
+        }
+        let n_corr = r.get_uvarint()?;
+        let corr_block = r.get_block()?;
+
+        let step = STEP_FRACTION * header.abs_eb;
+        let mut raw_cursor = 0usize;
+        let mut coeffs = Vec::with_capacity(n);
+        for &qi in &q {
+            if qi == ESCAPE {
+                let chunk = raw
+                    .get(raw_cursor..raw_cursor + 8)
+                    .ok_or(CompressError::WrongFormat("raw coefficient channel exhausted"))?;
+                coeffs.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+                raw_cursor += 8;
+            } else {
+                coeffs.push(qi as f64 * step);
+            }
+        }
+        let levels = dwt2d_3d_levels(&dims);
+        inverse_multilevel(&mut coeffs, &dims, levels);
+
+        // Apply corrections.
+        let mut cr = ByteReader::new(corr_block);
+        let mut pos = 0usize;
+        for k in 0..n_corr {
+            let delta = cr.get_uvarint()? as usize;
+            pos = if k == 0 { delta } else { pos + delta };
+            if pos >= n {
+                return Err(CompressError::WrongFormat("correction position out of range"));
+            }
+            let qr = cr.get_ivarint()?;
+            if qr == i64::MIN + 1 {
+                coeffs[pos] = cr.get_f64()?;
+            } else {
+                coeffs[pos] += qr as f64 * header.abs_eb;
+            }
+        }
+
+        let data: Vec<T> = coeffs.into_iter().map(T::from_f64).collect();
+        Ok(Field::from_vec(header.shape, data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_tensor::Shape;
+    use qip_metrics::max_abs_error;
+
+    fn smooth(dims: &[usize]) -> Field<f32> {
+        Field::from_fn(Shape::new(dims), |c| {
+            let x = c[0] as f32;
+            let y = c.get(1).copied().unwrap_or(0) as f32;
+            let z = c.get(2).copied().unwrap_or(0) as f32;
+            (0.06 * x).sin() + 0.6 * (0.09 * y).cos() + 0.03 * z
+        })
+    }
+
+    #[test]
+    fn roundtrip_bound_3d() {
+        let f = smooth(&[22, 18, 13]);
+        let sperr = Sperr::new();
+        for eb in [1e-2, 1e-3, 1e-4] {
+            let bytes = sperr.compress(&f, ErrorBound::Abs(eb)).unwrap();
+            let out = sperr.decompress(&bytes).unwrap();
+            let err = max_abs_error(&f, &out);
+            assert!(err <= eb + 1e-12, "eb={eb}: err {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_2d() {
+        for dims in [vec![41usize], vec![26, 33]] {
+            let f = smooth(&dims);
+            let sperr = Sperr::new();
+            let bytes = sperr.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+            let out = sperr.decompress(&bytes).unwrap();
+            assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-12, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn rough_data_still_bounded_via_corrections() {
+        let mut state = 77u64;
+        let f = Field::<f32>::from_fn(Shape::d3(11, 11, 11), |_| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((state >> 40) as f32 / 16777216.0) * 100.0
+        });
+        let sperr = Sperr::new();
+        let bytes = sperr.compress(&f, ErrorBound::Abs(1e-4)).unwrap();
+        let out = sperr.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-4 + 1e-12);
+    }
+
+    #[test]
+    fn double_precision() {
+        let f = Field::<f64>::from_fn(Shape::d3(14, 12, 10), |c| {
+            (c[0] as f64 * 0.2).sin() * 50.0 + c[1] as f64 * 0.3 + c[2] as f64
+        });
+        let sperr = Sperr::new();
+        let bytes = sperr.compress(&f, ErrorBound::Rel(1e-5)).unwrap();
+        let out = sperr.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-5 * f.value_range() + 1e-12);
+    }
+
+    #[test]
+    fn smooth_data_high_ratio() {
+        let f = smooth(&[64, 48, 32]);
+        let bytes = Sperr::new().compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+        let cr = (f.len() * 4) as f64 / bytes.len() as f64;
+        assert!(cr > 8.0, "SPERR should excel on smooth data, CR {cr}");
+    }
+
+    #[test]
+    fn truncated_and_foreign_rejected() {
+        let f = smooth(&[16, 16, 8]);
+        let sperr = Sperr::new();
+        let bytes = sperr.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+        let res: Result<Field<f32>, _> = sperr.decompress(&bytes[..bytes.len() / 2]);
+        assert!(res.is_err());
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0x11;
+        let res: Result<Field<f32>, _> = sperr.decompress(&wrong);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn constant_field() {
+        let f = Field::from_vec(Shape::d2(32, 32), vec![2.5f32; 1024]).unwrap();
+        let sperr = Sperr::new();
+        let bytes = sperr.compress(&f, ErrorBound::Abs(1e-4)).unwrap();
+        let out = sperr.decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-4);
+    }
+}

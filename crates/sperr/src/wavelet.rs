@@ -1,0 +1,308 @@
+//! Multi-level separable CDF 9/7 wavelet transform (lifting implementation).
+//!
+//! The biorthogonal 9/7 filter pair implemented as four lifting steps plus a
+//! scaling step, with whole-sample symmetric boundary extension; odd lengths
+//! are supported (the approximation band gets the extra sample). Each level
+//! transforms every axis whose current extent is ≥ [`MIN_LEN`], then recurses
+//! on the low-pass corner block.
+
+/// 9/7 lifting coefficients (Daubechies–Sweldens factorization).
+const ALPHA: f64 = -1.586_134_342_059_924;
+const BETA: f64 = -0.052_980_118_572_961;
+const GAMMA: f64 = 0.882_911_075_530_934;
+const DELTA: f64 = 0.443_506_852_043_971;
+const KAPPA: f64 = 1.230_174_104_914_001;
+
+/// Minimum line length still worth transforming.
+pub const MIN_LEN: usize = 8;
+
+/// Number of transform levels for a field shape (paper-style dyadic depth).
+pub fn dwt2d_3d_levels(dims: &[usize]) -> usize {
+    let min_dim = dims.iter().copied().min().unwrap_or(0);
+    let mut levels = 0usize;
+    let mut len = min_dim;
+    while len >= MIN_LEN * 2 {
+        levels += 1;
+        len = len.div_ceil(2);
+    }
+    levels.min(5)
+}
+
+/// Mirror index for whole-sample symmetric extension.
+#[inline]
+fn mirror(i: isize, n: usize) -> usize {
+    let n = n as isize;
+    let mut i = i;
+    loop {
+        if i < 0 {
+            i = -i;
+        } else if i >= n {
+            i = 2 * (n - 1) - i;
+        } else {
+            return i as usize;
+        }
+    }
+}
+
+/// One forward lifting pass over `line` (length ≥ 2), leaving interleaved
+/// approx (even) / detail (odd) coefficients in place.
+#[allow(clippy::needless_range_loop)]
+fn lift_forward(line: &mut [f64]) {
+    let n = line.len();
+    debug_assert!(n >= 2);
+    let at = |line: &[f64], i: isize| line[mirror(i, n)];
+    // Predict 1: odd += α (left + right)
+    for i in (1..n).step_by(2) {
+        line[i] += ALPHA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    // Update 1: even += β (left + right)
+    for i in (0..n).step_by(2) {
+        line[i] += BETA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    // Predict 2.
+    for i in (1..n).step_by(2) {
+        line[i] += GAMMA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    // Update 2.
+    for i in (0..n).step_by(2) {
+        line[i] += DELTA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    // Scale.
+    for i in 0..n {
+        if i % 2 == 0 {
+            line[i] *= KAPPA;
+        } else {
+            line[i] /= KAPPA;
+        }
+    }
+}
+
+/// Exact inverse of [`lift_forward`].
+#[allow(clippy::needless_range_loop)]
+fn lift_inverse(line: &mut [f64]) {
+    let n = line.len();
+    debug_assert!(n >= 2);
+    let at = |line: &[f64], i: isize| line[mirror(i, n)];
+    for i in 0..n {
+        if i % 2 == 0 {
+            line[i] /= KAPPA;
+        } else {
+            line[i] *= KAPPA;
+        }
+    }
+    for i in (0..n).step_by(2) {
+        line[i] -= DELTA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    for i in (1..n).step_by(2) {
+        line[i] -= GAMMA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    for i in (0..n).step_by(2) {
+        line[i] -= BETA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+    for i in (1..n).step_by(2) {
+        line[i] -= ALPHA * (at(line, i as isize - 1) + at(line, i as isize + 1));
+    }
+}
+
+/// Deinterleave evens to the front, odds to the back.
+fn deinterleave(line: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = line.len();
+    scratch.clear();
+    scratch.extend((0..n).step_by(2).map(|i| line[i]));
+    scratch.extend((1..n).step_by(2).map(|i| line[i]));
+    line.copy_from_slice(scratch);
+}
+
+/// Inverse of [`deinterleave`].
+fn interleave(line: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = line.len();
+    let half = n.div_ceil(2);
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    for (k, i) in (0..n).step_by(2).enumerate() {
+        scratch[i] = line[k];
+    }
+    for (k, i) in (1..n).step_by(2).enumerate() {
+        scratch[i] = line[half + k];
+    }
+    line.copy_from_slice(scratch);
+}
+
+/// Apply `f` to every line along `axis` within the leading `extent` region of
+/// a row-major array with full dims `dims`.
+fn for_each_line(
+    data: &mut [f64],
+    dims: &[usize],
+    extent: &[usize],
+    axis: usize,
+    mut f: impl FnMut(&mut Vec<f64>),
+) {
+    let ndim = dims.len();
+    let mut strides = vec![1usize; ndim];
+    for i in (0..ndim.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    let len = extent[axis];
+    let mut line = Vec::with_capacity(len);
+    // Iterate over all coordinates of the other axes within `extent`.
+    let others: Vec<usize> = (0..ndim).filter(|&a| a != axis).collect();
+    let counts: Vec<usize> = others.iter().map(|&a| extent[a]).collect();
+    let total: usize = counts.iter().product::<usize>().max(if ndim == 1 { 1 } else { 0 });
+    let mut idx = vec![0usize; others.len()];
+    for _ in 0..total {
+        let base: usize = others.iter().zip(&idx).map(|(&a, &i)| i * strides[a]).sum();
+        line.clear();
+        for k in 0..len {
+            line.push(data[base + k * strides[axis]]);
+        }
+        f(&mut line);
+        for k in 0..len {
+            data[base + k * strides[axis]] = line[k];
+        }
+        // odometer
+        for j in (0..others.len()).rev() {
+            idx[j] += 1;
+            if idx[j] < counts[j] {
+                break;
+            }
+            idx[j] = 0;
+        }
+    }
+}
+
+/// Forward multi-level transform in place.
+pub fn forward_multilevel(data: &mut [f64], dims: &[usize], levels: usize) {
+    let mut extent = dims.to_vec();
+    let mut scratch = Vec::new();
+    for _ in 0..levels {
+        for axis in 0..dims.len() {
+            if extent[axis] >= 2 {
+                for_each_line(data, dims, &extent, axis, |line| {
+                    lift_forward(line);
+                    deinterleave(line, &mut scratch);
+                });
+            }
+        }
+        for e in &mut extent {
+            *e = e.div_ceil(2);
+        }
+    }
+}
+
+/// Inverse multi-level transform in place.
+pub fn inverse_multilevel(data: &mut [f64], dims: &[usize], levels: usize) {
+    // Reconstruct the extent schedule, then undo levels in reverse.
+    let mut schedule = Vec::with_capacity(levels);
+    let mut extent = dims.to_vec();
+    for _ in 0..levels {
+        schedule.push(extent.clone());
+        for e in &mut extent {
+            *e = e.div_ceil(2);
+        }
+    }
+    let mut scratch = Vec::new();
+    for extent in schedule.into_iter().rev() {
+        for axis in (0..dims.len()).rev() {
+            if extent[axis] >= 2 {
+                for_each_line(data, dims, &extent, axis, |line| {
+                    interleave(line, &mut scratch);
+                    lift_inverse(line);
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_examples() {
+        assert_eq!(mirror(-1, 5), 1);
+        assert_eq!(mirror(-2, 5), 2);
+        assert_eq!(mirror(5, 5), 3);
+        assert_eq!(mirror(6, 5), 2);
+        assert_eq!(mirror(3, 5), 3);
+    }
+
+    #[test]
+    fn lift_perfect_reconstruction_1d() {
+        for n in [2usize, 3, 5, 8, 17, 64, 101] {
+            let orig: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+            let mut line = orig.clone();
+            lift_forward(&mut line);
+            lift_inverse(&mut line);
+            for (a, b) in line.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn deinterleave_roundtrip() {
+        for n in [2usize, 5, 8, 9] {
+            let orig: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut line = orig.clone();
+            let mut scratch = Vec::new();
+            deinterleave(&mut line, &mut scratch);
+            // Evens first.
+            assert_eq!(line[0], 0.0);
+            if n > 2 {
+                assert_eq!(line[1], 2.0);
+            }
+            interleave(&mut line, &mut scratch);
+            assert_eq!(line, orig);
+        }
+    }
+
+    #[test]
+    fn multilevel_perfect_reconstruction_3d() {
+        let dims = [24usize, 17, 33];
+        let n: usize = dims.iter().product();
+        let orig: Vec<f64> =
+            (0..n).map(|i| ((i * 2_654_435_761) % 1000) as f64 / 500.0 - 1.0).collect();
+        let levels = dwt2d_3d_levels(&dims);
+        let mut data = orig.clone();
+        forward_multilevel(&mut data, &dims, levels);
+        inverse_multilevel(&mut data, &dims, levels);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multilevel_perfect_reconstruction_1d_2d() {
+        for dims in [vec![50usize], vec![19, 40]] {
+            let n: usize = dims.iter().product();
+            let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let levels = dwt2d_3d_levels(&dims);
+            let mut data = orig.clone();
+            forward_multilevel(&mut data, &dims, levels);
+            inverse_multilevel(&mut data, &dims, levels);
+            for (a, b) in data.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-9, "dims {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_compaction_on_smooth_signal() {
+        // On a smooth signal, most post-transform energy concentrates in the
+        // low-pass corner (the first extent/2^levels block per axis).
+        let dims = [64usize];
+        let orig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut data = orig.clone();
+        forward_multilevel(&mut data, &dims, 2);
+        let low: f64 = data[..16].iter().map(|v| v * v).sum();
+        let high: f64 = data[16..].iter().map(|v| v * v).sum();
+        assert!(low > 20.0 * high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn levels_heuristic() {
+        assert!(dwt2d_3d_levels(&[256, 256, 256]) > 2);
+        assert_eq!(dwt2d_3d_levels(&[8, 256, 256]), 0);
+        assert_eq!(dwt2d_3d_levels(&[4]), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! SZ3: dynamic-spline-interpolation error-bounded lossy compressor.
+//!
+//! Reimplementation of the SZ3 pipeline the paper builds on (paper Sec. IV-A):
+//! multilevel linear/cubic interpolation with per-level spline selection, the
+//! linear-scaling quantizer, and Huffman→LZ encoding — with the multilevel
+//! machinery provided by [`qip_interp`]. Like the original, SZ3 does not run
+//! interpolation unconditionally: it also implements the multidimensional
+//! **Lorenzo** predictor pipeline and switches to it when a trial compression
+//! of a sample block says interpolation loses (the behaviour the paper calls
+//! out on SegSalt at 1E-5, where QP is consequently never invoked).
+//!
+//! QP integration (paper Algorithm 1) is a configuration switch:
+//!
+//! ```
+//! use qip_sz3::Sz3;
+//! use qip_core::{Compressor, ErrorBound, QpConfig};
+//! use qip_tensor::{Field, Shape};
+//!
+//! let field = Field::<f32>::from_fn(Shape::d3(32, 32, 32), |c| {
+//!     (c[0] as f32 * 0.1).sin() + (c[1] as f32 * 0.07).cos() + c[2] as f32 * 0.01
+//! });
+//! let plain = Sz3::new();
+//! let with_qp = Sz3::new().with_qp(QpConfig::best_fit());
+//! let a = plain.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+//! let b = with_qp.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+//! // Same decompressed bytes, different (usually smaller) stream:
+//! let da: Field<f32> = plain.decompress(&a).unwrap();
+//! let db: Field<f32> = with_qp.decompress(&b).unwrap();
+//! assert_eq!(da.as_slice(), db.as_slice());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lorenzo;
+pub mod regression;
+
+use qip_codec::{ByteReader, ByteWriter};
+use qip_core::{CompressError, Compressor, ErrorBound, QpConfig};
+use qip_interp::{EngineConfig, InterpEngine};
+use qip_tensor::{Field, Scalar};
+
+/// Stream magic for the SZ3 wrapper.
+const MAGIC_SZ3: u8 = 0x20;
+/// Magic for the nested interpolation-engine stream.
+const MAGIC_SZ3_INTERP: u8 = 0x21;
+/// Magic for the nested Lorenzo stream.
+const MAGIC_SZ3_LORENZO: u8 = 0x22;
+
+/// Predictor pipeline selected for a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Multilevel interpolation (the common case).
+    Interpolation,
+    /// Multidimensional Lorenzo scan (small-error-bound fallback).
+    Lorenzo,
+}
+
+/// The SZ3 compressor.
+#[derive(Debug, Clone)]
+pub struct Sz3 {
+    qp: QpConfig,
+    /// Force a pipeline instead of auto-switching (used by the
+    /// characterization experiments, which need the interpolation indices).
+    force: Option<Pipeline>,
+}
+
+impl Sz3 {
+    /// SZ3 with QP disabled and automatic predictor switching.
+    pub fn new() -> Self {
+        Sz3 { qp: QpConfig::off(), force: None }
+    }
+
+    /// Enable/replace the QP configuration (builder style).
+    pub fn with_qp(mut self, qp: QpConfig) -> Self {
+        self.qp = qp;
+        self
+    }
+
+    /// Pin the predictor pipeline, disabling the auto-switch.
+    pub fn with_pipeline(mut self, p: Pipeline) -> Self {
+        self.force = Some(p);
+        self
+    }
+
+    /// The active QP configuration.
+    pub fn qp(&self) -> &QpConfig {
+        &self.qp
+    }
+
+    /// Capture the quantization index arrays of the interpolation pipeline
+    /// (characterization API for the paper's Figs. 3-5). Always uses the
+    /// interpolation predictor, since the Lorenzo fallback has no clustering.
+    pub fn quant_capture<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+    ) -> Result<qip_interp::QuantCapture, CompressError> {
+        Ok(self.engine().compress_capturing(field, bound)?.1)
+    }
+
+    fn engine(&self) -> InterpEngine {
+        let mut cfg = EngineConfig::sz3_like(MAGIC_SZ3_INTERP);
+        cfg.qp = self.qp;
+        InterpEngine::new(cfg)
+    }
+
+    /// Decide the pipeline by trial-compressing a central sample block with
+    /// both predictors and keeping the smaller stream (mirrors SZ3's
+    /// sampling-based predictor selection).
+    fn choose_pipeline<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> Pipeline {
+        if let Some(p) = self.force {
+            return p;
+        }
+        let dims = field.shape().dims();
+        // Small fields: interpolation, no trial needed.
+        if field.len() < 4096 {
+            return Pipeline::Interpolation;
+        }
+        // Central block of up to 32 per axis.
+        let origin: Vec<usize> =
+            dims.iter().map(|&d| d.saturating_sub(d.min(32)) / 2).collect();
+        let extent: Vec<usize> = dims.iter().map(|&d| d.min(32)).collect();
+        let block = field.subregion(&origin, &extent);
+        // Resolve the bound against the *full* field so both trials and the
+        // real run quantize identically. The trial runs QP-blind (paper
+        // Algorithm 1 intercepts the pipeline after predictor selection), so
+        // enabling QP never changes which pipeline — and hence which
+        // decompressed bytes — a stream produces.
+        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        let mut trial = Sz3::new();
+        trial.force = self.force;
+        let interp_len = trial
+            .engine()
+            .compress(&block, abs)
+            .map(|b| b.len())
+            .unwrap_or(usize::MAX);
+        let lorenzo_len = lorenzo::compress(&block, abs, MAGIC_SZ3_LORENZO)
+            .map(|b| b.len())
+            .unwrap_or(usize::MAX);
+        // Mild preference for interpolation (SZ3's default algorithm): the
+        // small-block trial systematically understates interpolation, which
+        // has fewer levels and proportionally larger header overhead there.
+        if (lorenzo_len as f64) < interp_len as f64 * 0.92 {
+            Pipeline::Lorenzo
+        } else {
+            Pipeline::Interpolation
+        }
+    }
+
+    /// Which pipeline a stream used (for experiment reporting).
+    pub fn pipeline_of(bytes: &[u8]) -> Result<Pipeline, CompressError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u8()?;
+        if magic != MAGIC_SZ3 {
+            return Err(CompressError::WrongFormat("not an SZ3 stream"));
+        }
+        match r.get_u8()? {
+            0 => Ok(Pipeline::Interpolation),
+            1 => Ok(Pipeline::Lorenzo),
+            _ => Err(CompressError::WrongFormat("bad SZ3 pipeline tag")),
+        }
+    }
+}
+
+impl Default for Sz3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> Compressor<T> for Sz3 {
+    fn name(&self) -> String {
+        if self.qp.is_enabled() {
+            "SZ3+QP".into()
+        } else {
+            "SZ3".into()
+        }
+    }
+
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let pipeline = self.choose_pipeline(field, bound);
+        let mut w = ByteWriter::new();
+        w.put_u8(MAGIC_SZ3);
+        match pipeline {
+            Pipeline::Interpolation => {
+                w.put_u8(0);
+                w.put_bytes(&self.engine().compress(field, bound)?);
+            }
+            Pipeline::Lorenzo => {
+                w.put_u8(1);
+                w.put_bytes(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
+            }
+        }
+        Ok(w.finish())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u8()?;
+        if magic != MAGIC_SZ3 {
+            return Err(CompressError::WrongFormat("not an SZ3 stream"));
+        }
+        let tag = r.get_u8()?;
+        let rest = r.rest();
+        match tag {
+            0 => self.engine().decompress(rest),
+            1 => lorenzo::decompress(rest, MAGIC_SZ3_LORENZO),
+            _ => Err(CompressError::WrongFormat("bad SZ3 pipeline tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_metrics::max_abs_error;
+    use qip_tensor::Shape;
+
+    fn smooth(dims: &[usize]) -> Field<f32> {
+        Field::from_fn(Shape::new(dims), |c| {
+            let x = c[0] as f32;
+            let y = c.get(1).copied().unwrap_or(0) as f32;
+            let z = c.get(2).copied().unwrap_or(0) as f32;
+            (0.09 * x).sin() * (0.05 * y).cos() + 0.01 * z
+        })
+    }
+
+    #[test]
+    fn roundtrip_bound() {
+        let f = smooth(&[25, 19, 13]);
+        for qp in [QpConfig::off(), QpConfig::best_fit()] {
+            let sz3 = Sz3::new().with_qp(qp);
+            let bytes = sz3.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+            let out = sz3.decompress(&bytes).unwrap();
+            assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn qp_preserves_decompressed_data() {
+        let f = smooth(&[40, 30, 20]);
+        let plain = Sz3::new();
+        let qp = Sz3::new().with_qp(QpConfig::best_fit());
+        let a: Field<f32> =
+            plain.decompress(&plain.compress(&f, ErrorBound::Abs(1e-4)).unwrap()).unwrap();
+        let b: Field<f32> =
+            qp.decompress(&qp.compress(&f, ErrorBound::Abs(1e-4)).unwrap()).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn name_reflects_qp() {
+        assert_eq!(Compressor::<f32>::name(&Sz3::new()), "SZ3");
+        assert_eq!(Compressor::<f32>::name(&Sz3::new().with_qp(QpConfig::best_fit())), "SZ3+QP");
+    }
+
+    #[test]
+    fn forced_pipelines_roundtrip() {
+        let f = smooth(&[30, 22, 11]);
+        for p in [Pipeline::Interpolation, Pipeline::Lorenzo] {
+            let sz3 = Sz3::new().with_pipeline(p);
+            let bytes = sz3.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+            assert_eq!(Sz3::pipeline_of(&bytes).unwrap(), p);
+            let out = sz3.decompress(&bytes).unwrap();
+            assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn decompress_either_pipeline_without_hint() {
+        // The auto decompressor must handle streams regardless of the
+        // pipeline chosen at compression time.
+        let f = smooth(&[34, 34, 8]);
+        let enc_l = Sz3::new().with_pipeline(Pipeline::Lorenzo);
+        let bytes = enc_l.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+        let out = Sz3::new().decompress(&bytes).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let res: Result<Field<f32>, _> = Sz3::new().decompress(&[0u8; 3]);
+        assert!(res.is_err());
+        assert!(Sz3::pipeline_of(&[MAGIC_SZ3, 7]).is_err());
+    }
+}

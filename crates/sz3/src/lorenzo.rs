@@ -1,0 +1,476 @@
+//! Multidimensional Lorenzo + regression pipeline (SZ3's non-interpolation
+//! fallback, i.e. the SZ2 predictor family).
+//!
+//! 3-D fields are processed block by block (6³, the SZ2 granularity): each
+//! block picks between the Lorenzo closed form over already-reconstructed
+//! neighbors and a per-block least-squares **linear regression** predictor
+//! (see [`crate::regression`]), whichever fit the original samples better;
+//! the choice bit and regression coefficients travel in the stream. Smaller
+//! or lower-dimensional fields use the plain row-major Lorenzo scan.
+//! Residuals go through linear-scaling quantization and the Huffman→LZ
+//! stack. The paper's QP method deliberately does **not** apply here —
+//! Lorenzo residuals lack the clustering effect (paper Sec. VI-B) — so this
+//! pipeline has no QP hook.
+
+use crate::regression::PlaneFit;
+use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_core::{CompressError, ErrorBound, StreamHeader};
+use qip_predict::{lorenzo2, lorenzo3};
+use qip_quant::{LinearQuantizer, Quantized, UNPRED};
+use qip_tensor::{Field, Scalar};
+
+/// SZ2's block edge for the regression predictor.
+const REG_BLOCK: usize = 6;
+
+/// Quantization indices of the Lorenzo pipeline in spatial (row-major)
+/// order — the characterization hook used by the workspace's ablations to
+/// verify the paper's rationale that Lorenzo residuals, unlike interpolation
+/// residuals, show no clustering for QP to exploit (paper Sec. VI-B).
+pub fn quant_indices<T: Scalar>(
+    field: &Field<T>,
+    bound: ErrorBound,
+) -> Result<Vec<i32>, CompressError> {
+    let dims = field.shape().dims().to_vec();
+    if dims.len() > 3 {
+        return Err(CompressError::Unsupported("Lorenzo pipeline supports 1-3 dimensions"));
+    }
+    let abs_eb = bound.absolute(field.value_range());
+    let quant = LinearQuantizer::new(abs_eb);
+    let strides = field.shape().strides().to_vec();
+    let mut buf = field.as_slice().to_vec();
+    let mut q = Vec::with_capacity(buf.len());
+    scan(&dims, &strides, |flat, coords| {
+        let pred = predict(&buf, &dims, &strides, coords, flat);
+        match quant.quantize(buf[flat], pred) {
+            Quantized::Pred { index, recon } => {
+                q.push(index);
+                buf[flat] = recon;
+            }
+            Quantized::Unpred => q.push(UNPRED),
+        }
+    });
+    Ok(q)
+}
+
+/// Compress `field` with the Lorenzo pipeline under `bound`.
+pub fn compress<T: Scalar>(
+    field: &Field<T>,
+    bound: ErrorBound,
+    magic: u8,
+) -> Result<Vec<u8>, CompressError> {
+    let dims = field.shape().dims().to_vec();
+    if dims.len() > 3 {
+        return Err(CompressError::Unsupported("Lorenzo pipeline supports 1-3 dimensions"));
+    }
+    let abs_eb = bound.absolute(field.value_range());
+    let mut w = ByteWriter::with_capacity(field.len() / 4 + 64);
+    StreamHeader {
+        magic,
+        scalar_bits: T::BITS as u8,
+        shape: field.shape().clone(),
+        abs_eb,
+    }
+    .write(&mut w);
+    if field.is_empty() {
+        return Ok(w.finish());
+    }
+
+    let blockwise = dims.len() == 3 && dims.iter().all(|&d| d >= 2 * REG_BLOCK);
+    w.put_u8(blockwise as u8);
+
+    let quant = LinearQuantizer::new(abs_eb);
+    let strides = field.shape().strides().to_vec();
+    let mut buf = field.as_slice().to_vec();
+    let mut q = Vec::with_capacity(buf.len());
+    let mut unpred: Vec<u8> = Vec::new();
+
+    if blockwise {
+        // --- SZ2-style block pipeline: choose Lorenzo vs regression per 6³ ---
+        let origins: Vec<Vec<usize>> = field.shape().blocks(REG_BLOCK).collect();
+        let mut choices = Vec::with_capacity(origins.len());
+        let mut coeffs: Vec<u8> = Vec::new();
+        for origin in &origins {
+            let ext: Vec<usize> =
+                (0..3).map(|a| REG_BLOCK.min(dims[a] - origin[a])).collect();
+            let fit = PlaneFit::fit(&ext, |local| {
+                let gc: Vec<usize> =
+                    origin.iter().zip(local).map(|(&o, &l)| o + l).collect();
+                field.get(&gc)
+            })
+            .rounded();
+            // Estimate both predictors on the original samples.
+            let (mut e_reg, mut e_lor) = (0.0f64, 0.0f64);
+            for_block(&ext, |local| {
+                let gc: Vec<usize> =
+                    origin.iter().zip(local).map(|(&o, &l)| o + l).collect();
+                let d = field.get(&gc).to_f64();
+                e_reg += (d - fit.predict(&ext, local)).abs();
+                let flat: usize = gc.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+                e_lor += (d - predict(field.as_slice(), &dims, &strides, &gc, flat)).abs();
+            });
+            let use_reg = e_reg < e_lor;
+            choices.push(use_reg);
+            if use_reg {
+                fit.write(&mut coeffs);
+            }
+        }
+        // Pack choice bits.
+        let mut bits = vec![0u8; choices.len().div_ceil(8)];
+        for (i, &c) in choices.iter().enumerate() {
+            if c {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.put_block(&bits);
+        w.put_block(&coeffs);
+
+        // Compression sweep in block order with quantizer feedback.
+        let mut coeff_cursor = 0usize;
+        for (bi, origin) in origins.iter().enumerate() {
+            let ext: Vec<usize> =
+                (0..3).map(|a| REG_BLOCK.min(dims[a] - origin[a])).collect();
+            let fit = if choices[bi] {
+                let f = PlaneFit::read(&coeffs[coeff_cursor..]).expect("own coeffs");
+                coeff_cursor += 16;
+                Some(f)
+            } else {
+                None
+            };
+            for_block(&ext, |local| {
+                let gc: Vec<usize> =
+                    origin.iter().zip(local).map(|(&o, &l)| o + l).collect();
+                let flat: usize = gc.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+                let pred = match &fit {
+                    Some(f) => f.predict(&ext, local),
+                    None => predict(&buf, &dims, &strides, &gc, flat),
+                };
+                match quant.quantize(buf[flat], pred) {
+                    Quantized::Pred { index, recon } => {
+                        q.push(index);
+                        buf[flat] = recon;
+                    }
+                    Quantized::Unpred => {
+                        q.push(UNPRED);
+                        buf[flat].write_le(&mut unpred);
+                    }
+                }
+            });
+        }
+    } else {
+        scan(&dims, &strides, |flat, coords| {
+            let pred = predict(&buf, &dims, &strides, coords, flat);
+            match quant.quantize(buf[flat], pred) {
+                Quantized::Pred { index, recon } => {
+                    q.push(index);
+                    buf[flat] = recon;
+                }
+                Quantized::Unpred => {
+                    q.push(UNPRED);
+                    buf[flat].write_le(&mut unpred);
+                }
+            }
+        });
+    }
+
+    w.put_block(&unpred);
+    w.put_block(&encode_indices(&q));
+    Ok(w.finish())
+}
+
+/// Row-major iteration over block-local coordinates.
+fn for_block(ext: &[usize], mut f: impl FnMut(&[usize])) {
+    let ndim = ext.len();
+    let total: usize = ext.iter().product();
+    let mut local = vec![0usize; ndim];
+    for _ in 0..total {
+        f(&local);
+        for a in (0..ndim).rev() {
+            local[a] += 1;
+            if local[a] < ext[a] {
+                break;
+            }
+            local[a] = 0;
+        }
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress<T: Scalar>(bytes: &[u8], magic: u8) -> Result<Field<T>, CompressError> {
+    let mut r = ByteReader::new(bytes);
+    let header = StreamHeader::read(&mut r, magic, T::BITS as u8)?;
+    let dims = header.shape.dims().to_vec();
+    let n: usize = dims.iter().product();
+    if n == 0 {
+        return Ok(Field::zeros(header.shape));
+    }
+    let quant = LinearQuantizer::new(header.abs_eb);
+    let strides = header.shape.strides().to_vec();
+
+    let blockwise = r.get_u8()? != 0;
+    let (choices, coeffs): (Vec<bool>, Vec<PlaneFit>) = if blockwise {
+        if dims.len() != 3 {
+            return Err(CompressError::WrongFormat("blockwise mode requires 3-D"));
+        }
+        let n_blocks = header.shape.blocks(REG_BLOCK).count();
+        let bits = r.get_block()?;
+        if bits.len() != n_blocks.div_ceil(8) {
+            return Err(CompressError::WrongFormat("choice bitmap size mismatch"));
+        }
+        let choices: Vec<bool> =
+            (0..n_blocks).map(|i| bits[i / 8] & (1 << (i % 8)) != 0).collect();
+        let n_reg = choices.iter().filter(|&&c| c).count();
+        let cb = r.get_block()?;
+        if cb.len() != n_reg * 16 {
+            return Err(CompressError::WrongFormat("coefficient block size mismatch"));
+        }
+        let coeffs: Vec<PlaneFit> = cb
+            .chunks_exact(16)
+            .map(|c| PlaneFit::read(c).expect("exact chunk"))
+            .collect();
+        (choices, coeffs)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let unpred_bytes = r.get_block()?;
+    if unpred_bytes.len() % T::BYTES != 0 {
+        return Err(CompressError::WrongFormat("unpredictable block misaligned"));
+    }
+    let mut unpred = Vec::with_capacity(unpred_bytes.len() / T::BYTES);
+    for chunk in unpred_bytes.chunks_exact(T::BYTES) {
+        unpred.push(T::read_le(chunk)?);
+    }
+    let q = decode_indices(r.get_block()?)?;
+    if q.len() != n {
+        return Err(CompressError::WrongFormat("index count mismatch"));
+    }
+
+    let mut buf = vec![T::ZERO; n];
+    let mut cursor = 0usize;
+    let mut unpred_cursor = 0usize;
+    let mut fail: Option<CompressError> = None;
+
+    if blockwise {
+        let origins: Vec<Vec<usize>> = header.shape.blocks(REG_BLOCK).collect();
+        let mut reg_cursor = 0usize;
+        for (bi, origin) in origins.iter().enumerate() {
+            let ext: Vec<usize> =
+                (0..3).map(|a| REG_BLOCK.min(dims[a] - origin[a])).collect();
+            let fit = if choices[bi] {
+                let f = coeffs[reg_cursor];
+                reg_cursor += 1;
+                Some(f)
+            } else {
+                None
+            };
+            for_block(&ext, |local| {
+                if fail.is_some() {
+                    return;
+                }
+                let gc: Vec<usize> =
+                    origin.iter().zip(local).map(|(&o, &l)| o + l).collect();
+                let flat: usize = gc.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+                let idx = q[cursor];
+                cursor += 1;
+                if idx == UNPRED {
+                    match unpred.get(unpred_cursor) {
+                        Some(&v) => {
+                            unpred_cursor += 1;
+                            buf[flat] = v;
+                        }
+                        None => {
+                            fail = Some(CompressError::WrongFormat(
+                                "unpredictable channel exhausted",
+                            ))
+                        }
+                    }
+                } else {
+                    let pred = match &fit {
+                        Some(f) => f.predict(&ext, local),
+                        None => predict(&buf, &dims, &strides, &gc, flat),
+                    };
+                    buf[flat] = quant.recover(pred, idx);
+                }
+            });
+        }
+    } else {
+        scan(&dims, &strides, |flat, coords| {
+            if fail.is_some() {
+                return;
+            }
+            let idx = q[cursor];
+            cursor += 1;
+            if idx == UNPRED {
+                match unpred.get(unpred_cursor) {
+                    Some(&v) => {
+                        unpred_cursor += 1;
+                        buf[flat] = v;
+                    }
+                    None => {
+                        fail =
+                            Some(CompressError::WrongFormat("unpredictable channel exhausted"))
+                    }
+                }
+            } else {
+                let pred = predict(&buf, &dims, &strides, coords, flat);
+                buf[flat] = quant.recover(pred, idx);
+            }
+        });
+    }
+    if let Some(e) = fail {
+        return Err(e);
+    }
+    Ok(Field::from_vec(header.shape, buf)?)
+}
+
+/// Row-major scan calling `f(flat, coords)`.
+fn scan(dims: &[usize], _strides: &[usize], mut f: impl FnMut(usize, &[usize])) {
+    let ndim = dims.len();
+    let total: usize = dims.iter().product();
+    let mut coords = vec![0usize; ndim];
+    for flat in 0..total {
+        f(flat, &coords);
+        for a in (0..ndim).rev() {
+            coords[a] += 1;
+            if coords[a] < dims[a] {
+                break;
+            }
+            coords[a] = 0;
+        }
+    }
+}
+
+/// N-D Lorenzo prediction with zero-padding outside the field.
+#[inline]
+fn predict<T: Scalar>(
+    buf: &[T],
+    dims: &[usize],
+    strides: &[usize],
+    coords: &[usize],
+    flat: usize,
+) -> f64 {
+    let at = |mask: &[usize]| -> f64 {
+        // mask[i] = 1 means step back along axis i.
+        let mut idx = flat;
+        for (a, &m) in mask.iter().enumerate() {
+            if m == 1 {
+                if coords[a] == 0 {
+                    return 0.0;
+                }
+                idx -= strides[a];
+            }
+        }
+        buf[idx].to_f64()
+    };
+    match dims.len() {
+        1 => at(&[1]),
+        2 => lorenzo2(at(&[1, 0]), at(&[0, 1]), at(&[1, 1])),
+        _ => lorenzo3(
+            at(&[1, 0, 0]),
+            at(&[0, 1, 0]),
+            at(&[0, 0, 1]),
+            at(&[1, 1, 0]),
+            at(&[1, 0, 1]),
+            at(&[0, 1, 1]),
+            at(&[1, 1, 1]),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_metrics::max_abs_error;
+    use qip_tensor::Shape;
+
+    #[test]
+    fn roundtrip_3d() {
+        let f = Field::<f32>::from_fn(Shape::d3(14, 11, 9), |c| {
+            (c[0] as f32 * 0.3).sin() + c[1] as f32 * 0.05 - c[2] as f32 * 0.02
+        });
+        let bytes = compress(&f, ErrorBound::Abs(1e-3), 0x22).unwrap();
+        let out: Field<f32> = decompress(&bytes, 0x22).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_1d_2d() {
+        for dims in [vec![50usize], vec![17, 23]] {
+            let f = Field::<f64>::from_fn(Shape::new(&dims), |c| {
+                c.iter().map(|&x| (x as f64 * 0.2).cos()).sum()
+            });
+            let bytes = compress(&f, ErrorBound::Abs(1e-5), 9).unwrap();
+            let out: Field<f64> = decompress(&bytes, 9).unwrap();
+            assert!(max_abs_error(&f, &out) <= 1e-5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn planes_compress_to_nearly_nothing() {
+        // 2-D Lorenzo is exact on planes: all indices zero.
+        let f = Field::<f32>::from_fn(Shape::d2(64, 64), |c| {
+            3.0 * c[0] as f32 + 4.0 * c[1] as f32
+        });
+        let bytes = compress(&f, ErrorBound::Abs(1e-2), 9).unwrap();
+        assert!(bytes.len() < 200, "got {}", bytes.len());
+    }
+
+    #[test]
+    fn wrong_magic_and_truncation() {
+        let f = Field::<f32>::from_fn(Shape::d2(8, 8), |c| c[0] as f32);
+        let bytes = compress(&f, ErrorBound::Abs(1e-2), 5).unwrap();
+        assert!(decompress::<f32>(&bytes, 6).is_err());
+        assert!(decompress::<f32>(&bytes[..bytes.len() / 2], 5).is_err());
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = Field::<f32>::zeros(Shape::d2(0, 3));
+        let bytes = compress(&f, ErrorBound::Abs(1.0), 5).unwrap();
+        let out: Field<f32> = decompress(&bytes, 5).unwrap();
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod blockwise_tests {
+    use super::*;
+    use qip_metrics::max_abs_error;
+    use qip_tensor::Shape;
+
+    #[test]
+    fn blockwise_roundtrip_bound() {
+        // Large 3-D field takes the SZ2 block path.
+        let f = Field::<f32>::from_fn(Shape::d3(25, 19, 14), |c| {
+            (c[0] as f32 * 0.2).sin() + 0.3 * c[1] as f32 - 0.1 * c[2] as f32
+        });
+        let bytes = compress(&f, ErrorBound::Abs(1e-3), 0x22).unwrap();
+        let out: Field<f32> = decompress(&bytes, 0x22).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-3 + 1e-9);
+    }
+
+    #[test]
+    fn regression_wins_on_tilted_planes() {
+        // A plane with per-point alternating noise: Lorenzo doubles the noise
+        // (second differences), regression averages it away, so blockwise
+        // must beat a hypothetical pure-Lorenzo run.
+        let f = Field::<f32>::from_fn(Shape::d3(24, 24, 24), |c| {
+            let noise = if (c[0] + c[1] + c[2]) % 2 == 0 { 0.02 } else { -0.02 };
+            c[0] as f32 * 0.5 + c[1] as f32 * 0.25 - c[2] as f32 * 0.125 + noise
+        });
+        let bytes = compress(&f, ErrorBound::Abs(5e-3), 0x22).unwrap();
+        let out: Field<f32> = decompress(&bytes, 0x22).unwrap();
+        assert!(max_abs_error(&f, &out) <= 5e-3 + 1e-9);
+        // The pipeline must compress this strongly (regression nails planes).
+        assert!(bytes.len() * 6 < f.len() * 4, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn small_fields_use_plain_scan() {
+        // Below the block threshold the plain scan path still round-trips.
+        let f = Field::<f32>::from_fn(Shape::d3(8, 8, 8), |c| c[0] as f32);
+        let bytes = compress(&f, ErrorBound::Abs(1e-2), 0x22).unwrap();
+        let out: Field<f32> = decompress(&bytes, 0x22).unwrap();
+        assert!(max_abs_error(&f, &out) <= 1e-2 + 1e-9);
+    }
+}

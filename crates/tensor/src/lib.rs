@@ -1,0 +1,68 @@
+//! N-dimensional field container for scientific data.
+//!
+//! This crate is the bottom layer of the QIP workspace: a small, dependency-free
+//! container for regular grids of floating-point samples, with the handful of
+//! operations the compressors actually need — row-major strides, flat/coordinate
+//! conversion, plane slicing, block iteration, and byte (de)serialization.
+//!
+//! Scientific fields in this reproduction are 1-D to 4-D (the RTM dataset is a
+//! 4-D time series); the [`Shape`] type is dynamic over that range.
+
+#![warn(missing_docs)]
+
+mod field;
+mod scalar;
+mod shape;
+
+pub use field::Field;
+pub use scalar::Scalar;
+pub use shape::{BlockIter, Shape};
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape volume.
+    LengthMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An axis argument exceeds the dimensionality.
+    AxisOutOfRange {
+        /// Offending axis index.
+        axis: usize,
+        /// Dimensionality of the shape.
+        ndim: usize,
+    },
+    /// A coordinate exceeds the extent along its axis.
+    IndexOutOfRange {
+        /// Axis the index belongs to.
+        axis: usize,
+        /// Offending coordinate.
+        index: usize,
+        /// Extent along that axis.
+        extent: usize,
+    },
+    /// Byte buffer cannot be decoded into the requested scalar type.
+    BadBytes(&'static str),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape wants {expected}, got {actual}")
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {axis} out of range for {ndim}-d shape")
+            }
+            TensorError::IndexOutOfRange { axis, index, extent } => {
+                write!(f, "index {index} out of range for axis {axis} (extent {extent})")
+            }
+            TensorError::BadBytes(msg) => write!(f, "bad bytes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,159 @@
+//! Floating-point scalar abstraction.
+//!
+//! All compressors in the workspace are generic over [`Scalar`] so that the
+//! single-precision datasets (Miranda, SegSalt, …) and the double-precision
+//! one (S3D) share the same code paths, as in the original SZ3/QoZ codebases.
+
+use crate::TensorError;
+
+/// A floating-point sample type understood by the compressors.
+///
+/// Only `f32` and `f64` implement this; the trait exists to avoid pulling in a
+/// numeric-traits crate for two types.
+pub trait Scalar:
+    Copy
+    + Clone
+    + PartialOrd
+    + PartialEq
+    + std::fmt::Debug
+    + std::fmt::Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of bytes in the on-disk representation (4 or 8).
+    const BYTES: usize;
+    /// Number of bits per sample; the numerator of the bit-rate formula
+    /// (paper Sec. III-A: bit-rate = 32/64 over compression ratio).
+    const BITS: u32;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossless widening to `f64` (exact for `f32` inputs).
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+    /// Append the little-endian byte representation to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Read a value from the first `Self::BYTES` bytes of `src`.
+    fn read_le(src: &[u8]) -> Result<Self, TensorError>;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const BITS: u32 = 32;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(src: &[u8]) -> Result<Self, TensorError> {
+        let bytes: [u8; 4] = src
+            .get(..4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(TensorError::BadBytes("need 4 bytes for f32"))?;
+        Ok(f32::from_le_bytes(bytes))
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const BITS: u32 = 64;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(src: &[u8]) -> Result<Self, TensorError> {
+        let bytes: [u8; 8] = src
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(TensorError::BadBytes("need 8 bytes for f64"))?;
+        Ok(f64::from_le_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_bytes() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn f64_roundtrip_bytes() {
+        let mut buf = Vec::new();
+        (-2.25f64).write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf).unwrap(), -2.25);
+    }
+
+    #[test]
+    fn short_buffer_is_error() {
+        assert!(f32::read_le(&[1, 2, 3]).is_err());
+        assert!(f64::read_le(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn widening_is_exact_for_f32() {
+        let v = 0.1f32;
+        assert_eq!(f32::from_f64(v.to_f64()), v);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(<f32 as Scalar>::BITS, 32);
+        assert_eq!(<f64 as Scalar>::BITS, 64);
+        assert_eq!(<f32 as Scalar>::ZERO + <f32 as Scalar>::ONE, 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Row-major shapes, strides and coordinate arithmetic.
+
+use crate::TensorError;
+
+/// Maximum dimensionality supported by the workspace (RTM is 4-D).
+pub const MAX_NDIM: usize = 4;
+
+/// A row-major (C-order) shape: the **last** axis varies fastest in memory.
+///
+/// In the paper's 3-D convention the axes are named `(z, y, x)` with `x`
+/// contiguous; this matches how SZ3 stores fields and how the interpolation
+/// passes in [Fig. 2 of the paper] walk memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Build a shape from its extents. Zero-extent axes are allowed (empty field).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_NDIM,
+            "shape must be 1..={MAX_NDIM}-d, got {}-d",
+            dims.len()
+        );
+        let mut strides = vec![0usize; dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc.saturating_mul(d);
+        }
+        Shape { dims: dims.to_vec(), strides }
+    }
+
+    /// Convenience constructor for 3-D shapes `(n0, n1, n2)`.
+    pub fn d3(n0: usize, n1: usize, n2: usize) -> Self {
+        Shape::new(&[n0, n1, n2])
+    }
+
+    /// Convenience constructor for 2-D shapes.
+    pub fn d2(n0: usize, n1: usize) -> Self {
+        Shape::new(&[n0, n1])
+    }
+
+    /// Convenience constructor for 1-D shapes.
+    pub fn d1(n0: usize) -> Self {
+        Shape::new(&[n0])
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extents per axis.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent along `axis`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) per axis.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Stride (in elements) along `axis`.
+    #[inline]
+    pub fn stride(&self, axis: usize) -> usize {
+        self.strides[axis]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when any extent is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of a coordinate tuple (must have `ndim` entries, in range).
+    #[inline]
+    pub fn flat(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.ndim());
+        coords
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| c * s)
+            .sum()
+    }
+
+    /// Checked version of [`Shape::flat`].
+    pub fn flat_checked(&self, coords: &[usize]) -> Result<usize, TensorError> {
+        if coords.len() != self.ndim() {
+            return Err(TensorError::AxisOutOfRange { axis: coords.len(), ndim: self.ndim() });
+        }
+        for (axis, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            if c >= d {
+                return Err(TensorError::IndexOutOfRange { axis, index: c, extent: d });
+            }
+        }
+        Ok(self.flat(coords))
+    }
+
+    /// Coordinate tuple of a flat index.
+    pub fn coords(&self, mut flat: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.ndim()];
+        for (i, &s) in self.strides.iter().enumerate() {
+            if let Some(q) = flat.checked_div(s) {
+                out[i] = q;
+                flat %= s;
+            }
+        }
+        out
+    }
+
+    /// Shape with `axis` removed (for plane slicing). Panics if 1-D.
+    pub fn drop_axis(&self, axis: usize) -> Shape {
+        assert!(self.ndim() > 1, "cannot drop the only axis");
+        assert!(axis < self.ndim());
+        let dims: Vec<usize> = self
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        Shape::new(&dims)
+    }
+
+    /// Iterate over the origins of non-overlapping blocks of extent
+    /// `block` per axis (edge blocks are clipped by the consumer).
+    pub fn blocks(&self, block: usize) -> BlockIter {
+        assert!(block > 0);
+        BlockIter { shape: self.clone(), block, next: Some(vec![0; self.ndim()]) }
+    }
+}
+
+/// Iterator over block origins; see [`Shape::blocks`].
+pub struct BlockIter {
+    shape: Shape,
+    block: usize,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for BlockIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.take()?;
+        if self.shape.is_empty() {
+            return None;
+        }
+        // Advance odometer in units of `block`, last axis fastest.
+        let mut nxt = cur.clone();
+        for axis in (0..self.shape.ndim()).rev() {
+            nxt[axis] += self.block;
+            if nxt[axis] < self.shape.dim(axis) {
+                self.next = Some(nxt);
+                return Some(cur);
+            }
+            nxt[axis] = 0;
+        }
+        self.next = None;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.strides(), &[30, 6, 1]);
+        assert_eq!(s.len(), 120);
+    }
+
+    #[test]
+    fn flat_and_coords_inverse() {
+        let s = Shape::d3(3, 4, 5);
+        for f in 0..s.len() {
+            let c = s.coords(f);
+            assert_eq!(s.flat(&c), f);
+        }
+    }
+
+    #[test]
+    fn flat_checked_rejects_out_of_range() {
+        let s = Shape::d2(2, 3);
+        assert!(s.flat_checked(&[1, 2]).is_ok());
+        assert!(matches!(
+            s.flat_checked(&[2, 0]),
+            Err(TensorError::IndexOutOfRange { axis: 0, .. })
+        ));
+        assert!(s.flat_checked(&[0]).is_err());
+    }
+
+    #[test]
+    fn drop_axis_shapes() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.drop_axis(0).dims(), &[5, 6]);
+        assert_eq!(s.drop_axis(1).dims(), &[4, 6]);
+        assert_eq!(s.drop_axis(2).dims(), &[4, 5]);
+    }
+
+    #[test]
+    fn block_iter_covers_all_origins() {
+        let s = Shape::d2(5, 7);
+        let origins: Vec<_> = s.blocks(3).collect();
+        assert_eq!(
+            origins,
+            vec![
+                vec![0, 0],
+                vec![0, 3],
+                vec![0, 6],
+                vec![3, 0],
+                vec![3, 3],
+                vec![3, 6]
+            ]
+        );
+    }
+
+    #[test]
+    fn block_iter_empty_shape_yields_nothing() {
+        let s = Shape::d2(0, 4);
+        assert_eq!(s.blocks(2).count(), 0);
+    }
+
+    #[test]
+    fn one_d_shape() {
+        let s = Shape::d1(10);
+        assert_eq!(s.strides(), &[1]);
+        assert_eq!(s.coords(7), vec![7]);
+    }
+
+    #[test]
+    fn four_d_shape() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.strides(), &[60, 20, 5, 1]);
+        assert_eq!(s.flat(&[1, 2, 3, 4]), 60 + 40 + 15 + 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn five_d_rejected() {
+        let _ = Shape::new(&[1, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dense symmetric eigendecomposition (cyclic Jacobi).
+//!
+//! TTHRESH needs the eigenvectors of mode-unfolding Gram matrices (symmetric
+//! positive semi-definite, a few hundred rows at our scales). The classic
+//! cyclic Jacobi iteration is simple, numerically robust, and fast enough —
+//! and keeps the workspace free of linear-algebra dependencies.
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+pub struct Jacobi {
+    /// Convergence threshold on the off-diagonal Frobenius norm, relative to
+    /// the matrix norm.
+    pub tol: f64,
+    /// Maximum number of full sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for Jacobi {
+    fn default() -> Self {
+        Jacobi { tol: 1e-12, max_sweeps: 30 }
+    }
+}
+
+impl Jacobi {
+    /// Decompose symmetric `a` (`n × n`, row-major): returns
+    /// `(eigenvalues, eigenvectors)` with eigenvectors stored column-wise in a
+    /// row-major matrix (`v[i*n + k]` = component `i` of eigenvector `k`),
+    /// unsorted.
+    pub fn decompose(&self, a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(a.len(), n * n);
+        let mut a = a.to_vec();
+        let mut v = vec![0.0f64; n * n];
+        for i in 0..n {
+            v[i * n + i] = 1.0;
+        }
+        if n <= 1 {
+            return (a, v);
+        }
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+
+        for _ in 0..self.max_sweeps {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += a[p * n + q] * a[p * n + q];
+                }
+            }
+            if (2.0 * off).sqrt() <= self.tol * norm {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a[p * n + q];
+                    if apq.abs() <= 1e-300 {
+                        continue;
+                    }
+                    let app = a[p * n + p];
+                    let aqq = a[q * n + q];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // A ← Jᵀ A J for the (p, q) rotation.
+                    for k in 0..n {
+                        let akp = a[k * n + p];
+                        let akq = a[k * n + q];
+                        a[k * n + p] = c * akp - s * akq;
+                        a[k * n + q] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[p * n + k];
+                        let aqk = a[q * n + k];
+                        a[p * n + k] = c * apk - s * aqk;
+                        a[q * n + k] = s * apk + c * aqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[k * n + p];
+                        let vkq = v[k * n + q];
+                        v[k * n + p] = c * vkp - s * vkq;
+                        v[k * n + q] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let vals: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+        (vals, v)
+    }
+}
+
+/// Eigendecomposition sorted by descending eigenvalue; eigenvectors stay
+/// column-aligned with the values (`v[i*n + k]` belongs to `vals[k]`).
+pub fn sym_eigen_desc(a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    let (vals, vecs) = Jacobi::default().decompose(a, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| vals[j].partial_cmp(&vals[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let sorted_vals: Vec<f64> = order.iter().map(|&k| vals[k]).collect();
+    let mut sorted_vecs = vec![0.0f64; n * n];
+    for (new_k, &old_k) in order.iter().enumerate() {
+        for i in 0..n {
+            sorted_vecs[i * n + new_k] = vecs[i * n + old_k];
+        }
+    }
+    (sorted_vals, sorted_vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let (vals, _) = sym_eigen_desc(&a, 3);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1) and (1,−1).
+        let a = vec![2.0, 1.0, 1.0, 2.0];
+        let (vals, vecs) = sym_eigen_desc(&a, 2);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        let v0 = [vecs[0], vecs[2]];
+        assert!((v0[0].abs() - v0[1].abs()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_equation_holds() {
+        // Pseudo-random symmetric 8×8: check A v = λ v for every pair.
+        let n = 8;
+        let mut a = vec![0.0f64; n * n];
+        let mut state = 1234u64;
+        for i in 0..n {
+            for j in i..n {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let v = ((state >> 33) as f64 / 2.0_f64.powi(31)) - 0.5;
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let (vals, vecs) = sym_eigen_desc(&a, n);
+        for k in 0..n {
+            let x: Vec<f64> = (0..n).map(|i| vecs[i * n + k]).collect();
+            let ax = matvec(&a, n, &x);
+            for i in 0..n {
+                assert!((ax[i] - vals[k] * x[i]).abs() < 1e-8, "pair {k}");
+            }
+        }
+        // Eigenvalues sorted descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let n = 6;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+        }
+        let (_, vecs) = sym_eigen_desc(&a, n);
+        for k1 in 0..n {
+            for k2 in 0..n {
+                let dot: f64 = (0..n).map(|i| vecs[i * n + k1] * vecs[i * n + k2]).sum();
+                let expect = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "({k1},{k2}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let (vals, vecs) = sym_eigen_desc(&[5.0], 1);
+        assert_eq!(vals, vec![5.0]);
+        assert_eq!(vecs, vec![1.0]);
+    }
+}

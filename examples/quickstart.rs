@@ -1,0 +1,47 @@
+//! Quickstart: compress a scientific field with SZ3, then switch QP on.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qip::prelude::*;
+
+fn main() {
+    // A Miranda-like turbulence field (synthetic stand-in for the paper's
+    // hydrodynamics dataset; see DESIGN.md §5).
+    let field = qip::data::miranda_like(0, &[64, 96, 96]);
+    let raw_bytes = field.len() * 4;
+    println!("field: {:?} = {} samples ({} bytes raw)", field.shape().dims(), field.len(), raw_bytes);
+
+    // Error-bounded compression: every sample of the reconstruction is within
+    // the bound of the original. 1e-3 here is relative to the value range.
+    let bound = ErrorBound::Rel(1e-3);
+
+    // Vanilla SZ3.
+    let sz3 = qip::sz3::Sz3::new();
+    let bytes = sz3.compress(&field, bound).expect("compress");
+    let restored: Field<f32> = sz3.decompress(&bytes).expect("decompress");
+    report("SZ3", &field, &restored, bytes.len());
+
+    // SZ3 with the paper's quantization index prediction. Note the identical
+    // PSNR/max-error: QP only transforms the encoded stream, never the data.
+    let sz3_qp = qip::sz3::Sz3::new().with_qp(QpConfig::best_fit());
+    let bytes_qp = sz3_qp.compress(&field, bound).expect("compress");
+    let restored_qp: Field<f32> = sz3_qp.decompress(&bytes_qp).expect("decompress");
+    report("SZ3+QP", &field, &restored_qp, bytes_qp.len());
+
+    assert_eq!(
+        restored.as_slice(),
+        restored_qp.as_slice(),
+        "QP must not change the decompressed data"
+    );
+    println!(
+        "\nQP compression ratio gain: {:+.1}%",
+        (bytes.len() as f64 / bytes_qp.len() as f64 - 1.0) * 100.0
+    );
+}
+
+fn report(name: &str, original: &Field<f32>, restored: &Field<f32>, compressed: usize) {
+    let cr = (original.len() * 4) as f64 / compressed as f64;
+    let psnr = qip::metrics::psnr(original, restored);
+    let max_err = qip::metrics::max_abs_error(original, restored);
+    println!("{name:8} CR {cr:7.2}   PSNR {psnr:6.2} dB   max|err| {max_err:.3e}");
+}

@@ -1,0 +1,55 @@
+//! Seismic survey archival: the paper's motivating SegSalt scenario.
+//!
+//! Compares the four interpolation-based compressors with and without QP on a
+//! SegSalt-like pressure field, and demonstrates the characterization API —
+//! the clustering effect in the quantization indices that makes QP work.
+//!
+//! Run with: `cargo run --release --example seismic_survey`
+
+use qip::prelude::*;
+use qip::metrics::{entropy, entropy_region};
+
+fn main() {
+    let dims = [252usize, 252, 88]; // SegSalt at quarter scale
+    let field = qip::data::segsalt_like(17, &dims);
+    let bound = ErrorBound::Rel(1e-4);
+    println!("SegSalt-like pressure field {dims:?}, relative bound 1e-4\n");
+
+    println!("{:<10} {:>10} {:>10} {:>8}", "compressor", "CR", "CR+QP", "QP gain");
+    run_pair("MGARD", &field, bound, |qp| Box::new(qip::mgard::Mgard::new().with_qp(qp)));
+    run_pair("SZ3", &field, bound, |qp| Box::new(qip::sz3::Sz3::new().with_qp(qp)));
+    run_pair("QoZ", &field, bound, |qp| Box::new(qip::qoz::Qoz::new().with_qp(qp)));
+    run_pair("HPEZ", &field, bound, |qp| Box::new(qip::hpez::Hpez::new().with_qp(qp)));
+
+    // Characterization: why does QP help? The quantization index array keeps
+    // spatial correlation ("clustering") that the entropy stage can't see.
+    let sz3 = qip::sz3::Sz3::new().with_qp(QpConfig::best_fit());
+    let cap = sz3.quant_capture(&field, bound).expect("capture");
+    let h_q = entropy(&cap.q);
+    let h_qp = entropy(&cap.q_prime);
+    println!("\nSZ3 index entropy:   H(Q) = {h_q:.3} bits -> H(Q') = {h_qp:.3} bits after QP");
+
+    // Regional entropy near the salt-dome boundary (high-activity region).
+    let dome = entropy_region(&cap.q, &dims, &[100, 100, 55], &[60, 60, 20], &[2, 2, 2]);
+    let dome_qp = entropy_region(&cap.q_prime, &dims, &[100, 100, 55], &[60, 60, 20], &[2, 2, 2]);
+    println!("near the salt dome:  H(Q) = {dome:.3} bits -> H(Q') = {dome_qp:.3} bits");
+}
+
+fn run_pair(
+    name: &str,
+    field: &Field<f32>,
+    bound: ErrorBound,
+    mk: impl Fn(QpConfig) -> Box<dyn Compressor<f32>>,
+) {
+    let plain = mk(QpConfig::off());
+    let with_qp = mk(QpConfig::best_fit());
+    let a = plain.compress(field, bound).expect("compress").len();
+    let b = with_qp.compress(field, bound).expect("compress").len();
+    let raw = (field.len() * 4) as f64;
+    println!(
+        "{name:<10} {:>10.2} {:>10.2} {:>+7.1}%",
+        raw / a as f64,
+        raw / b as f64,
+        (a as f64 / b as f64 - 1.0) * 100.0
+    );
+}

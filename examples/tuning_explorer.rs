@@ -1,0 +1,65 @@
+//! QP configuration explorer: rerun the paper's Sec. V design study on your
+//! own data.
+//!
+//! Shows how the three configuration axes — prediction dimension (Fig. 7),
+//! gating condition (Fig. 8), start level (Fig. 9) — behave on a field of
+//! your choosing, and why the paper's best-fit (2-D Lorenzo, Case III,
+//! levels ≤ 2) is the default.
+//!
+//! Run with: `cargo run --release --example tuning_explorer`
+
+use qip::core::{Condition, PredMode};
+use qip::prelude::*;
+use qip::sz3::{Pipeline, Sz3};
+
+fn main() {
+    let field = qip::data::segsalt_like(17, &[168, 168, 58]);
+    let bound = ErrorBound::Rel(1e-4);
+    let baseline = Sz3::new()
+        .with_pipeline(Pipeline::Interpolation)
+        .compress(&field, bound)
+        .expect("baseline")
+        .len() as f64;
+
+    let gain = |qp: QpConfig| -> f64 {
+        let len = Sz3::new()
+            .with_pipeline(Pipeline::Interpolation)
+            .with_qp(qp)
+            .compress(&field, bound)
+            .expect("qp run")
+            .len() as f64;
+        (baseline / len - 1.0) * 100.0
+    };
+
+    println!("CR increase over vanilla SZ3 (SegSalt-like field, rel eb 1e-4)\n");
+
+    println!("prediction dimension (paper Fig. 7):");
+    for (label, mode) in [
+        ("1D-Back", PredMode::Back1),
+        ("1D-Top", PredMode::Top1),
+        ("1D-Left", PredMode::Left1),
+        ("2D Lorenzo", PredMode::Lorenzo2d),
+        ("3D Lorenzo", PredMode::Lorenzo3d),
+    ] {
+        let qp = QpConfig { mode, condition: Condition::CaseIII, max_level: 2 };
+        println!("  {label:<12} {:+.2}%", gain(qp));
+    }
+
+    println!("\ngating condition (paper Fig. 8):");
+    for cond in [Condition::CaseI, Condition::CaseII, Condition::CaseIII, Condition::CaseIV] {
+        let qp = QpConfig { mode: PredMode::Lorenzo2d, condition: cond, max_level: 2 };
+        println!("  {cond:<10?} {:+.2}%", gain(qp));
+    }
+
+    println!("\nstart level (paper Fig. 9):");
+    for max_level in 1..=5 {
+        let qp = QpConfig {
+            mode: PredMode::Lorenzo2d,
+            condition: Condition::CaseIII,
+            max_level,
+        };
+        println!("  levels <= {max_level}  {:+.2}%", gain(qp));
+    }
+
+    println!("\npaper best-fit = 2D Lorenzo + Case III + levels <= 2 (QpConfig::best_fit())");
+}

@@ -1,0 +1,214 @@
+//! `qip` — command-line error-bounded compression for raw binary fields.
+//!
+//! ```text
+//! qip compress   -i data.f32 -d 256x384x384 -m sz3 --eb rel:1e-3 [--qp] [--f64] -o data.qip
+//! qip decompress -i data.qip -o restored.f32 [--f64]
+//! qip info       -i data.qip
+//! qip gen        --dataset miranda -d 64x96x96 [--field 0] -o data.f32
+//! ```
+//!
+//! Raw files are little-endian f32 (or f64 with `--f64`), row-major, matching
+//! the SZ3 command-line conventions. Decompression auto-detects the
+//! compressor from the stream magic.
+
+use qip::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = s.split(['x', 'X', ',']).map(|p| p.parse()).collect();
+    let dims = dims.map_err(|e| format!("bad dims '{s}': {e}"))?;
+    if dims.is_empty() || dims.len() > 4 {
+        return Err(
+            "dims must have 1-4 axes (4-D works with sz3/qoz/hpez/mgard only)".into()
+        );
+    }
+    Ok(dims)
+}
+
+fn parse_eb(s: &str) -> Result<ErrorBound, String> {
+    if let Some(v) = s.strip_prefix("rel:") {
+        return v.parse().map(ErrorBound::Rel).map_err(|e| format!("bad bound: {e}"));
+    }
+    if let Some(v) = s.strip_prefix("abs:") {
+        return v.parse().map(ErrorBound::Abs).map_err(|e| format!("bad bound: {e}"));
+    }
+    Err("error bound must be rel:<v> or abs:<v>".into())
+}
+
+fn compressor_by_name(name: &str, qp: bool) -> Result<Box<dyn Compressor<f32>>, String> {
+    let cfg = if qp { QpConfig::best_fit() } else { QpConfig::off() };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "sz3" => Box::new(qip::sz3::Sz3::new().with_qp(cfg)),
+        "qoz" => Box::new(qip::qoz::Qoz::new().with_qp(cfg)),
+        "hpez" => Box::new(qip::hpez::Hpez::new().with_qp(cfg)),
+        "mgard" => Box::new(qip::mgard::Mgard::new().with_qp(cfg)),
+        "zfp" => Box::new(qip::zfp::Zfp::new()),
+        "sperr" => Box::new(qip::sperr::Sperr::new()),
+        "tthresh" => Box::new(qip::tthresh::Tthresh::new()),
+        other => return Err(format!("unknown compressor '{other}'")),
+    })
+}
+
+fn compressor_by_name_f64(name: &str, qp: bool) -> Result<Box<dyn Compressor<f64>>, String> {
+    let cfg = if qp { QpConfig::best_fit() } else { QpConfig::off() };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "sz3" => Box::new(qip::sz3::Sz3::new().with_qp(cfg)),
+        "qoz" => Box::new(qip::qoz::Qoz::new().with_qp(cfg)),
+        "hpez" => Box::new(qip::hpez::Hpez::new().with_qp(cfg)),
+        "mgard" => Box::new(qip::mgard::Mgard::new().with_qp(cfg)),
+        "zfp" => Box::new(qip::zfp::Zfp::new()),
+        "sperr" => Box::new(qip::sperr::Sperr::new()),
+        "tthresh" => Box::new(qip::tthresh::Tthresh::new()),
+        other => return Err(format!("unknown compressor '{other}'")),
+    })
+}
+
+/// Map a stream's leading magic byte to its compressor name.
+fn detect(bytes: &[u8]) -> Option<&'static str> {
+    match bytes.first()? {
+        0x20 => Some("sz3"),
+        0x30 => Some("qoz"),
+        0x40 => Some("hpez"),
+        0x50 => Some("mgard"),
+        0x60 => Some("zfp"),
+        0x70 => Some("sperr"),
+        0x80 => Some("tthresh"),
+        _ => None,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().ok_or_else(usage)?;
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(k) = key.take() {
+            opts.insert(k, a);
+        } else if let Some(f) = a.strip_prefix("--") {
+            if matches!(f, "qp" | "f64") {
+                flags.push(f.into());
+            } else {
+                key = Some(f.into());
+            }
+        } else if let Some(f) = a.strip_prefix('-') {
+            key = Some(f.into());
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    if key.is_some() {
+        return Err("dangling option".into());
+    }
+    let need = |k: &str| -> Result<&String, String> {
+        opts.get(k).ok_or(format!("missing required option -{k}"))
+    };
+    let is_f64 = flags.iter().any(|f| f == "f64");
+
+    match cmd.as_str() {
+        "compress" => {
+            let input = need("i")?;
+            let output = need("o")?;
+            let dims = parse_dims(need("d")?)?;
+            let method = opts.get("m").map(String::as_str).unwrap_or("sz3");
+            let bound = parse_eb(opts.get("eb").map(String::as_str).unwrap_or("rel:1e-3"))?;
+            let qp = flags.iter().any(|f| f == "qp");
+            let raw = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let shape = Shape::new(&dims);
+
+            let (bytes, name, n) = if is_f64 {
+                let field = Field::<f64>::from_le_bytes(shape, &raw)
+                    .map_err(|e| format!("{input}: {e}"))?;
+                let comp = compressor_by_name_f64(method, qp)?;
+                (comp.compress(&field, bound).map_err(|e| e.to_string())?, comp.name(), field.len() * 8)
+            } else {
+                let field = Field::<f32>::from_le_bytes(shape, &raw)
+                    .map_err(|e| format!("{input}: {e}"))?;
+                let comp = compressor_by_name(method, qp)?;
+                (comp.compress(&field, bound).map_err(|e| e.to_string())?, comp.name(), field.len() * 4)
+            };
+            std::fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!(
+                "{name}: {} -> {} bytes (CR {:.2})",
+                n,
+                bytes.len(),
+                n as f64 / bytes.len() as f64
+            );
+            Ok(())
+        }
+        "decompress" => {
+            let input = need("i")?;
+            let output = need("o")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let out = if is_f64 {
+                let comp = compressor_by_name_f64(method, false)?;
+                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                field.to_le_bytes()
+            } else {
+                let comp = compressor_by_name(method, false)?;
+                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                field.to_le_bytes()
+            };
+            std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!("{method}: {} -> {} bytes", bytes.len(), out.len());
+            Ok(())
+        }
+        "info" => {
+            let input = need("i")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            println!("compressor: {method}");
+            println!("stream bytes: {}", bytes.len());
+            Ok(())
+        }
+        "gen" => {
+            let output = need("o")?;
+            let dims = parse_dims(need("d")?)?;
+            let dataset = opts.get("dataset").map(String::as_str).unwrap_or("miranda");
+            let field_idx: usize =
+                opts.get("field").map(|v| v.parse().unwrap_or(0)).unwrap_or(0);
+            use qip::data::Dataset;
+            let ds = match dataset.to_ascii_lowercase().as_str() {
+                "miranda" => Dataset::Miranda,
+                "hurricane" => Dataset::Hurricane,
+                "segsalt" => Dataset::SegSalt,
+                "scale" => Dataset::Scale,
+                "s3d" => Dataset::S3d,
+                "cesm" => Dataset::Cesm,
+                "rtm" => Dataset::Rtm,
+                other => return Err(format!("unknown dataset '{other}'")),
+            };
+            let out = if is_f64 {
+                ds.generate_f64(field_idx, &dims).to_le_bytes()
+            } else {
+                ds.generate_f32(field_idx, &dims).to_le_bytes()
+            };
+            std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!("{dataset} field {field_idx} {dims:?}: {} bytes", out.len());
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64]\n  \
+     qip decompress -i IN -o OUT [--f64]\n  \
+     qip info       -i IN\n  \
+     qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]"
+        .into()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end tests of the `qip` command-line binary.
+
+use std::process::Command;
+
+fn qip() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qip"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qip_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_compress_decompress_roundtrip() {
+    let raw = tmp("field.f32");
+    let packed = tmp("field.qip");
+    let restored = tmp("restored.f32");
+
+    let st = qip()
+        .args(["gen", "-o", raw.to_str().unwrap(), "-d", "24x32x20", "--dataset", "segsalt"])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let raw_len = std::fs::metadata(&raw).unwrap().len();
+    assert_eq!(raw_len, 24 * 32 * 20 * 4);
+
+    let st = qip()
+        .args([
+            "compress",
+            "-i",
+            raw.to_str().unwrap(),
+            "-o",
+            packed.to_str().unwrap(),
+            "-d",
+            "24x32x20",
+            "-m",
+            "sz3",
+            "--eb",
+            "rel:1e-3",
+            "--qp",
+        ])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    assert!(std::fs::metadata(&packed).unwrap().len() < raw_len);
+
+    let st = qip()
+        .args(["decompress", "-i", packed.to_str().unwrap(), "-o", restored.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success());
+
+    // Verify the bound on the raw bytes.
+    let a = std::fs::read(&raw).unwrap();
+    let b = std::fs::read(&restored).unwrap();
+    assert_eq!(a.len(), b.len());
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    let vals: Vec<(f32, f32)> = a
+        .chunks_exact(4)
+        .zip(b.chunks_exact(4))
+        .map(|(x, y)| {
+            let xv = f32::from_le_bytes(x.try_into().unwrap());
+            lo = lo.min(xv);
+            hi = hi.max(xv);
+            (xv, f32::from_le_bytes(y.try_into().unwrap()))
+        })
+        .collect();
+    let eb = 1e-3 * (hi - lo) as f64;
+    for (x, y) in vals {
+        assert!(((x - y) as f64).abs() <= eb * (1.0 + 1e-6), "{x} vs {y}");
+    }
+}
+
+#[test]
+fn info_detects_compressor() {
+    let raw = tmp("info.f32");
+    let packed = tmp("info.qip");
+    assert!(qip()
+        .args(["gen", "-o", raw.to_str().unwrap(), "-d", "16x16x16"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(qip()
+        .args([
+            "compress",
+            "-i",
+            raw.to_str().unwrap(),
+            "-o",
+            packed.to_str().unwrap(),
+            "-d",
+            "16x16x16",
+            "-m",
+            "zfp",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = qip().args(["info", "-i", packed.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("zfp"), "info said: {text}");
+}
+
+#[test]
+fn f64_roundtrip() {
+    let raw = tmp("field.f64");
+    let packed = tmp("field64.qip");
+    let restored = tmp("restored.f64");
+    assert!(qip()
+        .args(["gen", "-o", raw.to_str().unwrap(), "-d", "20x20x12", "--dataset", "s3d", "--f64"])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(std::fs::metadata(&raw).unwrap().len(), 20 * 20 * 12 * 8);
+    assert!(qip()
+        .args([
+            "compress",
+            "-i",
+            raw.to_str().unwrap(),
+            "-o",
+            packed.to_str().unwrap(),
+            "-d",
+            "20x20x12",
+            "-m",
+            "hpez",
+            "--qp",
+            "--f64",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(qip()
+        .args([
+            "decompress",
+            "-i",
+            packed.to_str().unwrap(),
+            "-o",
+            restored.to_str().unwrap(),
+            "--f64",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::metadata(&restored).unwrap().len(),
+        std::fs::metadata(&raw).unwrap().len()
+    );
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // Unknown subcommand.
+    assert!(!qip().args(["frobnicate"]).status().unwrap().success());
+    // Missing required options.
+    assert!(!qip().args(["compress"]).status().unwrap().success());
+    // Wrong dims format.
+    let raw = tmp("bad.f32");
+    std::fs::write(&raw, [0u8; 64]).unwrap();
+    assert!(!qip()
+        .args(["compress", "-i", raw.to_str().unwrap(), "-o", "/dev/null", "-d", "nope"])
+        .status()
+        .unwrap()
+        .success());
+    // Length mismatch between file and dims.
+    assert!(!qip()
+        .args(["compress", "-i", raw.to_str().unwrap(), "-o", "/dev/null", "-d", "100x100"])
+        .status()
+        .unwrap()
+        .success());
+}
+
+#[test]
+fn decompress_rejects_garbage() {
+    let junk = tmp("junk.qip");
+    std::fs::write(&junk, b"this is not a qip stream").unwrap();
+    assert!(!qip()
+        .args(["decompress", "-i", junk.to_str().unwrap(), "-o", "/dev/null"])
+        .status()
+        .unwrap()
+        .success());
+}

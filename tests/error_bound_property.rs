@@ -1,0 +1,127 @@
+//! Property tests: the error-bound contract holds for every compressor on
+//! randomized fields (the workspace's core invariant).
+
+use proptest::prelude::*;
+use qip::prelude::*;
+
+/// Random small 3-D fields mixing smooth structure with noise, the hardest
+/// regime for bound enforcement (many unpredictable points).
+fn arb_field() -> impl Strategy<Value = Field<f32>> {
+    (
+        2usize..14,
+        2usize..14,
+        2usize..14,
+        0.0f32..10.0,
+        0.0f32..2.0,
+        any::<u64>(),
+    )
+        .prop_map(|(a, b, c, amp, noise, seed)| {
+            let mut state = seed | 1;
+            Field::from_fn(Shape::d3(a, b, c), |co| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let n = ((state >> 40) as f32 / 16_777_216.0) - 0.5;
+                amp * ((co[0] as f32 * 0.4).sin() + (co[1] as f32 * 0.3).cos())
+                    + 0.1 * co[2] as f32
+                    + noise * n
+            })
+        })
+}
+
+fn compressors() -> Vec<Box<dyn Compressor<f32>>> {
+    vec![
+        Box::new(qip::mgard::Mgard::new().with_qp(QpConfig::best_fit())),
+        Box::new(qip::sz3::Sz3::new().with_qp(QpConfig::best_fit())),
+        Box::new(qip::qoz::Qoz::new().with_qp(QpConfig::best_fit())),
+        Box::new(qip::hpez::Hpez::new().with_qp(QpConfig::best_fit())),
+        Box::new(qip::zfp::Zfp::new()),
+        Box::new(qip::sperr::Sperr::new()),
+        Box::new(qip::tthresh::Tthresh::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn absolute_bound_holds_for_all_compressors(field in arb_field(), exp in -5i32..-1) {
+        let eb = 10f64.powi(exp);
+        for comp in compressors() {
+            let bytes = comp.compress(&field, ErrorBound::Abs(eb)).expect("compress");
+            let out = comp.decompress(&bytes).expect("decompress");
+            let err = qip::metrics::max_abs_error(&field, &out);
+            prop_assert!(
+                err <= eb * (1.0 + 1e-9),
+                "{}: err {} > eb {}",
+                comp.name(),
+                err,
+                eb
+            );
+        }
+    }
+
+    #[test]
+    fn relative_bound_holds_for_all_compressors(field in arb_field()) {
+        let rel = 1e-3;
+        let abs = rel * field.value_range();
+        for comp in compressors() {
+            let bytes = comp.compress(&field, ErrorBound::Rel(rel)).expect("compress");
+            let out = comp.decompress(&bytes).expect("decompress");
+            let err = qip::metrics::max_abs_error(&field, &out);
+            prop_assert!(
+                err <= abs * (1.0 + 1e-9) + f64::MIN_POSITIVE,
+                "{}: err {} > {}",
+                comp.name(),
+                err,
+                abs
+            );
+        }
+    }
+
+    #[test]
+    fn streams_decode_to_original_shape(field in arb_field()) {
+        for comp in compressors() {
+            let bytes = comp.compress(&field, ErrorBound::Rel(1e-2)).expect("compress");
+            let out = comp.decompress(&bytes).expect("decompress");
+            prop_assert_eq!(out.shape(), field.shape());
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(field in arb_field(), cut_num in 0usize..100) {
+        for comp in compressors() {
+            let bytes = comp.compress(&field, ErrorBound::Rel(1e-2)).expect("compress");
+            let cut = cut_num * bytes.len() / 100;
+            // Must return (Ok or Err), never panic.
+            let _ = comp.decompress(&bytes[..cut]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn double_precision_bound_holds(seed in any::<u64>(), exp in -8i32..-2) {
+        let eb = 10f64.powi(exp);
+        let mut state = seed | 1;
+        let field = Field::<f64>::from_fn(Shape::d3(9, 8, 7), |c| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (c[0] as f64 * 0.3).sin() + ((state >> 40) as f64 / 1.6e7) * 0.01
+        });
+        let comps: Vec<Box<dyn Compressor<f64>>> = vec![
+            Box::new(qip::mgard::Mgard::new().with_qp(QpConfig::best_fit())),
+            Box::new(qip::sz3::Sz3::new().with_qp(QpConfig::best_fit())),
+            Box::new(qip::qoz::Qoz::new().with_qp(QpConfig::best_fit())),
+            Box::new(qip::hpez::Hpez::new().with_qp(QpConfig::best_fit())),
+            Box::new(qip::zfp::Zfp::new()),
+            Box::new(qip::sperr::Sperr::new()),
+            Box::new(qip::tthresh::Tthresh::new()),
+        ];
+        for comp in comps {
+            let bytes = comp.compress(&field, ErrorBound::Abs(eb)).expect("compress");
+            let out = comp.decompress(&bytes).expect("decompress");
+            let err = qip::metrics::max_abs_error(&field, &out);
+            prop_assert!(err <= eb * (1.0 + 1e-9), "{}: err {err} > eb {eb}", comp.name());
+        }
+    }
+}

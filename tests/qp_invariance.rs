@@ -1,0 +1,154 @@
+//! QP's defining guarantees, end-to-end across all base compressors:
+//! (1) the decompressed data is bit-identical with QP on or off,
+//! (2) the transform is exactly reversible for every configuration,
+//! (3) with the best-fit configuration the stream never grows meaningfully.
+
+use qip::core::{Condition, PredMode};
+use qip::prelude::*;
+use qip::data::Dataset;
+
+fn datasets() -> Vec<(Dataset, Field<f32>)> {
+    [Dataset::Miranda, Dataset::SegSalt, Dataset::Cesm]
+        .into_iter()
+        .map(|ds| {
+            let dims: Vec<usize> = ds.paper_dims().iter().map(|&d| (d / 16).max(16)).collect();
+            let f = ds.generate_f32(0, &dims);
+            (ds, f)
+        })
+        .collect()
+}
+
+#[test]
+fn qp_bit_identical_output_all_compressors() {
+    for (ds, field) in datasets() {
+        type Pair = (Box<dyn Compressor<f32>>, Box<dyn Compressor<f32>>);
+        let pairs: Vec<Pair> = vec![
+            (
+                Box::new(qip::mgard::Mgard::new()),
+                Box::new(qip::mgard::Mgard::new().with_qp(QpConfig::best_fit())),
+            ),
+            (
+                Box::new(qip::sz3::Sz3::new()),
+                Box::new(qip::sz3::Sz3::new().with_qp(QpConfig::best_fit())),
+            ),
+            (
+                Box::new(qip::qoz::Qoz::new()),
+                Box::new(qip::qoz::Qoz::new().with_qp(QpConfig::best_fit())),
+            ),
+            (
+                Box::new(qip::hpez::Hpez::new()),
+                Box::new(qip::hpez::Hpez::new().with_qp(QpConfig::best_fit())),
+            ),
+        ];
+        for (plain, with_qp) in pairs {
+            let a = plain
+                .decompress(&plain.compress(&field, ErrorBound::Rel(1e-3)).unwrap())
+                .unwrap();
+            let b = with_qp
+                .decompress(&with_qp.compress(&field, ErrorBound::Rel(1e-3)).unwrap())
+                .unwrap();
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "{} on {}: QP changed the decompressed data",
+                plain.name(),
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_qp_configuration_roundtrips() {
+    let field = qip::data::segsalt_like(5, &[40, 36, 24]);
+    for mode in [
+        PredMode::Back1,
+        PredMode::Top1,
+        PredMode::Left1,
+        PredMode::Lorenzo2d,
+        PredMode::Lorenzo3d,
+    ] {
+        for condition in
+            [Condition::CaseI, Condition::CaseII, Condition::CaseIII, Condition::CaseIV]
+        {
+            for max_level in [1usize, 2, 5] {
+                let qp = QpConfig { mode, condition, max_level };
+                let sz3 = qip::sz3::Sz3::new().with_qp(qp);
+                let bytes = sz3.compress(&field, ErrorBound::Rel(1e-4)).unwrap();
+                let out: Field<f32> = sz3.decompress(&bytes).unwrap();
+                let err = qip::metrics::max_rel_error(&field, &out);
+                assert!(
+                    err <= 1e-4 * (1.0 + 1e-9),
+                    "mode {mode:?} cond {condition:?} lvl {max_level}: rel err {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn captured_transform_is_reversible_pointwise() {
+    // f⁻¹(f(Q)) = Q on real captured arrays: wherever the capture says a
+    // point kept its index (Q' == Q), fine; where it differs, a decompression
+    // recovers it — verified indirectly by byte-identical decompressed data
+    // above. Here we check the direct property on the captured arrays: the
+    // set of unpredictable labels is preserved exactly.
+    let field = qip::data::segsalt_like(9, &[48, 48, 32]);
+    let sz3 = qip::sz3::Sz3::new().with_qp(QpConfig::best_fit());
+    let cap = sz3.quant_capture(&field, ErrorBound::Rel(1e-4)).unwrap();
+    let unpred = qip::core::UNPRED;
+    for (i, (&q, &qp)) in cap.q.iter().zip(&cap.q_prime).enumerate() {
+        assert_eq!(
+            q == unpred,
+            qp == unpred,
+            "index {i}: unpredictable label not preserved by the transform"
+        );
+    }
+}
+
+#[test]
+fn best_fit_reduces_entropy_on_clustered_data() {
+    let field = qip::data::segsalt_like(3, &[84, 84, 44]);
+    let sz3 = qip::sz3::Sz3::new().with_qp(QpConfig::best_fit());
+    let cap = sz3.quant_capture(&field, ErrorBound::Rel(1e-4)).unwrap();
+    let h_q = qip::metrics::entropy(&cap.q);
+    let h_qp = qip::metrics::entropy(&cap.q_prime);
+    assert!(
+        h_qp < h_q,
+        "QP should lower global index entropy on SegSalt: {h_qp} vs {h_q}"
+    );
+}
+
+#[test]
+fn best_fit_never_grows_streams_meaningfully() {
+    // The paper: "QP ... will not have any negative impact on the compression
+    // ratios". Allow a sliver of slack for the 3-byte config header.
+    for (ds, field) in datasets() {
+        for eb in [1e-2, 1e-3, 1e-4] {
+            let plain = qip::sz3::Sz3::new();
+            let with = qip::sz3::Sz3::new().with_qp(QpConfig::best_fit());
+            let a = plain.compress(&field, ErrorBound::Rel(eb)).unwrap().len();
+            let b = with.compress(&field, ErrorBound::Rel(eb)).unwrap().len();
+            assert!(
+                b as f64 <= a as f64 * 1.01 + 64.0,
+                "{} at {eb:.0e}: QP grew the stream {a} -> {b}",
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn level_population_matches_paper_claim() {
+    // Paper Sec. V-C3: levels 1 and 2 contain over 98% of the data points.
+    let field = qip::data::segsalt_like(1, &[64, 64, 64]);
+    let sz3 = qip::sz3::Sz3::new();
+    let cap = sz3.quant_capture(&field, ErrorBound::Rel(1e-3)).unwrap();
+    let total = cap.level.len() as f64;
+    let low = cap.level.iter().filter(|&&l| l == 1 || l == 2).count() as f64;
+    assert!(
+        low / total > 0.98,
+        "levels 1-2 hold {:.2}% of points; paper says >98%",
+        100.0 * low / total
+    );
+}
