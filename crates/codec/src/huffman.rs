@@ -18,17 +18,23 @@ use crate::CodecError;
 const MAX_CODE_LEN: u32 = 48;
 
 /// Compute Huffman code lengths for the given positive frequencies.
+///
+/// Degenerate alphabets (0 or 1 symbol) have no tree; callers handle them via
+/// the single-symbol stream format, but this function stays total anyway.
 fn code_lengths(freqs: &[u64]) -> Vec<u32> {
     let n = freqs.len();
-    debug_assert!(n >= 2);
+    if n < 2 {
+        return vec![1; n];
+    }
     // Heap of (frequency, node id); internal nodes get ids >= n.
     let mut parent = vec![usize::MAX; 2 * n - 1];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
         freqs.iter().enumerate().map(|(i, &f)| Reverse((f, i))).collect();
     let mut next_id = n;
     while heap.len() > 1 {
-        let Reverse((fa, a)) = heap.pop().unwrap();
-        let Reverse((fb, b)) = heap.pop().unwrap();
+        let (Some(Reverse((fa, a))), Some(Reverse((fb, b)))) = (heap.pop(), heap.pop()) else {
+            break; // unreachable: the loop guard holds at least two nodes
+        };
         parent[a] = next_id;
         parent[b] = next_id;
         heap.push(Reverse((fa + fb, next_id)));
@@ -137,12 +143,22 @@ pub fn encode(symbols: &[i32]) -> Vec<u8> {
 
 /// Decode a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    decode_capped(bytes, usize::MAX)
+}
+
+/// [`decode`] with a caller-imposed ceiling on the symbol count.
+///
+/// Containers pass the number of indices the surrounding stream declares, so
+/// a corrupted count field is rejected before any count-sized allocation —
+/// this matters most for the single-symbol format, whose output size is
+/// otherwise unconstrained by the payload length.
+pub fn decode_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let count = r.get_uvarint()? as usize;
     if count == 0 {
         return Ok(Vec::new());
     }
-    if count > (1 << 36) {
+    if count > (1 << 36) || count > max_count {
         return Err(CodecError::Corrupt("huffman: implausible symbol count"));
     }
     let n_sym = r.get_uvarint()? as usize;
@@ -182,8 +198,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
     }
 
     // Canonical decode tables: per length, the first code and the run of
-    // symbols (in canonical order) using that length.
-    let max_len = *lengths.iter().max().unwrap();
+    // symbols (in canonical order) using that length. `lengths` is nonempty
+    // (n_sym >= 2 here), but stay total regardless.
+    let max_len = lengths.iter().copied().max().unwrap_or(1);
     let mut order: Vec<usize> = (0..n_sym).collect();
     order.sort_by_key(|&i| (lengths[i], i));
     let mut first_code = vec![0u64; (max_len + 2) as usize];

@@ -26,7 +26,7 @@ pub mod stream;
 pub mod varint;
 
 pub use bits::{BitReader, BitWriter};
-pub use lossless::{decode_indices, encode_indices};
+pub use lossless::{decode_indices, decode_indices_capped, encode_indices};
 pub use stream::{ByteReader, ByteWriter};
 
 /// Errors produced while decoding compressed streams.

@@ -48,17 +48,31 @@ pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
 
 /// Decode a stream produced by [`encode_indices`].
 pub fn decode_indices(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    decode_indices_capped(bytes, usize::MAX)
+}
+
+/// Decode with an upper bound on the symbol count the caller will accept.
+///
+/// Container formats know how many indices a block may legally hold (the
+/// declared field volume), so they pass it here and a corrupted count is
+/// rejected *before* any count-sized allocation. The cap also bounds the
+/// intermediate LZ expansion: `max_count` symbols need at most
+/// `MAX_CODE_LEN` bits each, plus a generous header allowance.
+pub fn decode_indices_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
     let (&mode, rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
+    // Entropy-coded payload for max_count symbols: 16 bytes/symbol is far
+    // above any legal code or escape cost, and the slack covers headers.
+    let max_payload = max_count.saturating_mul(16).saturating_add(4096);
     match mode {
-        MODE_HUFF => huffman::decode(rest),
+        MODE_HUFF => huffman::decode_capped(rest, max_count),
         MODE_HUFF_LZ => {
-            let huff = lz::decompress(rest)?;
-            huffman::decode(&huff)
+            let huff = lz::decompress_capped(rest, max_payload)?;
+            huffman::decode_capped(&huff, max_count)
         }
-        MODE_RANGE => range::decode(rest),
+        MODE_RANGE => range::decode_capped(rest, max_count),
         MODE_RANGE_LZ => {
-            let rng = lz::decompress(rest)?;
-            range::decode(&rng)
+            let rng = lz::decompress_capped(rest, max_payload)?;
+            range::decode_capped(&rng, max_count)
         }
         _ => Err(CodecError::BadHeader("unknown lossless mode tag")),
     }

@@ -107,8 +107,22 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decompress_capped(bytes, usize::MAX)
+}
+
+/// [`decompress`] with a ceiling on the output the caller will accept.
+///
+/// Overlapping matches let a few input bytes legally expand into an output
+/// bounded only by the declared length, so callers that know how large a
+/// plausible payload can be (e.g. entropy-coded blocks for a declared symbol
+/// count) pass that bound here and oversized claims fail before the copy
+/// loop runs.
+pub fn decompress_capped(bytes: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let out_len = r.get_uvarint()? as usize;
+    if out_len > max_out {
+        return Err(CodecError::Corrupt("lz: output length exceeds caller cap"));
+    }
     // Cap the speculative allocation: a corrupted header may claim any
     // length, but real memory is only committed as tokens actually decode.
     let mut out = Vec::with_capacity(out_len.min(1 << 24));

@@ -225,12 +225,19 @@ pub fn encode(symbols: &[i32]) -> Vec<u8> {
 
 /// Decode a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    decode_capped(bytes, usize::MAX)
+}
+
+/// [`decode`] with a caller-imposed ceiling on the symbol count (see
+/// `huffman::decode_capped`): a corrupted count is rejected before any
+/// count-sized allocation.
+pub fn decode_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let count = r.get_uvarint()? as usize;
     if count == 0 {
         return Ok(Vec::new());
     }
-    if count > (1 << 36) {
+    if count > (1 << 36) || count > max_count {
         return Err(CodecError::Corrupt("range: implausible symbol count"));
     }
     let n_sym = r.get_uvarint()? as usize;

@@ -51,4 +51,68 @@ proptest! {
         let _ = lz::decompress(&data);
         let _ = lossless::decode_indices(&data);
     }
+
+    // Exhaustive structural-damage properties on small bounded inputs: every
+    // truncation prefix and every single-bit flip of a valid stream must
+    // either decode (possibly to different symbols — entropy streams have no
+    // integrity check of their own) or error. Panics/aborts are the bug class
+    // under test; the compressor-level CRC trailer is what upgrades "decodes
+    // to garbage" into a guaranteed error.
+
+    #[test]
+    fn every_prefix_of_encoded_indices_is_safe(
+        symbols in proptest::collection::vec(-40i32..40, 1..300)
+    ) {
+        let enc = encode_indices(&symbols);
+        for cut in 0..enc.len() {
+            let _ = decode_indices(&enc[..cut]); // no panic; Err or garbage Ok
+        }
+        // The full stream must still round-trip.
+        prop_assert_eq!(decode_indices(&enc).unwrap(), symbols);
+    }
+
+    #[test]
+    fn every_bitflip_of_encoded_indices_is_safe(
+        symbols in proptest::collection::vec(-10i32..10, 1..120)
+    ) {
+        let enc = encode_indices(&symbols);
+        for pos in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[pos] ^= 1 << bit;
+                if let Ok(out) = decode_indices(&bad) {
+                    // Whatever decoded must be length-bounded by the payload
+                    // (8192 symbols/byte is the adaptive range coder's cap),
+                    // not by a forged count field.
+                    prop_assert!(out.len() <= (bad.len() + 1) * 8192 + 4096);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_bitflip_of_lz_stream_is_safe(
+        data in proptest::collection::vec(any::<u8>(), 1..400)
+    ) {
+        let enc = lz::compress(&data);
+        for pos in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[pos] ^= 1 << (pos % 8);
+            let _ = lz::decompress_capped(&bad, 1 << 20); // no panic
+        }
+    }
+
+    #[test]
+    fn capped_decode_rejects_oversized_counts(
+        symbols in proptest::collection::vec(-5i32..5, 2..200)
+    ) {
+        let enc = encode_indices(&symbols);
+        // A cap below the true count must reject, at the cap check — not by
+        // attempting the allocation.
+        prop_assert!(qip_codec::decode_indices_capped(&enc, symbols.len() - 1).is_err());
+        prop_assert_eq!(
+            qip_codec::decode_indices_capped(&enc, symbols.len()).unwrap(),
+            symbols
+        );
+    }
 }

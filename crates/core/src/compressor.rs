@@ -15,6 +15,9 @@ pub enum CompressError {
     WrongFormat(&'static str),
     /// The input violates a precondition of this compressor.
     Unsupported(&'static str),
+    /// The stream failed an integrity or consistency check (bit rot,
+    /// truncation past the header, or a forged/damaged trailer).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CompressError {
@@ -24,6 +27,7 @@ impl std::fmt::Display for CompressError {
             CompressError::Tensor(e) => write!(f, "tensor error: {e}"),
             CompressError::WrongFormat(m) => write!(f, "wrong format: {m}"),
             CompressError::Unsupported(m) => write!(f, "unsupported input: {m}"),
+            CompressError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
         }
     }
 }
@@ -40,6 +44,30 @@ impl From<TensorError> for CompressError {
     fn from(e: TensorError) -> Self {
         CompressError::Tensor(e)
     }
+}
+
+/// Fallibly allocate a zero-initialised decode buffer of `n` elements.
+///
+/// Decoders size their output from header fields; even after the integrity
+/// trailer passes, a forged-but-consistent stream can declare volumes near the
+/// header cap, so the allocation must fail as [`CompressError::Corrupt`]
+/// rather than abort the process.
+pub fn try_zeroed_vec<T: Clone + Default>(n: usize) -> Result<Vec<T>, CompressError> {
+    let mut v = Vec::new();
+    v.try_reserve_exact(n)
+        .map_err(|_| CompressError::Corrupt("declared size exceeds available memory"))?;
+    v.resize(n, T::default());
+    Ok(v)
+}
+
+/// Fallibly reserve capacity for `n` elements (empty vector, `Corrupt` on
+/// allocation failure). Companion to [`try_zeroed_vec`] for buffers filled
+/// by `push`.
+pub fn try_with_capacity<T>(n: usize) -> Result<Vec<T>, CompressError> {
+    let mut v = Vec::new();
+    v.try_reserve_exact(n)
+        .map_err(|_| CompressError::Corrupt("declared size exceeds available memory"))?;
+    Ok(v)
 }
 
 /// An error-bounded lossy compressor over fields of `T`.

@@ -28,10 +28,11 @@
 pub mod bound;
 pub mod compressor;
 pub mod header;
+pub mod integrity;
 pub mod qp;
 
 pub use bound::ErrorBound;
-pub use compressor::{CompressError, Compressor};
+pub use compressor::{try_with_capacity, try_zeroed_vec, CompressError, Compressor};
 pub use header::StreamHeader;
 pub use qp::{Condition, Neighbors, PredMode, QpConfig, QpEngine};
 

@@ -336,7 +336,10 @@ impl QpEngine {
         if q == UNPRED {
             q
         } else {
-            q - self.predict(level, nb)
+            // Wrapping keeps transform/recover exact inverses of each other
+            // over all of i32, so a corrupted index array cannot overflow
+            // (and panic) the debug build on the decode side.
+            q.wrapping_sub(self.predict(level, nb))
         }
     }
 
@@ -347,7 +350,7 @@ impl QpEngine {
         if q_prime == UNPRED {
             q_prime
         } else {
-            q_prime + self.predict(level, nb)
+            q_prime.wrapping_add(self.predict(level, nb))
         }
     }
 }

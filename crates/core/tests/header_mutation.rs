@@ -1,0 +1,112 @@
+//! Edge-case tests for `StreamHeader::read` against hand-forged headers:
+//! the header is the first thing a decoder parses from an untrusted stream,
+//! so every field must be range-checked before any of its values sizes an
+//! allocation or drives arithmetic.
+
+use qip_codec::{ByteReader, ByteWriter};
+use qip_core::StreamHeader;
+use qip_tensor::Shape;
+
+const MAGIC: u8 = 0x21;
+const BITS: u8 = 32;
+
+fn forge(ndim: u8, dims: &[u64], eb: f64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(MAGIC);
+    w.put_u8(BITS);
+    w.put_u8(ndim);
+    for &d in dims {
+        w.put_uvarint(d);
+    }
+    w.put_f64(eb);
+    w.finish()
+}
+
+fn read(bytes: &[u8]) -> Result<StreamHeader, qip_core::CompressError> {
+    StreamHeader::read(&mut ByteReader::new(bytes), MAGIC, BITS)
+}
+
+#[test]
+fn valid_header_roundtrips() {
+    let h = StreamHeader {
+        magic: MAGIC,
+        scalar_bits: BITS,
+        shape: Shape::new(&[12, 9, 31]),
+        abs_eb: 1e-4,
+    };
+    let mut w = ByteWriter::new();
+    h.write(&mut w);
+    let got = read(&w.finish()).expect("valid header");
+    assert_eq!(got, h);
+}
+
+#[test]
+fn ndim_out_of_range_rejected() {
+    for ndim in [0u8, 5, 17, 255] {
+        let dims = vec![4u64; ndim as usize];
+        assert!(read(&forge(ndim, &dims, 1e-3)).is_err(), "ndim {ndim} accepted");
+    }
+}
+
+#[test]
+fn implausible_extent_rejected() {
+    // A single extent above 2^40 must be rejected even before the volume
+    // check (it would overflow stride arithmetic downstream).
+    assert!(read(&forge(1, &[(1 << 40) + 1], 1e-3)).is_err());
+    assert!(read(&forge(1, &[u64::MAX], 1e-3)).is_err());
+}
+
+#[test]
+fn implausible_volume_rejected() {
+    // Three extents of 2^20 each pass the per-extent cap but multiply to
+    // 2^60, far beyond any buffer a decoder may allocate.
+    assert!(read(&forge(3, &[1 << 20, 1 << 20, 1 << 20], 1e-3)).is_err());
+    // Just inside the cap, the header parses.
+    assert!(read(&forge(3, &[1 << 12, 1 << 12, 1 << 12], 1e-3)).is_ok());
+}
+
+#[test]
+fn degenerate_error_bounds_rejected() {
+    for eb in [0.0, -1.0, -1e300, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(read(&forge(2, &[8, 8], eb)).is_err(), "eb {eb} accepted");
+    }
+    // Tiny-but-positive is legal (subnormals are a valid, if extreme, bound).
+    assert!(read(&forge(2, &[8, 8], 1e-308)).is_ok());
+}
+
+#[test]
+fn zero_extents_are_legal_empty_fields() {
+    // Empty fields round-trip in every compressor; the header must agree.
+    let h = read(&forge(2, &[0, 5], 1e-3)).expect("empty field header");
+    assert!(h.shape.is_empty());
+}
+
+#[test]
+fn wrong_magic_and_width_rejected() {
+    let bytes = forge(2, &[4, 4], 1e-3);
+    assert!(StreamHeader::read(&mut ByteReader::new(&bytes), MAGIC + 1, BITS).is_err());
+    assert!(StreamHeader::read(&mut ByteReader::new(&bytes), MAGIC, 64).is_err());
+}
+
+#[test]
+fn every_truncation_of_a_header_errors() {
+    let bytes = forge(3, &[31, 17, 9], 2.5e-3);
+    for cut in 0..bytes.len() {
+        assert!(read(&bytes[..cut]).is_err(), "header prefix {cut} parsed");
+    }
+}
+
+#[test]
+fn every_single_byte_mutation_is_panic_free() {
+    // Exhaustive byte × value is cheap at header scale (~15 bytes): any
+    // mutation must parse or error, never panic. This is the header-level
+    // analog of the fault suite's stream-level guarantee.
+    let bytes = forge(3, &[31, 17, 9], 2.5e-3);
+    for pos in 0..bytes.len() {
+        for v in 0..=255u8 {
+            let mut bad = bytes.clone();
+            bad[pos] = v;
+            let _ = read(&bad);
+        }
+    }
+}

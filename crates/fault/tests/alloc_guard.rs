@@ -1,0 +1,102 @@
+//! Decode-side allocation guard: no single allocation made while decoding a
+//! (possibly corrupted) stream may exceed 16× the stream's declared
+//! uncompressed size. This pins the hardening work in the decoders — index
+//! counts capped by the declared volume, LZ expansion capped by the entropy
+//! budget, header-volume buffers allocated fallibly — to a measurable bound.
+//!
+//! A tracking global allocator records the largest single allocation request;
+//! corruption is restricted to the stream body *past* the header region (and
+//! resealed), so the declared size stays that of the real field and the bound
+//! is meaningful.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct TrackingAlloc;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static MAX_ALLOC: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            MAX_ALLOC.fetch_max(layout.size(), Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            MAX_ALLOC.fetch_max(new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+fn max_alloc_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    MAX_ALLOC.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    let r = f();
+    TRACKING.store(false, Ordering::SeqCst);
+    (r, MAX_ALLOC.load(Ordering::SeqCst))
+}
+
+use qip_bench::AnyCompressor;
+use qip_core::{Compressor, ErrorBound, QpConfig};
+use qip_tensor::Field;
+
+/// Corrupt only stream bytes past the header region, then reseal, so the
+/// declared shape survives and the 16× bound refers to the true field size.
+fn corrupt_body_resealed(stream: &[u8], seed: u64) -> Vec<u8> {
+    const HEADER_SKIP: usize = 48;
+    let payload = qip_core::integrity::check(stream).expect("sealed stream");
+    let mut buf = payload.to_vec();
+    if buf.len() > HEADER_SKIP + 1 {
+        let mut rng = qip_fault::XorShift64::new(seed);
+        for _ in 0..1 + rng.below(8) {
+            let pos = HEADER_SKIP + rng.below(buf.len() - HEADER_SKIP);
+            buf[pos] ^= rng.nonzero_byte();
+        }
+    }
+    qip_core::integrity::seal(buf)
+}
+
+#[test]
+fn decode_allocations_bounded_by_declared_size() {
+    let field: Field<f32> = qip_data::Dataset::Miranda.generate_f32(11, &[14, 12, 10]);
+    let declared_bytes = field.len() * 4;
+    // 16× the declared size, plus a fixed floor for decoder working state
+    // (readers, tables, small headers) that doesn't scale with the field.
+    let bound = 16 * declared_bytes + (64 << 10);
+
+    let mut all = AnyCompressor::base_four(QpConfig::off());
+    all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    all.extend(AnyCompressor::comparators());
+
+    for comp in all {
+        let name = Compressor::<f32>::name(&comp);
+        let stream = comp.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
+
+        // Pristine stream first: the bound must hold on the honest path too.
+        let (res, peak) = max_alloc_during(|| comp.decompress(&stream));
+        let _: Field<f32> = res.expect("pristine stream decodes");
+        assert!(peak <= bound, "{name}: pristine decode allocated {peak} > {bound}");
+
+        for seed in 0..200u64 {
+            let bad = corrupt_body_resealed(&stream, seed);
+            let (res, peak) = max_alloc_during(|| comp.decompress(&bad));
+            let _: Result<Field<f32>, _> = res; // Ok-or-Err both fine
+            assert!(
+                peak <= bound,
+                "{name}: seed {seed:#x} drove a {peak}-byte allocation (> {bound})"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Workspace-wide corruption suite: every compressor in the bench registry
+//! (the four interpolation-based compressors with QP off and on, plus the
+//! three transform-based comparators, plus the block-parallel wrapper) must
+//! reject damaged streams with an error — never a panic — under thousands of
+//! seeded corruptions, and must survive corruptions that carry a valid
+//! integrity trailer (reaching the deep parsing layers) without panicking.
+//!
+//! Any failure message prints the seed; replay it with
+//! `qip_fault::corrupt(stream, seed)` / `corrupt_resealed(stream, seed)`.
+
+use qip_bench::AnyCompressor;
+use qip_core::{Compressor, ErrorBound, QpConfig};
+use qip_parallel::BlockParallel;
+use qip_sz3::Sz3;
+use qip_tensor::Field;
+
+/// Seeded corruptions per (compressor, stream) for the raw (CRC-gated) pass.
+const RAW_SEEDS: u64 = 1000;
+/// Seeded corruptions per (compressor, stream) for the resealed (deep) pass.
+const RESEALED_SEEDS: u64 = 300;
+
+fn registry() -> Vec<AnyCompressor> {
+    let mut all = AnyCompressor::base_four(QpConfig::off());
+    all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    all.extend(AnyCompressor::comparators());
+    all
+}
+
+fn small_fields() -> Vec<Field<f32>> {
+    vec![
+        qip_data::Dataset::Miranda.generate_f32(7, &[12, 13, 11]),
+        qip_data::Dataset::SegSalt.generate_f32(3, &[16, 9, 8]),
+    ]
+}
+
+#[test]
+fn raw_corruptions_always_error() {
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        for (fi, field) in small_fields().iter().enumerate() {
+            let stream = comp
+                .compress(field, ErrorBound::Abs(1e-3))
+                .unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
+            for seed in 0..RAW_SEEDS {
+                let (bad, fault) = qip_fault::corrupt(&stream, seed);
+                let res: Result<Field<f32>, _> = comp.decompress(&bad);
+                assert!(
+                    res.is_err(),
+                    "{name} on field {fi} decoded a corrupted stream cleanly: {fault}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resealed_corruptions_never_panic() {
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        for field in &small_fields() {
+            let stream = comp
+                .compress(field, ErrorBound::Abs(1e-3))
+                .unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
+            for seed in 0..RESEALED_SEEDS {
+                let (bad, fault) = qip_fault::corrupt_resealed(&stream, seed)
+                    .unwrap_or_else(|| panic!("{name}: stream not sealed"));
+                // Reaching this assert at all is the property: decompress must
+                // return (Ok with garbage values is tolerable, Err is typical),
+                // not panic, abort, or OOM. A panic here prints `fault`'s seed
+                // via the test harness backtrace context below.
+                let res: Result<Field<f32>, _> = comp.decompress(&bad);
+                if let Ok(out) = res {
+                    // If the damaged stream still parses, the declared shape
+                    // must at least be internally consistent.
+                    assert_eq!(
+                        out.len(),
+                        out.shape().len(),
+                        "{name}: inconsistent field from {fault}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn block_parallel_wrapper_rejects_corruption() {
+    let field = qip_data::Dataset::Miranda.generate_f32(1, &[20, 18, 10]);
+    let par = BlockParallel::new(Sz3::new(), 10);
+    let stream = par.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
+    for seed in 0..RAW_SEEDS {
+        let (bad, fault) = qip_fault::corrupt(&stream, seed);
+        let res: Result<Field<f32>, _> = par.decompress(&bad);
+        assert!(res.is_err(), "block-parallel decoded corrupted stream: {fault}");
+    }
+    for seed in 0..RESEALED_SEEDS {
+        let (bad, _fault) = qip_fault::corrupt_resealed(&stream, seed).expect("sealed");
+        let _res: Result<Field<f32>, _> = par.decompress(&bad); // must not panic
+    }
+}
+
+#[test]
+fn crc_trailer_flags_every_payload_bitflip() {
+    // Acceptance check for the integrity layer: flipping any single bit of a
+    // compressed stream must surface as CompressError::Corrupt (the CRC gate),
+    // for every compressor in the registry.
+    let field = qip_data::Dataset::Miranda.generate_f32(5, &[9, 8, 7]);
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        let stream = comp.compress(&field, ErrorBound::Abs(1e-2)).expect("compress");
+        // Exhaustive over bytes, seeded over bits, to keep runtime sane.
+        let mut rng = qip_fault::XorShift64::new(0xC0FF_EE00);
+        for pos in 0..stream.len() {
+            let mut bad = stream.clone();
+            bad[pos] ^= 1 << rng.below(8);
+            let res: Result<Field<f32>, _> = comp.decompress(&bad);
+            match res {
+                Err(qip_core::CompressError::Corrupt(_)) => {}
+                Err(e) => panic!("{name}: flip at byte {pos} gave non-Corrupt error: {e}"),
+                Ok(_) => panic!("{name}: flip at byte {pos} decoded cleanly"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_errors() {
+    let field = qip_data::Dataset::Miranda.generate_f32(2, &[10, 9, 8]);
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        let stream = comp.compress(&field, ErrorBound::Abs(1e-2)).expect("compress");
+        for cut in 0..stream.len() {
+            let res: Result<Field<f32>, _> = comp.decompress(&stream[..cut]);
+            assert!(res.is_err(), "{name}: prefix of {cut} bytes decoded cleanly");
+        }
+    }
+}

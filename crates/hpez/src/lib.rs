@@ -124,10 +124,11 @@ impl<T: Scalar> Compressor<T> for Hpez {
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
         let (alpha, beta) = self.tune(field, bound);
-        self.engine(alpha, beta).compress(field, bound)
+        Ok(qip_core::integrity::seal(self.engine(alpha, beta).compress(field, bound)?))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         self.engine(1.25, 2.0).decompress(bytes)
     }
 }

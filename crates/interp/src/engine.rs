@@ -8,7 +8,7 @@
 use crate::config::{order_from_tag, order_tag, EngineConfig, LevelParams, PassStructure};
 use crate::lattice::{build_passes, for_each_point, num_levels, Pass};
 use crate::select::choose_level_params;
-use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices, ByteReader, ByteWriter};
 use qip_core::{CompressError, Compressor, ErrorBound, Neighbors, QpEngine, StreamHeader};
 use qip_predict::{
     cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind,
@@ -616,13 +616,16 @@ impl InterpEngine {
             unpred.push(T::read_le(chunk)?);
         }
 
-        let qprime = decode_indices(r.get_block()?)?;
+        let qprime = qip_codec::decode_indices_capped(r.get_block()?, n)?;
 
         let quantizers: Vec<LinearQuantizer> = (0..=start_level)
-            .map(|l| LinearQuantizer::with_radius(eff.level_eb(header.abs_eb, l.max(1)), radius))
-            .collect();
+            .map(|l| {
+                LinearQuantizer::try_with_radius(eff.level_eb(header.abs_eb, l.max(1)), radius)
+                    .ok_or(CompressError::Corrupt("degenerate per-level error bound"))
+            })
+            .collect::<Result<_, _>>()?;
 
-        let mut buf = vec![T::ZERO; n];
+        let mut buf = qip_core::try_zeroed_vec::<T>(n)?;
         let mut sink = DecompressSink {
             qp: QpEngine::new(qp_cfg),
             level_tags,

@@ -27,7 +27,7 @@
 
 #![warn(missing_docs)]
 
-use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices, ByteReader, ByteWriter};
 use qip_core::{
     CompressError, Compressor, ErrorBound, Neighbors, QpConfig, QpEngine, StreamHeader,
 };
@@ -255,7 +255,7 @@ impl Mgard {
         w.put_u8(self.l2_projection as u8);
         self.qp.write(&mut w);
         if field.is_empty() {
-            return Ok(w.finish());
+            return Ok(qip_core::integrity::seal(w.finish()));
         }
 
         let max_dim = dims.iter().copied().max().unwrap();
@@ -342,7 +342,7 @@ impl Mgard {
         w.put_block(&coarse_bytes);
         w.put_block(&unpred);
         w.put_block(&encode_indices(&qprime));
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress_impl<T: Scalar>(
@@ -350,6 +350,7 @@ impl Mgard {
         bytes: &[u8],
         stop_level: usize,
     ) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_MGARD, T::BITS as u8)?;
         let version = r.get_u8()?;
@@ -379,9 +380,9 @@ impl Mgard {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let qprime = decode_indices(r.get_block()?)?;
+        let qprime = qip_codec::decode_indices_capped(r.get_block()?, n)?;
 
-        let mut buf = vec![0.0f64; n];
+        let mut buf = qip_core::try_zeroed_vec::<f64>(n)?;
         let order: Vec<usize> = (0..dims.len()).rev().collect();
 
         // Coarse nodes.
@@ -412,7 +413,7 @@ impl Mgard {
 
         // Dequantize details (coarse → fine), mirroring the QP transform.
         let qp = QpEngine::new(qp_cfg);
-        let mut qstore = vec![0i32; n];
+        let mut qstore = qip_core::try_zeroed_vec::<i32>(n)?;
         let mut q_cursor = 0usize;
         let mut u_cursor = 0usize;
         let mut fail: Option<CompressError> = None;

@@ -76,7 +76,7 @@ where
         }
         w.put_uvarint(self.block as u64);
         if field.is_empty() {
-            return Ok(w.finish());
+            return Ok(qip_core::integrity::seal(w.finish()));
         }
 
         let origins: Vec<Vec<usize>> = field.shape().blocks(self.block).collect();
@@ -93,10 +93,11 @@ where
         for s in streams {
             w.put_block(&s?);
         }
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         if r.get_u8()? != MAGIC_PAR {
             return Err(CompressError::WrongFormat("not a block-parallel stream"));
@@ -143,7 +144,7 @@ where
         let blocks: Vec<Result<Field<T>, CompressError>> =
             payloads.par_iter().map(|p| self.inner.decompress(p)).collect();
 
-        let mut out = Field::<T>::zeros(shape);
+        let mut out = Field::from_vec(shape.clone(), qip_core::try_zeroed_vec::<T>(shape.len())?)?;
         for (origin, blk) in origins.iter().zip(blocks) {
             let blk = blk?;
             // Defensive: the block shape must match its clipped extent.

@@ -51,9 +51,24 @@ impl LinearQuantizer {
 
     /// Quantizer with an explicit radius (indices satisfy `|q| < radius`).
     pub fn with_radius(eb: f64, radius: i32) -> Self {
-        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive and finite");
-        assert!(radius > 1);
-        LinearQuantizer { eb, radius }
+        Self::try_with_radius(eb, radius)
+            .expect("error bound must be positive and finite, radius > 1")
+    }
+
+    /// Fallible constructor for parameters read from an untrusted stream:
+    /// returns `None` instead of panicking when the bound is non-positive or
+    /// non-finite (e.g. a corrupted per-level ε) or the radius is degenerate.
+    pub fn try_new(eb: f64) -> Option<Self> {
+        Self::try_with_radius(eb, Self::DEFAULT_RADIUS)
+    }
+
+    /// Fallible variant of [`LinearQuantizer::with_radius`].
+    pub fn try_with_radius(eb: f64, radius: i32) -> Option<Self> {
+        if eb > 0.0 && eb.is_finite() && radius > 1 {
+            Some(LinearQuantizer { eb, radius })
+        } else {
+            None
+        }
     }
 
     /// The absolute error bound.

@@ -19,7 +19,7 @@ mod wavelet;
 
 pub use wavelet::{dwt2d_3d_levels, inverse_multilevel, forward_multilevel};
 
-use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices, ByteReader, ByteWriter};
 use qip_core::{CompressError, Compressor, ErrorBound, StreamHeader};
 use qip_tensor::{Field, Scalar};
 
@@ -64,7 +64,7 @@ impl<T: Scalar> Compressor<T> for Sperr {
         }
         .write(&mut w);
         if field.is_empty() {
-            return Ok(w.finish());
+            return Ok(qip_core::integrity::seal(w.finish()));
         }
 
         // Forward multi-level 9/7 transform.
@@ -140,10 +140,11 @@ impl<T: Scalar> Compressor<T> for Sperr {
         w.put_block(&raw);
         w.put_uvarint(n_corr);
         w.put_block(&corrections.finish());
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_SPERR, T::BITS as u8)?;
         let dims = header.shape.dims().to_vec();
@@ -151,7 +152,7 @@ impl<T: Scalar> Compressor<T> for Sperr {
         if n == 0 {
             return Ok(Field::zeros(header.shape));
         }
-        let q = decode_indices(r.get_block()?)?;
+        let q = qip_codec::decode_indices_capped(r.get_block()?, n)?;
         if q.len() != n {
             return Err(CompressError::WrongFormat("coefficient count mismatch"));
         }
@@ -164,7 +165,7 @@ impl<T: Scalar> Compressor<T> for Sperr {
 
         let step = STEP_FRACTION * header.abs_eb;
         let mut raw_cursor = 0usize;
-        let mut coeffs = Vec::with_capacity(n);
+        let mut coeffs = qip_core::try_with_capacity::<f64>(n)?;
         for &qi in &q {
             if qi == ESCAPE {
                 let chunk = raw

@@ -191,10 +191,11 @@ impl<T: Scalar> Compressor<T> for Sz3 {
                 w.put_bytes(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
             }
         }
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let magic = r.get_u8()?;
         if magic != MAGIC_SZ3 {

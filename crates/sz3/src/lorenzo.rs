@@ -13,7 +13,7 @@
 //! pipeline has no QP hook.
 
 use crate::regression::PlaneFit;
-use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices, ByteReader, ByteWriter};
 use qip_core::{CompressError, ErrorBound, StreamHeader};
 use qip_predict::{lorenzo2, lorenzo3};
 use qip_quant::{LinearQuantizer, Quantized, UNPRED};
@@ -203,7 +203,8 @@ pub fn decompress<T: Scalar>(bytes: &[u8], magic: u8) -> Result<Field<T>, Compre
     if n == 0 {
         return Ok(Field::zeros(header.shape));
     }
-    let quant = LinearQuantizer::new(header.abs_eb);
+    let quant = LinearQuantizer::try_new(header.abs_eb)
+        .ok_or(CompressError::Corrupt("degenerate error bound"))?;
     let strides = header.shape.strides().to_vec();
 
     let blockwise = r.get_u8()? != 0;
@@ -240,12 +241,12 @@ pub fn decompress<T: Scalar>(bytes: &[u8], magic: u8) -> Result<Field<T>, Compre
     for chunk in unpred_bytes.chunks_exact(T::BYTES) {
         unpred.push(T::read_le(chunk)?);
     }
-    let q = decode_indices(r.get_block()?)?;
+    let q = qip_codec::decode_indices_capped(r.get_block()?, n)?;
     if q.len() != n {
         return Err(CompressError::WrongFormat("index count mismatch"));
     }
 
-    let mut buf = vec![T::ZERO; n];
+    let mut buf = qip_core::try_zeroed_vec::<T>(n)?;
     let mut cursor = 0usize;
     let mut unpred_cursor = 0usize;
     let mut fail: Option<CompressError> = None;

@@ -19,7 +19,7 @@ mod linalg;
 
 pub use linalg::{sym_eigen_desc, Jacobi};
 
-use qip_codec::{decode_indices, encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices, ByteReader, ByteWriter};
 use qip_core::{CompressError, Compressor, ErrorBound, StreamHeader};
 use qip_tensor::{Field, Scalar};
 
@@ -165,7 +165,7 @@ impl<T: Scalar> Compressor<T> for Tthresh {
         }
         .write(&mut w);
         if field.is_empty() {
-            return Ok(w.finish());
+            return Ok(qip_core::integrity::seal(w.finish()));
         }
 
         // ---- HOSVD: factor per mode from the Gram eigendecomposition ----
@@ -259,10 +259,11 @@ impl<T: Scalar> Compressor<T> for Tthresh {
         w.put_block(&raw);
         w.put_uvarint(n_corr);
         w.put_block(&corrections.finish());
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_TTHRESH, T::BITS as u8)?;
         let dims = header.shape.dims().to_vec();
@@ -274,7 +275,9 @@ impl<T: Scalar> Compressor<T> for Tthresh {
         let mut factors: Vec<Vec<f64>> = Vec::with_capacity(dims.len());
         for &d in &dims {
             let fb = r.get_block()?;
-            if fb.len() != d * d * 4 {
+            // Checked arithmetic: a forged extent near the header cap would
+            // overflow `d * d * 4` in release builds and defeat this check.
+            if d.checked_mul(d).and_then(|x| x.checked_mul(4)) != Some(fb.len()) {
                 return Err(CompressError::WrongFormat("factor matrix size mismatch"));
             }
             let u: Vec<f64> = fb
@@ -283,7 +286,7 @@ impl<T: Scalar> Compressor<T> for Tthresh {
                 .collect();
             factors.push(u);
         }
-        let q = decode_indices(r.get_block()?)?;
+        let q = qip_codec::decode_indices_capped(r.get_block()?, n)?;
         if q.len() != n {
             return Err(CompressError::WrongFormat("core size mismatch"));
         }
@@ -296,7 +299,7 @@ impl<T: Scalar> Compressor<T> for Tthresh {
 
         let step = STEP_FRACTION * header.abs_eb;
         let mut cursor = 0usize;
-        let mut core = Vec::with_capacity(n);
+        let mut core = qip_core::try_with_capacity::<f64>(n)?;
         for &qi in &q {
             if qi == ESCAPE {
                 let chunk = raw

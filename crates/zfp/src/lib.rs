@@ -357,7 +357,7 @@ impl<T: Scalar> Compressor<T> for Zfp {
         }
         .write(&mut w);
         if field.is_empty() {
-            return Ok(w.finish());
+            return Ok(qip_core::integrity::seal(w.finish()));
         }
 
         let order = sequency_order(dims.len());
@@ -367,10 +367,11 @@ impl<T: Scalar> Compressor<T> for Zfp {
             encode_block(&vals, dims.len(), abs_eb, &order, &mut bw);
         }
         w.put_block(&bw.finish());
-        Ok(w.finish())
+        Ok(qip_core::integrity::seal(w.finish()))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_ZFP, T::BITS as u8)?;
         let dims = header.shape.dims().to_vec();
@@ -381,7 +382,7 @@ impl<T: Scalar> Compressor<T> for Zfp {
         let payload = r.get_block()?;
         let mut br = BitReader::new(payload);
         let order = sequency_order(dims.len());
-        let mut out = vec![T::ZERO; header.shape.len()];
+        let mut out = qip_core::try_zeroed_vec::<T>(header.shape.len())?;
         for origin in header.shape.blocks(BLOCK) {
             let block = decode_block(dims.len(), &order, &mut br)?;
             scatter_block(&mut out, &dims, &strides, &origin, &block);

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion` (see `stubs/README.md`).
+//!
+//! Runs each benchmark `sample_size` times with `std::time::Instant` and
+//! prints the mean per-iteration time (plus throughput when declared). No
+//! statistics, warm-up, or HTML reports — just enough to keep `cargo bench`
+//! compiling and producing usable numbers offline.
+
+use std::time::Instant;
+
+/// Declared throughput of a benchmark, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive so it isn't optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Opaque value sink (best-effort without compiler support).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("{id}: no iterations");
+        return;
+    }
+    let mean_ns = b.elapsed_ns as f64 / b.iters as f64;
+    let rate = match tp {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>8.1} MiB/s", n as f64 / (1 << 20) as f64 / (mean_ns * 1e-9))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>8.1} Melem/s", n as f64 / 1e6 / (mean_ns * 1e-9))
+        }
+        None => String::new(),
+    };
+    if mean_ns >= 1e6 {
+        println!("{id}: {:.3} ms/iter{rate}", mean_ns / 1e6);
+    } else {
+        println!("{id}: {:.1} us/iter{rate}", mean_ns / 1e3);
+    }
+}
+
+/// Declare a benchmark group: plain and `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..1024u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = demo_group;
+        config = Criterion::default().sample_size(3);
+        targets = bench_demo
+    }
+
+    #[test]
+    fn group_runs() {
+        demo_group();
+    }
+}

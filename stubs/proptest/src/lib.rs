@@ -1,0 +1,378 @@
+//! Offline stand-in for `proptest` (see `stubs/README.md`).
+//!
+//! Implements the strategy/`proptest!` subset the workspace tests use with
+//! deterministic sampling and no shrinking: each test case draws its inputs
+//! from a splitmix64 seeded by the test name and case number, so a failure
+//! reproduces exactly on re-run.
+
+/// Deterministic generator backing all strategies.
+pub mod test_runner {
+    /// splitmix64; small, fast, and good enough for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic construction from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Stable seed from a test name (FNV-1a).
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Strategy combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+    pub struct Union<V> {
+        samplers: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from one boxed sampler per alternative.
+        pub fn new(samplers: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!samplers.is_empty(), "prop_oneof! needs at least one arm");
+            Union { samplers }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.samplers.len());
+            (self.samplers[i])(rng)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> u16 {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> i32 {
+            (rng.next_u64() >> 32) as u32 as i32
+        }
+    }
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty length range");
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span.max(1));
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declare property tests; each named input is sampled per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            let base = $crate::test_runner::seed_from_name(stringify!($name));
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_runner::TestRng::from_seed(base ^ case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            },)+
+        ])
+    }};
+}
+
+/// Assert inside a property (plain `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Assert equality inside a property (plain `assert_eq!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, i32)> {
+        (any::<u8>(), prop_oneof![Just(1i32), -4i32..4, any::<i32>()])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[test]
+        fn tuples_and_maps_work((a, b) in arb_pair(), n in 3usize..9) {
+            let _ = a;
+            let _ = b;
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0i32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(-8i32..8, 0..50);
+        let a: Vec<i32> = s.sample(&mut TestRng::from_seed(11));
+        let b: Vec<i32> = s.sample(&mut TestRng::from_seed(11));
+        assert_eq!(a, b);
+    }
+}

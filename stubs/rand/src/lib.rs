@@ -1,0 +1,216 @@
+//! Offline stand-in for `rand` (see `stubs/README.md`).
+//!
+//! Implements the subset of the rand 0.8 API the workspace uses:
+//! `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`.
+//! `SmallRng` is xoshiro256++ seeded through splitmix64, and the float
+//! sampling follows rand 0.8's multiply-based `[0, 1)` / `value1_2` range
+//! methods, so seeded sequences match upstream `rand` on 64-bit targets and
+//! the synthetic datasets derived from them stay stable.
+
+use std::ops::Range;
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from raw bits.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The element type.
+    type Output;
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // rand 0.8 UniformFloat::sample_single: draw in [1, 2) from the
+        // mantissa bits, then map through `value1_2 * scale + offset`.
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        value1_2 * scale + offset
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        value1_2 * scale + offset
+    }
+}
+
+macro_rules! impl_int_range {
+    ($t:ty) => {
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+impl_int_range!(usize);
+impl_int_range!(u64);
+impl_int_range!(u32);
+impl_int_range!(i64);
+impl_int_range!(i32);
+impl_int_range!(u8);
+
+/// High-level sampling interface.
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` (floats land in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast deterministic generator: xoshiro256++, seeded through a
+    /// splitmix64 expansion — the same construction rand 0.8's `SmallRng`
+    /// uses on 64-bit targets, so seeded streams match upstream.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            // As in rand's xoshiro256++: the upper word avoids the weak
+            // low-bit linear structure.
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut seed: u64) -> Self {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f64 = a.gen();
+            let y: f64 = b.gen();
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = c.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let i = c.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+        }
+    }
+}

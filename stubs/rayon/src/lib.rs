@@ -1,0 +1,113 @@
+//! Offline stand-in for `rayon` (see `stubs/README.md`).
+//!
+//! Provides the `par_iter().map(f).collect()` shape the workspace uses,
+//! executed on real OS threads via `std::thread::scope` with an
+//! order-preserving collect. Work is split into one contiguous chunk per
+//! available core; each thread maps its chunk, and the results are stitched
+//! back together in input order.
+
+/// The parallel iterator prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceIter};
+}
+
+/// Conversion into a borrowing "parallel iterator".
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Sync + 'a;
+    /// Borrow as a parallel iterator.
+    fn par_iter(&'a self) -> ParallelSliceIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParallelSliceIter<'a, T> {
+        ParallelSliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParallelSliceIter<'a, T> {
+        ParallelSliceIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParallelSliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSliceIter<'a, T> {
+    /// Map each element (in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Pending parallel map.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Run the map across threads and collect results in input order.
+    pub fn collect<B: FromIterator<R>>(self) -> B {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = threads.min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                per_chunk.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_results() {
+        let v = vec![1i32, 2, 3];
+        let out: Result<Vec<i32>, ()> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(out.unwrap(), v);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

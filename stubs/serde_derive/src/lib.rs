@@ -1,0 +1,103 @@
+//! Offline stand-in for `serde_derive` (see `stubs/README.md`).
+//!
+//! `derive(Serialize)` supports plain (non-generic) named-field structs —
+//! the only shape the workspace derives on — and emits an impl of the stub
+//! `serde::Serialize` trait that writes a JSON object with one member per
+//! field, in declaration order. `derive(Deserialize)` expands to nothing.
+//!
+//! Parsing is done directly on the token stream (no `syn`): attributes are
+//! skipped, the struct name is taken after the `struct` keyword, and field
+//! names are the identifiers preceding each top-level `:` in the body.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stub `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        body.push_str(&format!("::serde::Serialize::write_json(&self.{f}, out);\n"));
+    }
+    body.push_str("out.push('}');\n");
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut String) {{\n{body}}}\n\
+         }}"
+    );
+    impl_src.parse().expect("generated Serialize impl should parse")
+}
+
+/// Accepted for API compatibility; nothing in-repo deserializes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Extract (struct name, field names) from a named-field struct item.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+            }
+            // `pub`, `pub(crate)` groups, etc. before `struct`.
+            _ if name.is_none() => {}
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                return (name.expect("struct name before body"), fields);
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stub does not support generic structs");
+            }
+            other => panic!("unsupported struct shape at {other:?} (named fields only)"),
+        }
+    }
+    panic!("derive(Serialize) stub requires a braced struct body");
+}
+
+/// Field names: the identifier right before each top-level `:`.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' if !in_type => {
+                    fields.push(last_ident.take().expect("field name before ':'"));
+                    in_type = true;
+                }
+                '<' if in_type => angle_depth += 1,
+                '>' if in_type => angle_depth -= 1,
+                ',' if in_type && angle_depth == 0 => in_type = false,
+                '#' => {}
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            // Attribute brackets, `pub(...)` parens, or type-position groups.
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde_json` (see `stubs/README.md`).
+//!
+//! Only `to_string` is provided; it delegates to the stub `serde::Serialize`
+//! trait, which writes JSON text directly.
+
+use serde::Serialize;
+
+/// Serialization error (the stub serializer is infallible in practice).
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_encodes_values() {
+        assert_eq!(super::to_string(&vec![1i32, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string("hi").unwrap(), "\"hi\"");
+    }
+}
