@@ -14,6 +14,7 @@
 //!   fig9       CR increase by start level
 //!   rd         rate-distortion (Figs. 10-15); --dataset selects one
 //!   speed      compression/decompression speed (Figs. 16-17)
+//!   throughput allocating vs reused-context API throughput + allocation counts
 //!   table4     comparison with ZFP/TTHRESH/SPERR
 //!   fig18      end-to-end parallel transfer
 //!   ablate     ablation studies (DESIGN.md §8)
@@ -26,6 +27,12 @@
 use qip_bench::experiments::{self, Opts};
 use qip_data::{Dataset, RD_DATASETS};
 use std::path::PathBuf;
+
+/// Install the counting allocator so the `throughput` experiment can report
+/// real allocation counts (it is pass-through and unarmed everywhere else).
+#[global_allocator]
+static ALLOC: qip_bench::alloc_track::CountingAlloc =
+    qip_bench::alloc_track::CountingAlloc::new();
 
 fn print_table1() {
     qip_bench::print_table(
@@ -42,7 +49,7 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|table4|fig18|ablate|all> \
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|table4|fig18|ablate|all> \
          [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME]"
     );
     std::process::exit(2);
@@ -114,6 +121,9 @@ fn main() {
             None => rd_all(),
         },
         "speed" => experiments::speed::run(&opts),
+        "throughput" => {
+            experiments::throughput::run(&opts);
+        }
         "table4" => experiments::sota::run(&opts),
         "fig18" => experiments::transfer::run(&opts),
         "ablate" => experiments::ablate::run(&opts),
@@ -128,6 +138,7 @@ fn main() {
             experiments::config_explore::fig9(&opts);
             rd_all();
             experiments::speed::run(&opts);
+            experiments::throughput::run(&opts);
             experiments::sota::run(&opts);
             experiments::transfer::run(&opts);
             experiments::ablate::run(&opts);

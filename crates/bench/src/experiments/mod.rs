@@ -6,6 +6,7 @@ pub mod config_explore;
 pub mod rd;
 pub mod sota;
 pub mod speed;
+pub mod throughput;
 pub mod transfer;
 
 use std::path::PathBuf;

@@ -1,0 +1,220 @@
+//! Tracked throughput benchmark: allocating vs reusable-buffer API.
+//!
+//! Runs every registry compressor over a synthetic 3-D corpus and measures,
+//! side by side, the allocating `compress`/`decompress` path and the
+//! `compress_into`/`decompress_into` path driven by one reused
+//! [`CompressCtx`]. Divergence between the two paths' output bytes is a hard
+//! failure (the CI smoke run leans on this), so the numbers always describe
+//! two implementations of the *same* stream. Results land in
+//! `BENCH_throughput.json` (schema: docs/benchmarks.md).
+
+use super::Opts;
+use crate::alloc_track::count_allocs_during;
+use crate::registry::AnyCompressor;
+use crate::report::{fmt, print_table};
+use qip_core::{CompressCtx, Compressor, ErrorBound, QpConfig};
+use qip_data::Dataset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The synthetic 3-D corpus (both generate above the chunked-entropy
+/// threshold at the default `--scale 4`).
+const THROUGHPUT_DATASETS: [Dataset; 2] = [Dataset::Miranda, Dataset::SegSalt];
+/// Value-range-relative bound used for every run.
+const REL_EB: f64 = 1e-3;
+/// Timed repetitions per path (best-of; one untimed warmup precedes them).
+const REPS: usize = 5;
+
+/// One (compressor, dataset) measurement: both API paths, same stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRecord {
+    /// Compressor name ("SZ3+QP", …).
+    pub compressor: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Field dimensions after `--scale`.
+    pub dims: Vec<usize>,
+    /// Value-range-relative error bound.
+    pub rel_eb: f64,
+    /// Compression ratio (identical for both paths by construction).
+    pub cr: f64,
+    /// Allocating `compress` throughput (MB/s of raw input, best of reps).
+    pub compress_mbs: f64,
+    /// Reused-ctx `compress_into` throughput (MB/s, best of reps).
+    pub compress_into_mbs: f64,
+    /// Allocating `decompress` throughput (MB/s of raw output).
+    pub decompress_mbs: f64,
+    /// Reused-ctx `decompress_into` throughput (MB/s).
+    pub decompress_into_mbs: f64,
+    /// Heap allocation requests during one allocating `compress` call.
+    pub compress_allocs: u64,
+    /// Heap allocation requests during one warm `compress_into` call.
+    pub compress_into_allocs: u64,
+    /// Compress speedup of the reused-ctx path over the allocating path (%).
+    pub speedup_pct: f64,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut out = f(); // warmup (also primes the ctx pools)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (out, best)
+}
+
+fn measure(comp: &AnyCompressor, ds: Dataset, dims: &[usize]) -> ThroughputRecord {
+    let field = ds.generate_f32(0, dims);
+    let raw_mb = (field.len() * 4) as f64 / 1e6;
+    let bound = ErrorBound::Rel(REL_EB);
+    let name = Compressor::<f32>::name(comp);
+
+    let (baseline, t_alloc) =
+        best_of(REPS, || comp.compress(&field, bound).expect("compress failed"));
+
+    let mut ctx = CompressCtx::new();
+    let mut out = Vec::new();
+    let (_, t_ctx) = best_of(REPS, || {
+        comp.compress_into(&field, bound, &mut ctx, &mut out).expect("compress_into failed")
+    });
+    assert_eq!(
+        baseline, out,
+        "{name} on {}: compress_into diverged from compress",
+        ds.name()
+    );
+
+    let (_, compress_allocs) =
+        count_allocs_during(|| comp.compress(&field, bound).expect("compress failed"));
+    let (_, compress_into_allocs) = count_allocs_during(|| {
+        comp.compress_into(&field, bound, &mut ctx, &mut out).expect("compress_into failed")
+    });
+
+    let (plain, t_d) =
+        best_of(REPS, || -> qip_tensor::Field<f32> {
+            comp.decompress(&baseline).expect("decompress failed")
+        });
+    let (reused, t_d_ctx) = best_of(REPS, || -> qip_tensor::Field<f32> {
+        comp.decompress_into(&out, &mut ctx).expect("decompress_into failed")
+    });
+    assert_eq!(
+        plain.as_slice(),
+        reused.as_slice(),
+        "{name} on {}: decompress_into diverged from decompress",
+        ds.name()
+    );
+
+    ThroughputRecord {
+        compressor: name,
+        dataset: ds.name().to_string(),
+        dims: dims.to_vec(),
+        rel_eb: REL_EB,
+        cr: (field.len() * 4) as f64 / baseline.len() as f64,
+        compress_mbs: raw_mb / t_alloc.max(1e-9),
+        compress_into_mbs: raw_mb / t_ctx.max(1e-9),
+        decompress_mbs: raw_mb / t_d.max(1e-9),
+        decompress_into_mbs: raw_mb / t_d_ctx.max(1e-9),
+        compress_allocs,
+        compress_into_allocs,
+        speedup_pct: (t_alloc / t_ctx.max(1e-12) - 1.0) * 100.0,
+    }
+}
+
+/// Run the throughput grid, print the table, and write
+/// `BENCH_throughput.json` under `opts.out`. Returns the records.
+pub fn run(opts: &Opts) -> Vec<ThroughputRecord> {
+    let mut registry = AnyCompressor::base_four(QpConfig::off());
+    registry.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    registry.extend(AnyCompressor::comparators());
+
+    let mut records = Vec::new();
+    for ds in THROUGHPUT_DATASETS {
+        let dims = ds.scaled_dims(opts.scale);
+        for comp in &registry {
+            records.push(measure(comp, ds, &dims));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.compressor.clone(),
+                fmt(r.compress_mbs),
+                fmt(r.compress_into_mbs),
+                format!("{:+.1}%", r.speedup_pct),
+                fmt(r.decompress_mbs),
+                fmt(r.decompress_into_mbs),
+                r.compress_allocs.to_string(),
+                r.compress_into_allocs.to_string(),
+                fmt(r.cr),
+            ]
+        })
+        .collect();
+    print_table(
+        "Throughput: allocating vs reused-context (MB/s, best of reps)",
+        &[
+            "dataset",
+            "compressor",
+            "compress",
+            "compress_into",
+            "speedup",
+            "decompress",
+            "decompress_into",
+            "allocs",
+            "allocs_into",
+            "CR",
+        ],
+        &rows,
+    );
+
+    if let Err(e) = write_json(opts, &records) {
+        eprintln!("[failed to write BENCH_throughput.json: {e}]");
+    }
+    records
+}
+
+fn write_json(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<()> {
+    std::fs::create_dir_all(&opts.out)?;
+    let path = opts.out.join("BENCH_throughput.json");
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str("  ");
+        s.push_str(&serde_json::to_string(r).expect("serializable record"));
+    }
+    s.push_str("\n]\n");
+    std::fs::write(&path, s)?;
+    eprintln!("[results written to {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_paths_agree() {
+        // Scale 32 keeps this a smoke test; the assert_eq divergence gates
+        // inside `measure` are the actual property under test.
+        let opts = Opts {
+            scale: 32,
+            fields: 1,
+            out: std::env::temp_dir().join("qip_throughput_test"),
+        };
+        let records = run(&opts);
+        assert_eq!(records.len(), 2 * 11);
+        for r in &records {
+            assert!(r.cr > 1.0, "{}: CR {}", r.compressor, r.cr);
+            assert!(r.compress_mbs > 0.0 && r.compress_into_mbs > 0.0);
+        }
+        let json =
+            std::fs::read_to_string(opts.out.join("BENCH_throughput.json")).unwrap();
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.contains("\"compress_into_mbs\""));
+    }
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_track;
 pub mod experiments;
 pub mod registry;
 pub mod report;

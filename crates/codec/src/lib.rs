@@ -26,7 +26,10 @@ pub mod stream;
 pub mod varint;
 
 pub use bits::{BitReader, BitWriter};
-pub use lossless::{decode_indices, decode_indices_capped, encode_indices};
+pub use lossless::{
+    decode_indices, decode_indices_capped, decode_indices_capped_into, encode_indices,
+    encode_indices_into, CHUNK_SYMBOLS,
+};
 pub use stream::{ByteReader, ByteWriter};
 
 /// Errors produced while decoding compressed streams.

@@ -5,8 +5,17 @@
 //! squeezes residual byte-level redundancy (headers, clustered code runs).
 //! The LZ pass is kept only when it actually shrinks the stream, signalled by
 //! a one-byte mode tag.
+//!
+//! Index arrays larger than [`CHUNK_SYMBOLS`] are split into fixed-size
+//! chunks, each entropy-coded independently (mode tag 4, with a per-chunk
+//! byte-length offset table), so the dominant encode/decode cost parallelises
+//! across cores via rayon without cutting prediction context — chunking
+//! happens *after* quantization-index prediction, so ratios are unaffected
+//! except for the per-chunk table headers. Chunk boundaries are fixed by the
+//! format, never by the thread count, so the encoded bytes are deterministic.
 
-use crate::{huffman, lz, range, CodecError};
+use crate::{huffman, lz, range, ByteReader, ByteWriter, CodecError};
+use rayon::prelude::*;
 
 /// Mode tag: Huffman output stored raw.
 const MODE_HUFF: u8 = 0;
@@ -16,16 +25,21 @@ const MODE_HUFF_LZ: u8 = 1;
 const MODE_RANGE: u8 = 2;
 /// Mode tag: range-coder output further LZ-compressed.
 const MODE_RANGE_LZ: u8 = 3;
+/// Mode tag: chunked stream — offset table + independently coded chunks.
+const MODE_CHUNKED: u8 = 4;
 
 /// Streams below this symbol count also try the (slower) adaptive range
 /// coder, which shines exactly there: no code-length header, instant
 /// adaptation. Large streams stick to Huffman+LZ for throughput.
 const RANGE_TRY_LIMIT: usize = 1 << 16;
 
-/// Encode a quantization index array: entropy coding (canonical Huffman,
-/// plus the adaptive range coder for small streams), then LZ if profitable,
-/// keeping whichever combination is smallest.
-pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
+/// Symbols per chunk in the chunked (mode 4) framing. Streams with at most
+/// this many symbols keep the flat single-block layout.
+pub const CHUNK_SYMBOLS: usize = 1 << 17;
+
+/// Entropy-code one block of indices (modes 0–3), keeping whichever
+/// combination of coder and optional LZ pass is smallest.
+fn encode_block(indices: &[i32]) -> Vec<u8> {
     let huff = huffman::encode(indices);
     let lzed = lz::compress(&huff);
     let mut best: (u8, Vec<u8>) = if lzed.len() < huff.len() {
@@ -46,20 +60,8 @@ pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
     out
 }
 
-/// Decode a stream produced by [`encode_indices`].
-pub fn decode_indices(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
-    decode_indices_capped(bytes, usize::MAX)
-}
-
-/// Decode with an upper bound on the symbol count the caller will accept.
-///
-/// Container formats know how many indices a block may legally hold (the
-/// declared field volume), so they pass it here and a corrupted count is
-/// rejected *before* any count-sized allocation. The cap also bounds the
-/// intermediate LZ expansion: `max_count` symbols need at most
-/// `MAX_CODE_LEN` bits each, plus a generous header allowance.
-pub fn decode_indices_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
-    let (&mode, rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
+/// Decode one block produced by [`encode_block`], given its mode tag.
+fn decode_block(mode: u8, rest: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
     // Entropy-coded payload for max_count symbols: 16 bytes/symbol is far
     // above any legal code or escape cost, and the slack covers headers.
     let max_payload = max_count.saturating_mul(16).saturating_add(4096);
@@ -76,6 +78,136 @@ pub fn decode_indices_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>,
         }
         _ => Err(CodecError::BadHeader("unknown lossless mode tag")),
     }
+}
+
+/// Encode a quantization index array: entropy coding (canonical Huffman,
+/// plus the adaptive range coder for small streams), then LZ if profitable,
+/// keeping whichever combination is smallest. Arrays larger than
+/// [`CHUNK_SYMBOLS`] are split into independently (and concurrently) encoded
+/// chunks behind a per-chunk offset table.
+pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_indices_into(indices, &mut out);
+    out
+}
+
+/// [`encode_indices`] into a caller-owned buffer (cleared first), so repeated
+/// compressions reuse the output allocation.
+pub fn encode_indices_into(indices: &[i32], out: &mut Vec<u8>) {
+    out.clear();
+    if indices.len() <= CHUNK_SYMBOLS {
+        let block = encode_block(indices);
+        out.extend_from_slice(&block);
+        return;
+    }
+    let chunks: Vec<&[i32]> = indices.chunks(CHUNK_SYMBOLS).collect();
+    let encoded: Vec<Vec<u8>> = chunks.par_iter().map(|c| encode_block(c)).collect();
+    let mut w = ByteWriter::from_vec(std::mem::take(out));
+    w.put_u8(MODE_CHUNKED);
+    w.put_uvarint(indices.len() as u64);
+    w.put_uvarint(CHUNK_SYMBOLS as u64);
+    w.put_uvarint(encoded.len() as u64);
+    for e in &encoded {
+        w.put_uvarint(e.len() as u64);
+    }
+    for e in &encoded {
+        w.put_bytes(e);
+    }
+    *out = w.finish();
+}
+
+/// Decode a stream produced by [`encode_indices`].
+pub fn decode_indices(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
+    decode_indices_capped(bytes, usize::MAX)
+}
+
+/// Decode with an upper bound on the symbol count the caller will accept.
+///
+/// Container formats know how many indices a block may legally hold (the
+/// declared field volume), so they pass it here and a corrupted count is
+/// rejected *before* any count-sized allocation. The cap also bounds the
+/// intermediate LZ expansion: `max_count` symbols need at most
+/// `MAX_CODE_LEN` bits each, plus a generous header allowance. Chunked
+/// streams are additionally checked for internal consistency (chunk count vs.
+/// declared total, offset table vs. payload length, per-chunk symbol counts)
+/// and decoded concurrently.
+pub fn decode_indices_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecError> {
+    let mut out = Vec::new();
+    decode_indices_capped_into(bytes, max_count, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_indices_capped`] into a caller-owned buffer (cleared first).
+pub fn decode_indices_capped_into(
+    bytes: &[u8],
+    max_count: usize,
+    out: &mut Vec<i32>,
+) -> Result<(), CodecError> {
+    out.clear();
+    let (&mode, rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
+    if mode != MODE_CHUNKED {
+        *out = decode_block(mode, rest, max_count)?;
+        return Ok(());
+    }
+
+    let mut r = ByteReader::new(rest);
+    let total = r.get_uvarint()? as usize;
+    let chunk_symbols = r.get_uvarint()? as usize;
+    let nchunks = r.get_uvarint()? as usize;
+    if total > max_count {
+        return Err(CodecError::BadHeader("declared symbol count exceeds cap"));
+    }
+    if chunk_symbols == 0 {
+        return Err(CodecError::BadHeader("zero chunk size"));
+    }
+    if nchunks != total.div_ceil(chunk_symbols) {
+        return Err(CodecError::BadHeader("chunk count inconsistent with total"));
+    }
+
+    // Offset table: one byte length per chunk. Grown by push (each entry
+    // consumes stream bytes), never pre-sized from the untrusted count.
+    let mut lens: Vec<usize> = Vec::new();
+    let mut payload_total = 0usize;
+    for _ in 0..nchunks {
+        let len = r.get_uvarint()? as usize;
+        payload_total = payload_total
+            .checked_add(len)
+            .ok_or(CodecError::BadHeader("chunk offset table overflows"))?;
+        lens.push(len);
+    }
+    let payload = r.rest();
+    if payload.len() != payload_total {
+        return Err(CodecError::BadHeader("offset table inconsistent with payload"));
+    }
+
+    let mut slices: Vec<(&[u8], usize)> = Vec::with_capacity(nchunks);
+    let mut off = 0usize;
+    for (i, &len) in lens.iter().enumerate() {
+        let expected =
+            if i + 1 == nchunks { total - chunk_symbols * (nchunks - 1) } else { chunk_symbols };
+        slices.push((&payload[off..off + len], expected));
+        off += len;
+    }
+
+    let decoded: Vec<Result<Vec<i32>, CodecError>> = slices
+        .par_iter()
+        .map(|&(chunk, expected)| {
+            let (&m, body) = chunk.split_first().ok_or(CodecError::UnexpectedEof)?;
+            if m == MODE_CHUNKED {
+                return Err(CodecError::BadHeader("nested chunked index stream"));
+            }
+            let v = decode_block(m, body, expected)?;
+            if v.len() != expected {
+                return Err(CodecError::BadHeader("chunk symbol count mismatch"));
+            }
+            Ok(v)
+        })
+        .collect();
+
+    for d in decoded {
+        out.extend_from_slice(&d?);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -132,5 +264,89 @@ mod tests {
         let q: Vec<i32> = (0..1000).map(|i| i % 9 - 4).collect();
         let enc = encode_indices(&q);
         assert!(decode_indices(&enc[..enc.len() / 2]).is_err());
+    }
+
+    /// A mixed-texture index array just past the chunking threshold.
+    fn chunky_input() -> Vec<i32> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        (0..CHUNK_SYMBOLS * 2 + 777)
+            .map(|i| {
+                if (i / 4096) % 2 == 0 {
+                    (i % 3) as i32 // clustered runs
+                } else {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    ((state >> 33) as i32 % 33) - 16 // noise
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_roundtrip_and_tag() {
+        let q = chunky_input();
+        let enc = encode_indices(&q);
+        assert_eq!(enc[0], MODE_CHUNKED, "large stream must use the chunked framing");
+        assert_eq!(decode_indices(&enc).unwrap(), q);
+        assert_eq!(decode_indices_capped(&enc, q.len()).unwrap(), q);
+    }
+
+    #[test]
+    fn small_streams_stay_flat() {
+        let q: Vec<i32> = (0..CHUNK_SYMBOLS).map(|i| (i % 7) as i32 - 3).collect();
+        let enc = encode_indices(&q);
+        assert!(enc[0] <= MODE_RANGE_LZ, "at-threshold stream must keep the flat layout");
+        assert_eq!(decode_indices(&enc).unwrap(), q);
+    }
+
+    #[test]
+    fn chunked_encoding_is_deterministic() {
+        let q = chunky_input();
+        assert_eq!(encode_indices(&q), encode_indices(&q));
+        let mut reused = vec![0xAAu8; 17]; // dirty reused buffer
+        encode_indices_into(&q, &mut reused);
+        assert_eq!(reused, encode_indices(&q));
+    }
+
+    #[test]
+    fn chunked_cap_rejects_oversized_count() {
+        let q = chunky_input();
+        let enc = encode_indices(&q);
+        assert!(decode_indices_capped(&enc, q.len() - 1).is_err());
+    }
+
+    #[test]
+    fn chunked_truncation_errors_at_every_prefix() {
+        let q = chunky_input();
+        let enc = encode_indices(&q);
+        // Full prefix scan is slow in debug; probe a spread of cut points
+        // covering header, offset table, and every chunk boundary region.
+        for cut in (0..enc.len()).step_by(enc.len() / 97 + 1) {
+            assert!(decode_indices(&enc[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn chunked_rejects_nested_chunk_and_count_mismatch() {
+        let q = chunky_input();
+        let enc = encode_indices(&q);
+        // Corrupt the declared total (first uvarint after the tag): the chunk
+        // count check or a chunk symbol-count mismatch must fire, not a panic.
+        let mut bad = enc.clone();
+        bad[1] ^= 0x01;
+        assert!(decode_indices_capped(&bad, q.len() * 2).is_err());
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer_and_clears_state() {
+        let q = chunky_input();
+        let enc = encode_indices(&q);
+        let mut out = vec![7i32; 5]; // stale state that must not leak
+        decode_indices_capped_into(&enc, q.len(), &mut out).unwrap();
+        assert_eq!(out, q);
+        let small = encode_indices(&[1, 2, 3]);
+        decode_indices_capped_into(&small, 3, &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
     }
 }

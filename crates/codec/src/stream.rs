@@ -24,6 +24,15 @@ impl ByteWriter {
         ByteWriter { buf: Vec::with_capacity(cap) }
     }
 
+    /// Writer that appends to an existing buffer (and its capacity).
+    ///
+    /// The buffer-reusing compression paths take a caller-owned `Vec<u8>`,
+    /// wrap it here, and hand the bytes back through [`ByteWriter::finish`] —
+    /// no intermediate stream allocation.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
     /// Current length in bytes.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -1,5 +1,7 @@
 //! User-facing error-bound specification.
 
+use qip_tensor::{Field, Scalar};
+
 /// Error bound requested by the user.
 ///
 /// The paper evaluates under *absolute* bounds tied to each field's value
@@ -31,6 +33,34 @@ impl ErrorBound {
             f64::MIN_POSITIVE
         }
     }
+
+    /// Resolve this bound against a concrete field.
+    ///
+    /// This is the single entry point every compressor (and wrapper such as
+    /// `BlockParallel`) goes through, so `Rel` semantics cannot drift between
+    /// a wrapper resolving against the whole field and an inner codec
+    /// resolving against a block's narrower value range.
+    pub fn resolve<T: Scalar>(&self, field: &Field<T>) -> ResolvedBound {
+        let value_range = field.value_range();
+        ResolvedBound { abs: self.absolute(value_range), value_range }
+    }
+}
+
+/// An [`ErrorBound`] resolved against one concrete field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedBound {
+    /// The absolute tolerance the quantizers enforce (always finite, > 0).
+    pub abs: f64,
+    /// The value range the bound was resolved against.
+    pub value_range: f64,
+}
+
+impl ResolvedBound {
+    /// The resolved bound as [`ErrorBound::Abs`], for handing to nested
+    /// compressors so they quantize at exactly the same tolerance.
+    pub fn as_abs(&self) -> ErrorBound {
+        ErrorBound::Abs(self.abs)
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +82,17 @@ mod tests {
         assert!(ErrorBound::Rel(1e-3).absolute(0.0) > 0.0);
         assert!(ErrorBound::Abs(0.0).absolute(1.0) > 0.0);
         assert!(ErrorBound::Abs(f64::NAN).absolute(1.0) > 0.0);
+    }
+
+    #[test]
+    fn resolve_matches_absolute_and_keeps_range() {
+        let f =
+            Field::from_vec(qip_tensor::Shape::new(&[4]), vec![0.0f32, 1.0, 2.0, 4.0]).unwrap();
+        let r = ErrorBound::Rel(1e-2).resolve(&f);
+        assert_eq!(r.value_range, 4.0);
+        assert_eq!(r.abs, 0.04);
+        assert_eq!(r.as_abs(), ErrorBound::Abs(r.abs));
+        // Resolving the produced Abs bound against any field is idempotent.
+        assert_eq!(r.as_abs().resolve(&f).abs, r.abs);
     }
 }

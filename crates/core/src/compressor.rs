@@ -1,6 +1,6 @@
 //! The compressor trait and error type shared across the workspace.
 
-use crate::ErrorBound;
+use crate::{CompressCtx, ErrorBound};
 use qip_codec::CodecError;
 use qip_tensor::{Field, Scalar, TensorError};
 
@@ -84,6 +84,38 @@ pub trait Compressor<T: Scalar> {
 
     /// Decompress a stream produced by [`Compressor::compress`].
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError>;
+
+    /// Compress `field` into `out`, reusing scratch from `ctx`.
+    ///
+    /// `out` is cleared first; on success it holds a stream **byte-identical**
+    /// to what [`Compressor::compress`] returns for the same inputs (pinned by
+    /// the workspace equivalence tests). The default implementation delegates
+    /// to the allocating path, so every impl keeps compiling; compressors with
+    /// a real scratch-reusing path override it.
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        let _ = ctx;
+        *out = self.compress(field, bound)?;
+        Ok(())
+    }
+
+    /// Decompress a stream, reusing scratch from `ctx`.
+    ///
+    /// Returns exactly what [`Compressor::decompress`] returns for the same
+    /// stream. The default delegates to the allocating path.
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        let _ = ctx;
+        self.decompress(bytes)
+    }
 }
 
 #[cfg(test)]

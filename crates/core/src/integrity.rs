@@ -48,10 +48,18 @@ const fn build_table() -> [u32; 256] {
 
 /// Append the integrity trailer to a finished stream.
 pub fn seal(mut stream: Vec<u8>) -> Vec<u8> {
-    let crc = crc32(&stream);
+    seal_in_place(&mut stream);
+    stream
+}
+
+/// Append the integrity trailer to a stream in place.
+///
+/// The buffer-reusing `compress_into` paths use this to seal the caller's
+/// output vector without an intermediate move through [`seal`].
+pub fn seal_in_place(stream: &mut Vec<u8>) {
+    let crc = crc32(stream);
     stream.extend_from_slice(&crc.to_le_bytes());
     stream.extend_from_slice(&TRAILER_MAGIC);
-    stream
 }
 
 /// Verify the integrity trailer and return the payload it covers.

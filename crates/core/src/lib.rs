@@ -27,12 +27,14 @@
 
 pub mod bound;
 pub mod compressor;
+pub mod ctx;
 pub mod header;
 pub mod integrity;
 pub mod qp;
 
-pub use bound::ErrorBound;
+pub use bound::{ErrorBound, ResolvedBound};
 pub use compressor::{try_with_capacity, try_zeroed_vec, CompressError, Compressor};
+pub use ctx::CompressCtx;
 pub use header::StreamHeader;
 pub use qp::{Condition, Neighbors, PredMode, QpConfig, QpEngine};
 

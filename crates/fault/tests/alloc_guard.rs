@@ -48,7 +48,7 @@ fn max_alloc_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
     (r, MAX_ALLOC.load(Ordering::SeqCst))
 }
 
-use qip_bench::AnyCompressor;
+use qip_registry::AnyCompressor;
 use qip_core::{Compressor, ErrorBound, QpConfig};
 use qip_tensor::Field;
 

@@ -8,7 +8,7 @@
 //! Any failure message prints the seed; replay it with
 //! `qip_fault::corrupt(stream, seed)` / `corrupt_resealed(stream, seed)`.
 
-use qip_bench::AnyCompressor;
+use qip_registry::AnyCompressor;
 use qip_core::{Compressor, ErrorBound, QpConfig};
 use qip_parallel::BlockParallel;
 use qip_sz3::Sz3;

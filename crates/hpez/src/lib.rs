@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use qip_core::{CompressError, Compressor, ErrorBound, QpConfig};
+use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
 use qip_interp::{EngineConfig, InterpEngine};
 use qip_tensor::{Field, Scalar};
 
@@ -78,6 +78,20 @@ impl Hpez {
     }
 
     fn tune<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> (f64, f64) {
+        self.tune_with(field, bound, &mut CompressCtx::new(), &mut Vec::new())
+    }
+
+    /// [`Self::tune`] with caller-provided scratch, so the `compress_into`
+    /// path's trial compressions reuse the context instead of allocating
+    /// their own working set per candidate. Trial streams are byte-identical
+    /// either way, so both entry points pick the same (α, β).
+    fn tune_with<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        scratch: &mut Vec<u8>,
+    ) -> (f64, f64) {
         if let Some(ab) = self.fixed_alpha_beta {
             return ab;
         }
@@ -88,7 +102,7 @@ impl Hpez {
         let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
         let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
         let block = field.subregion(&origin, &extent);
-        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        let abs = bound.resolve(field).as_abs();
         // The tuner runs QP-blind so QP never shifts (α, β) — and therefore
         // never changes the decompressed data (the paper's invariant).
         let mut blind = self.clone();
@@ -96,11 +110,12 @@ impl Hpez {
         let mut best = TUNE_CANDIDATES[0];
         let mut best_len = usize::MAX;
         for &(a, b) in &TUNE_CANDIDATES {
-            if let Ok(bytes) = blind.engine(a, b).compress(&block, abs) {
-                if bytes.len() < best_len {
-                    best_len = bytes.len();
-                    best = (a, b);
-                }
+            scratch.clear();
+            if blind.engine(a, b).compress_append(&block, abs, ctx, scratch).is_ok()
+                && scratch.len() < best_len
+            {
+                best_len = scratch.len();
+                best = (a, b);
             }
         }
         best
@@ -130,6 +145,30 @@ impl<T: Scalar> Compressor<T> for Hpez {
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
         let bytes = qip_core::integrity::check(bytes)?;
         self.engine(1.25, 2.0).decompress(bytes)
+    }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        // `out` doubles as the trial-stream scratch; it is rebuilt below.
+        let (alpha, beta) = self.tune_with(field, bound, ctx, out);
+        out.clear();
+        self.engine(alpha, beta).compress_append(field, bound, ctx, out)?;
+        qip_core::integrity::seal_in_place(out);
+        Ok(())
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
+        self.engine(1.25, 2.0).decompress_with(bytes, ctx)
     }
 }
 

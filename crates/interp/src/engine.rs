@@ -8,16 +8,19 @@
 use crate::config::{order_from_tag, order_tag, EngineConfig, LevelParams, PassStructure};
 use crate::lattice::{build_passes, for_each_point, num_levels, Pass};
 use crate::select::choose_level_params;
-use qip_codec::{encode_indices, ByteReader, ByteWriter};
-use qip_core::{CompressError, Compressor, ErrorBound, Neighbors, QpEngine, StreamHeader};
+use qip_codec::{encode_indices, encode_indices_into, ByteReader, ByteWriter};
+use qip_core::{
+    CompressCtx, CompressError, Compressor, ErrorBound, Neighbors, QpEngine, StreamHeader,
+};
 use qip_predict::{
     cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind,
 };
-use qip_quant::{LinearQuantizer, Quantized, UNPRED};
+use qip_quant::{LinearQuantizer, Quantized, QuantizerBank, UNPRED};
 use qip_tensor::{Field, Scalar};
 
-/// Stream format version byte.
-const FMT_VERSION: u8 = 1;
+/// Stream format version byte. Version 2 allows the quantization index block
+/// to use the chunked (mode 4) entropy framing for large fields.
+const FMT_VERSION: u8 = 2;
 
 /// An interpolation-based compressor instance (SZ3/QoZ/HPEZ are thin
 /// configuration wrappers around this).
@@ -310,37 +313,119 @@ fn run_pipeline<T: Scalar, S: PointSink<T>>(
     Ok(())
 }
 
-/// Compression-side sink.
-struct CompressSink<T: Scalar> {
-    cfg: EngineConfig,
-    eb: f64,
-    qp: QpEngine,
-    level_tags: Vec<(u8, u8, u8)>,
-    anchors: Vec<u8>,
-    unpred: Vec<T>,
-    qprime: Vec<i32>,
-    quantizers: Vec<LinearQuantizer>,
+/// Buffer-reusing variant of [`run_pipeline`]: identical visit order and
+/// arithmetic, but the per-pass lattice point list and the reconstructed
+/// index store live in a caller-owned arena. Flat `[usize; 4]` coordinates
+/// replace the one-heap-`Vec`-per-lattice-point of the allocating driver,
+/// which is the engine's dominant allocation cost.
+#[allow(clippy::too_many_arguments)] // one slot per arena channel, by design
+fn run_pipeline_ctx<T: Scalar, S: PointSink<T>>(
+    cfg: &EngineConfig,
+    dims: &[usize],
+    strides: &[usize],
+    buf: &mut [T],
+    sink: &mut S,
+    points: &mut Vec<([usize; 4], usize)>,
+    qstore: &mut Vec<i32>,
+    mut capture: Option<&mut QuantCapture>,
+) -> Result<(), CompressError> {
+    debug_assert!(dims.len() <= 4, "caller checks dimensionality");
+    let max_dim = dims.iter().copied().max().unwrap_or(0);
+    let levels = num_levels(max_dim);
+    let start_level = match cfg.anchor_log2 {
+        Some(m) => (m as usize).min(levels).max(1.min(levels)),
+        None => levels,
+    };
+
+    let anchor_step = 1usize << start_level;
+    let anchor_pass = Pass {
+        level: start_level.max(1),
+        stride: anchor_step,
+        start: vec![0; dims.len()],
+        step: vec![anchor_step; dims.len()],
+        interp_axes: vec![],
+        qp_axes: (None, None, None),
+    };
+    points.clear();
+    for_each_point(&anchor_pass, dims, strides, |_c, flat| points.push(([0; 4], flat)));
+    for &(_, flat) in points.iter() {
+        sink.anchor(flat, buf)?;
+    }
+    if levels == 0 {
+        return Ok(());
+    }
+
+    let qp_enabled = cfg.qp.is_enabled();
+    qstore.clear();
+    qstore.resize(buf.len(), 0);
+
+    for level in (1..=start_level).rev() {
+        let params = sink.params_for_level(level, buf, dims, strides)?;
+        let passes = build_passes(dims.len(), level, &params.order, cfg.passes);
+        for pass in &passes {
+            if pass.is_empty(dims) {
+                continue;
+            }
+            points.clear();
+            for_each_point(pass, dims, strides, |c, flat| {
+                let mut coords = [0usize; 4];
+                coords[..c.len()].copy_from_slice(c);
+                points.push((coords, flat));
+            });
+            for &(coords, flat) in points.iter() {
+                let coords = &coords[..dims.len()];
+                let pred = predict_point(
+                    buf,
+                    dims,
+                    strides,
+                    coords,
+                    flat,
+                    pass,
+                    params.kind,
+                    params.axis_mask,
+                );
+                let nb = if qp_enabled && level <= cfg.qp.max_level {
+                    qp_neighbors(qstore, pass, coords, flat, strides)
+                } else {
+                    Neighbors::default()
+                };
+                let (value, q, q_prime) = sink.handle(buf[flat], pred, level, &nb)?;
+                buf[flat] = value;
+                qstore[flat] = q;
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.q[flat] = q;
+                    cap.q_prime[flat] = q_prime;
+                    cap.level[flat] = level as u8;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
-impl<T: Scalar> CompressSink<T> {
-    fn new(cfg: EngineConfig, eb: f64, max_level: usize) -> Self {
-        let quantizers = (0..=max_level)
-            .map(|l| LinearQuantizer::with_radius(cfg.level_eb(eb, l.max(1)), cfg.radius))
-            .collect();
-        CompressSink {
-            cfg,
-            eb,
-            qp: QpEngine::new(cfg.qp),
-            level_tags: Vec::new(),
-            anchors: Vec::new(),
-            unpred: Vec::new(),
-            qprime: Vec::new(),
-            quantizers,
-        }
+/// Compression-side sink. The output channels borrow the caller's buffers so
+/// the allocating path (fresh locals) and the buffer-reusing path (a
+/// [`CompressCtx`] arena) share this one implementation — byte-identical
+/// streams by construction.
+struct CompressSink<'a> {
+    cfg: EngineConfig,
+    qp: QpEngine,
+    level_tags: Vec<(u8, u8, u8)>,
+    anchors: &'a mut Vec<u8>,
+    unpred: &'a mut Vec<u8>,
+    qprime: &'a mut Vec<i32>,
+    quantizers: &'a [LinearQuantizer],
+}
+
+/// Build the per-level quantizer bank used while compressing.
+fn build_quantizers(cfg: &EngineConfig, eb: f64, max_level: usize, bank: &mut QuantizerBank) {
+    bank.clear();
+    for l in 0..=max_level {
+        bank.push(LinearQuantizer::with_radius(cfg.level_eb(eb, l.max(1)), cfg.radius));
     }
 }
 
-impl<T: Scalar> PointSink<T> for CompressSink<T> {
+impl<T: Scalar> PointSink<T> for CompressSink<'_> {
     fn params_for_level(
         &mut self,
         level: usize,
@@ -355,7 +440,7 @@ impl<T: Scalar> PointSink<T> for CompressSink<T> {
     }
 
     fn anchor(&mut self, flat: usize, buf: &mut [T]) -> Result<(), CompressError> {
-        buf[flat].write_le(&mut self.anchors);
+        buf[flat].write_le(self.anchors);
         Ok(())
     }
 
@@ -367,7 +452,6 @@ impl<T: Scalar> PointSink<T> for CompressSink<T> {
         nb: &Neighbors,
     ) -> Result<(T, i32, i32), CompressError> {
         let quant = &self.quantizers[level.min(self.quantizers.len() - 1)];
-        let _ = self.eb;
         match quant.quantize(current, pred) {
             Quantized::Pred { index, recon } => {
                 let qp = self.qp.transform(index, level, nb);
@@ -376,28 +460,31 @@ impl<T: Scalar> PointSink<T> for CompressSink<T> {
             }
             Quantized::Unpred => {
                 self.qprime.push(UNPRED);
-                self.unpred.push(current);
+                // Serialized inline, in emission order — the same bytes the
+                // end-of-run serialization used to produce.
+                current.write_le(self.unpred);
                 Ok((current, UNPRED, UNPRED))
             }
         }
     }
 }
 
-/// Decompression-side sink.
-struct DecompressSink<T: Scalar> {
+/// Decompression-side sink: read-only views over the decoded channels, so the
+/// allocating and buffer-reusing paths share one implementation.
+struct DecompressSink<'a, T: Scalar> {
     qp: QpEngine,
-    level_tags: Vec<(u8, u8, u8)>,
+    level_tags: &'a [(u8, u8, u8)],
     level_cursor: usize,
-    anchors: Vec<T>,
+    anchors: &'a [T],
     anchor_cursor: usize,
-    unpred: Vec<T>,
+    unpred: &'a [T],
     unpred_cursor: usize,
-    qprime: Vec<i32>,
+    qprime: &'a [i32],
     q_cursor: usize,
-    quantizers: Vec<LinearQuantizer>,
+    quantizers: &'a [LinearQuantizer],
 }
 
-impl<T: Scalar> PointSink<T> for DecompressSink<T> {
+impl<T: Scalar> PointSink<T> for DecompressSink<'_, T> {
     fn params_for_level(
         &mut self,
         _level: usize,
@@ -466,6 +553,25 @@ impl<T: Scalar> Compressor<T> for InterpEngine {
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
         self.decompress_impl(bytes)
     }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        out.clear();
+        self.compress_append(field, bound, ctx, out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        self.decompress_with(bytes, ctx)
+    }
 }
 
 impl InterpEngine {
@@ -479,6 +585,34 @@ impl InterpEngine {
         let mut cap = QuantCapture::zeros(field.len());
         let bytes = self.compress_impl(field, bound, Some(&mut cap))?;
         Ok((bytes, cap))
+    }
+
+    /// Write the stream prefix (header through start level) and return the
+    /// start level. Shared by the allocating and buffer-reusing paths.
+    fn write_prefix<T: Scalar>(&self, field: &Field<T>, abs_eb: f64, w: &mut ByteWriter) -> usize {
+        let cfg = &self.cfg;
+        StreamHeader {
+            magic: cfg.magic,
+            scalar_bits: T::BITS as u8,
+            shape: field.shape().clone(),
+            abs_eb,
+        }
+        .write(w);
+        w.put_u8(FMT_VERSION);
+        w.put_f64(cfg.alpha);
+        w.put_f64(cfg.beta);
+        w.put_u8(cfg.passes.tag());
+        cfg.qp.write(w);
+        w.put_u32(cfg.radius as u32);
+
+        let max_dim = field.shape().dims().iter().copied().max().unwrap_or(0);
+        let levels = num_levels(max_dim);
+        let start_level = match cfg.anchor_log2 {
+            Some(m) => (m as usize).min(levels).max(1.min(levels)),
+            None => levels,
+        };
+        w.put_u8(start_level as u8);
+        start_level
     }
 
     fn compress_impl<T: Scalar>(
@@ -495,55 +629,121 @@ impl InterpEngine {
             ));
         }
         let strides = field.shape().strides().to_vec();
-        let abs_eb = bound.absolute(field.value_range());
+        let abs_eb = bound.resolve(field).abs;
 
         let mut w = ByteWriter::with_capacity(field.len() / 4 + 128);
-        StreamHeader {
-            magic: cfg.magic,
-            scalar_bits: T::BITS as u8,
-            shape: field.shape().clone(),
-            abs_eb,
-        }
-        .write(&mut w);
-        w.put_u8(FMT_VERSION);
-        w.put_f64(cfg.alpha);
-        w.put_f64(cfg.beta);
-        w.put_u8(cfg.passes.tag());
-        cfg.qp.write(&mut w);
-        w.put_u32(cfg.radius as u32);
-
-        let max_dim = dims.iter().copied().max().unwrap_or(0);
-        let levels = num_levels(max_dim);
-        let start_level = match cfg.anchor_log2 {
-            Some(m) => (m as usize).min(levels).max(1.min(levels)),
-            None => levels,
-        };
-        w.put_u8(start_level as u8);
+        let start_level = self.write_prefix(field, abs_eb, &mut w);
 
         if field.is_empty() {
             return Ok(w.finish());
         }
 
         let mut buf = field.as_slice().to_vec();
-        let mut sink = CompressSink::<T>::new(*cfg, abs_eb, start_level);
+        let mut bank = QuantizerBank::new();
+        build_quantizers(cfg, abs_eb, start_level, &mut bank);
+        let (mut anchors, mut unpred, mut qprime) = (Vec::new(), Vec::new(), Vec::new());
+        let mut sink = CompressSink {
+            cfg: *cfg,
+            qp: QpEngine::new(cfg.qp),
+            level_tags: Vec::new(),
+            anchors: &mut anchors,
+            unpred: &mut unpred,
+            qprime: &mut qprime,
+            quantizers: bank.as_slice(),
+        };
         run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
+        let level_tags = sink.level_tags;
 
-        for &(k, o, m) in &sink.level_tags {
+        for &(k, o, m) in &level_tags {
             w.put_u8(k);
             w.put_u8(o);
             w.put_u8(m);
         }
-        w.put_block(&sink.anchors);
-        let mut unpred_bytes = Vec::with_capacity(sink.unpred.len() * T::BYTES);
-        for v in &sink.unpred {
-            v.write_le(&mut unpred_bytes);
-        }
-        w.put_block(&unpred_bytes);
-        w.put_block(&encode_indices(&sink.qprime));
+        w.put_block(&anchors);
+        w.put_block(&unpred);
+        w.put_block(&encode_indices(&qprime));
         Ok(w.finish())
     }
 
-    fn decompress_impl<T: Scalar>(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+    /// Buffer-reusing compression: append the full stream to `out`, taking
+    /// every piece of scratch from `ctx`. Appending (rather than clearing)
+    /// lets wrapper formats write their magic/tag prefix first and still
+    /// share the caller's output buffer.
+    ///
+    /// The emitted bytes are identical to [`Compressor::compress`]'s: both
+    /// paths drive the same sink over the same visit order; only buffer
+    /// ownership and the lattice-point driver differ.
+    pub fn compress_append<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        let cfg = &self.cfg;
+        if field.shape().dims().len() > 4 {
+            return Err(CompressError::Unsupported(
+                "interpolation engine supports 1-4 dimensions",
+            ));
+        }
+        let abs_eb = bound.resolve(field).abs;
+
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
+        let start_level = self.write_prefix(field, abs_eb, &mut w);
+
+        if field.is_empty() {
+            *out = w.finish();
+            return Ok(());
+        }
+
+        let mut buf: Vec<T> = ctx.pools.acquire();
+        buf.extend_from_slice(field.as_slice());
+        build_quantizers(cfg, abs_eb, start_level, &mut ctx.quantizers);
+        ctx.anchors.clear();
+        ctx.unpred.clear();
+        ctx.qprime.clear();
+        let mut sink = CompressSink {
+            cfg: *cfg,
+            qp: QpEngine::new(cfg.qp),
+            level_tags: Vec::new(),
+            anchors: &mut ctx.anchors,
+            unpred: &mut ctx.unpred,
+            qprime: &mut ctx.qprime,
+            quantizers: ctx.quantizers.as_slice(),
+        };
+        run_pipeline_ctx(
+            cfg,
+            field.shape().dims(),
+            field.shape().strides(),
+            &mut buf,
+            &mut sink,
+            &mut ctx.points,
+            &mut ctx.qstore,
+            None,
+        )?;
+        let level_tags = sink.level_tags;
+
+        for &(k, o, m) in &level_tags {
+            w.put_u8(k);
+            w.put_u8(o);
+            w.put_u8(m);
+        }
+        w.put_block(&ctx.anchors);
+        w.put_block(&ctx.unpred);
+        encode_indices_into(&ctx.qprime, &mut ctx.stream);
+        w.put_block(&ctx.stream);
+        ctx.pools.release(buf);
+        *out = w.finish();
+        Ok(())
+    }
+
+    /// Parse and validate everything up to the decoded channels. Shared by
+    /// the allocating and buffer-reusing decompression paths so the two can
+    /// never drift in what they accept.
+    fn parse_stream<'a, T: Scalar>(
+        &self,
+        bytes: &'a [u8],
+    ) -> Result<ParsedStream<'a>, CompressError> {
         let cfg = &self.cfg;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, cfg.magic, T::BITS as u8)?;
@@ -567,11 +767,7 @@ impl InterpEngine {
         let start_level = r.get_u8()? as usize;
 
         let dims = header.shape.dims().to_vec();
-        let strides = header.shape.strides().to_vec();
         let n: usize = dims.iter().product();
-        if n == 0 {
-            return Ok(Field::zeros(header.shape));
-        }
 
         // Reconstruct the effective engine config from the stream (so a
         // stream survives engine-default changes).
@@ -583,6 +779,21 @@ impl InterpEngine {
         eff.radius = radius;
         eff.anchor_log2 = Some(start_level as u32);
 
+        let mut parsed = ParsedStream {
+            shape: header.shape,
+            abs_eb: header.abs_eb,
+            eff,
+            start_level,
+            level_tags: Vec::new(),
+            anchor_bytes: &[],
+            unpred_bytes: &[],
+            index_block: &[],
+            n,
+        };
+        if n == 0 {
+            return Ok(parsed);
+        }
+
         let max_dim = dims.iter().copied().max().unwrap_or(0);
         let levels = num_levels(max_dim);
         let expect_start = (start_level).min(levels.max(1));
@@ -590,57 +801,149 @@ impl InterpEngine {
             return Err(CompressError::WrongFormat("inconsistent start level"));
         }
 
-        let mut level_tags = Vec::with_capacity(start_level);
+        parsed.level_tags.reserve(start_level);
         for _ in 0..start_level {
             let k = r.get_u8()?;
             let o = r.get_u8()?;
             let m = r.get_u8()?;
-            level_tags.push((k, o, m));
+            parsed.level_tags.push((k, o, m));
         }
-
-        let anchor_bytes = r.get_block()?;
-        if anchor_bytes.len() % T::BYTES != 0 {
-            return Err(CompressError::WrongFormat("anchor block misaligned"));
-        }
-        let mut anchors = Vec::with_capacity(anchor_bytes.len() / T::BYTES);
-        for chunk in anchor_bytes.chunks_exact(T::BYTES) {
-            anchors.push(T::read_le(chunk)?);
-        }
-
-        let unpred_bytes = r.get_block()?;
-        if unpred_bytes.len() % T::BYTES != 0 {
-            return Err(CompressError::WrongFormat("unpredictable block misaligned"));
-        }
-        let mut unpred = Vec::with_capacity(unpred_bytes.len() / T::BYTES);
-        for chunk in unpred_bytes.chunks_exact(T::BYTES) {
-            unpred.push(T::read_le(chunk)?);
-        }
-
-        let qprime = qip_codec::decode_indices_capped(r.get_block()?, n)?;
-
-        let quantizers: Vec<LinearQuantizer> = (0..=start_level)
-            .map(|l| {
-                LinearQuantizer::try_with_radius(eff.level_eb(header.abs_eb, l.max(1)), radius)
-                    .ok_or(CompressError::Corrupt("degenerate per-level error bound"))
-            })
-            .collect::<Result<_, _>>()?;
-
-        let mut buf = qip_core::try_zeroed_vec::<T>(n)?;
-        let mut sink = DecompressSink {
-            qp: QpEngine::new(qp_cfg),
-            level_tags,
-            level_cursor: 0,
-            anchors,
-            anchor_cursor: 0,
-            unpred,
-            unpred_cursor: 0,
-            qprime,
-            q_cursor: 0,
-            quantizers,
-        };
-        run_pipeline(&eff, &dims, &strides, &mut buf, &mut sink, None)?;
-        Ok(Field::from_vec(header.shape, buf)?)
+        parsed.anchor_bytes = r.get_block()?;
+        parsed.unpred_bytes = r.get_block()?;
+        parsed.index_block = r.get_block()?;
+        Ok(parsed)
     }
+
+    fn decompress_impl<T: Scalar>(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let p = self.parse_stream::<T>(bytes)?;
+        if p.n == 0 {
+            return Ok(Field::zeros(p.shape));
+        }
+
+        let mut anchors = Vec::new();
+        decode_scalars_into(p.anchor_bytes, &mut anchors, "anchor block misaligned")?;
+        let mut unpred = Vec::new();
+        decode_scalars_into(p.unpred_bytes, &mut unpred, "unpredictable block misaligned")?;
+        let qprime = qip_codec::decode_indices_capped(p.index_block, p.n)?;
+        let mut bank = QuantizerBank::new();
+        build_decode_quantizers(&p.eff, p.abs_eb, p.start_level, &mut bank)?;
+
+        let dims = p.shape.dims().to_vec();
+        let strides = p.shape.strides().to_vec();
+        let mut buf = qip_core::try_zeroed_vec::<T>(p.n)?;
+        let mut sink = DecompressSink {
+            qp: QpEngine::new(p.eff.qp),
+            level_tags: &p.level_tags,
+            level_cursor: 0,
+            anchors: &anchors,
+            anchor_cursor: 0,
+            unpred: &unpred,
+            unpred_cursor: 0,
+            qprime: &qprime,
+            q_cursor: 0,
+            quantizers: bank.as_slice(),
+        };
+        run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, None)?;
+        Ok(Field::from_vec(p.shape, buf)?)
+    }
+
+    /// Buffer-reusing decompression: typed channels come from the context's
+    /// scalar pools, the index stream decodes into the context's reusable
+    /// buffer, and the lattice driver runs on the context arena. Only the
+    /// returned field itself is freshly allocated.
+    pub fn decompress_with<T: Scalar>(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        let p = self.parse_stream::<T>(bytes)?;
+        if p.n == 0 {
+            return Ok(Field::zeros(p.shape));
+        }
+
+        let mut anchors: Vec<T> = ctx.pools.acquire();
+        decode_scalars_into(p.anchor_bytes, &mut anchors, "anchor block misaligned")?;
+        let mut unpred: Vec<T> = ctx.pools.acquire();
+        decode_scalars_into(p.unpred_bytes, &mut unpred, "unpredictable block misaligned")?;
+        qip_codec::decode_indices_capped_into(p.index_block, p.n, &mut ctx.qprime)?;
+        build_decode_quantizers(&p.eff, p.abs_eb, p.start_level, &mut ctx.quantizers)?;
+
+        let mut buf = qip_core::try_zeroed_vec::<T>(p.n)?;
+        let mut sink = DecompressSink {
+            qp: QpEngine::new(p.eff.qp),
+            level_tags: &p.level_tags,
+            level_cursor: 0,
+            anchors: &anchors,
+            anchor_cursor: 0,
+            unpred: &unpred,
+            unpred_cursor: 0,
+            qprime: &ctx.qprime,
+            q_cursor: 0,
+            quantizers: ctx.quantizers.as_slice(),
+        };
+        run_pipeline_ctx(
+            &p.eff,
+            p.shape.dims(),
+            p.shape.strides(),
+            &mut buf,
+            &mut sink,
+            &mut ctx.points,
+            &mut ctx.qstore,
+            None,
+        )?;
+        ctx.pools.release(anchors);
+        ctx.pools.release(unpred);
+        Ok(Field::from_vec(p.shape, buf)?)
+    }
+}
+
+/// Everything [`InterpEngine::parse_stream`] extracts from a stream before
+/// channel decoding. `n == 0` marks an empty field (no channels present).
+struct ParsedStream<'a> {
+    shape: qip_tensor::Shape,
+    abs_eb: f64,
+    eff: EngineConfig,
+    start_level: usize,
+    level_tags: Vec<(u8, u8, u8)>,
+    anchor_bytes: &'a [u8],
+    unpred_bytes: &'a [u8],
+    index_block: &'a [u8],
+    n: usize,
+}
+
+/// Decode a little-endian scalar channel into a reusable buffer.
+fn decode_scalars_into<T: Scalar>(
+    bytes: &[u8],
+    out: &mut Vec<T>,
+    misaligned: &'static str,
+) -> Result<(), CompressError> {
+    if !bytes.len().is_multiple_of(T::BYTES) {
+        return Err(CompressError::WrongFormat(misaligned));
+    }
+    out.clear();
+    out.reserve(bytes.len() / T::BYTES);
+    for chunk in bytes.chunks_exact(T::BYTES) {
+        out.push(T::read_le(chunk)?);
+    }
+    Ok(())
+}
+
+/// Build the per-level quantizer bank used while decompressing (fallible:
+/// a forged header can declare degenerate per-level bounds).
+fn build_decode_quantizers(
+    eff: &EngineConfig,
+    abs_eb: f64,
+    start_level: usize,
+    bank: &mut QuantizerBank,
+) -> Result<(), CompressError> {
+    bank.clear();
+    for l in 0..=start_level {
+        bank.push(
+            LinearQuantizer::try_with_radius(eff.level_eb(abs_eb, l.max(1)), eff.radius)
+                .ok_or(CompressError::Corrupt("degenerate per-level error bound"))?,
+        );
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -876,6 +1179,49 @@ mod tests {
         let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
         let out: Field<f32> = eng.decompress(&bytes).unwrap();
         assert_eq!(out.as_slice(), &[42.0]);
+    }
+
+    #[test]
+    fn compress_into_bytes_identical_and_ctx_reusable() {
+        // One context threaded through different engines, shapes and scalar
+        // types: every stream must match the allocating path bit for bit,
+        // and every decompress_with must match decompress exactly.
+        let mut ctx = CompressCtx::new();
+        let mut out = Vec::new();
+        for (name, mut cfg) in engines() {
+            cfg.qp = QpConfig::best_fit();
+            let eng = InterpEngine::new(cfg);
+            for dims in [vec![23usize, 17, 9], vec![41, 8], vec![65]] {
+                let field = smooth_field(&dims);
+                let a = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+                eng.compress_into(&field, ErrorBound::Abs(1e-3), &mut ctx, &mut out).unwrap();
+                assert_eq!(a, out, "{name} dims={dims:?}: compress_into diverged");
+                let d1: Field<f32> = eng.decompress(&a).unwrap();
+                let d2: Field<f32> = eng.decompress_with(&a, &mut ctx).unwrap();
+                assert_eq!(d1.as_slice(), d2.as_slice(), "{name} dims={dims:?}");
+            }
+            // Interleave an f64 field through the same context.
+            let field64 = Field::<f64>::from_fn(Shape::d3(11, 9, 7), |c| {
+                (c[0] as f64 * 0.3).sin() + c[1] as f64 * 0.01 + (c[2] as f64 * 0.2).cos()
+            });
+            let a = eng.compress(&field64, ErrorBound::Abs(1e-6)).unwrap();
+            eng.compress_into(&field64, ErrorBound::Abs(1e-6), &mut ctx, &mut out).unwrap();
+            assert_eq!(a, out, "{name}: f64 compress_into diverged");
+            let d2: Field<f64> = eng.decompress_with(&a, &mut ctx).unwrap();
+            let d1: Field<f64> = eng.decompress(&a).unwrap();
+            assert_eq!(d2.as_slice(), d1.as_slice());
+        }
+    }
+
+    #[test]
+    fn compress_append_preserves_prefix() {
+        let field = smooth_field(&[14, 11, 6]);
+        let eng = InterpEngine::new(EngineConfig::sz3_like(0x10));
+        let mut ctx = CompressCtx::new();
+        let mut out = vec![0xAB, 0xCD];
+        eng.compress_append(&field, ErrorBound::Abs(1e-3), &mut ctx, &mut out).unwrap();
+        assert_eq!(&out[..2], &[0xAB, 0xCD]);
+        assert_eq!(&out[2..], &eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap()[..]);
     }
 
     #[test]

@@ -27,9 +27,10 @@
 
 #![warn(missing_docs)]
 
-use qip_codec::{encode_indices, ByteReader, ByteWriter};
+use qip_codec::{encode_indices_into, ByteReader, ByteWriter};
 use qip_core::{
-    CompressError, Compressor, ErrorBound, Neighbors, QpConfig, QpEngine, StreamHeader,
+    CompressCtx, CompressError, Compressor, ErrorBound, Neighbors, QpConfig, QpEngine,
+    StreamHeader,
 };
 use qip_interp::lattice::{build_passes, for_each_point, num_levels, Pass};
 use qip_interp::{PassStructure, QuantCapture};
@@ -38,8 +39,9 @@ use qip_tensor::{Field, Scalar};
 
 /// Stream magic for MGARD.
 const MAGIC_MGARD: u8 = 0x50;
-/// Stream format version.
-const FMT_VERSION: u8 = 1;
+/// Stream format version. Version 2 allows the quantization index block to
+/// use the chunked (mode 4) entropy framing.
+const FMT_VERSION: u8 = 2;
 /// Quantizer radius for coefficient indices.
 const RADIUS: i32 = 1 << 20;
 /// Fraction of the user bound actually distributed over the level budgets
@@ -93,7 +95,8 @@ impl Mgard {
             q_prime: vec![0; field.len()],
             level: vec![0; field.len()],
         };
-        let bytes = self.compress_impl(field, bound, Some(&mut cap))?;
+        let mut bytes = Vec::new();
+        self.compress_impl(field, bound, Some(&mut cap), &mut CompressCtx::new(), &mut bytes)?;
         Ok((bytes, cap))
     }
 
@@ -119,7 +122,7 @@ impl Mgard {
         bytes: &[u8],
         stop_level: usize,
     ) -> Result<Field<T>, CompressError> {
-        let full: Field<T> = self.decompress_impl(bytes, stop_level)?;
+        let full: Field<T> = self.decompress_impl(bytes, stop_level, &mut CompressCtx::new())?;
         if stop_level == 0 {
             return Ok(full);
         }
@@ -177,6 +180,7 @@ fn l2_update(
     strides: &[usize],
     level: usize,
     sign: f64,
+    scratch: &mut Vec<(usize, f64)>,
 ) {
     let s = 1usize << (level - 1);
     let two_s = s << 1;
@@ -193,7 +197,7 @@ fn l2_update(
     // For each axis: even node absorbs (detail_left + detail_right) / 4,
     // where the details live at ±s along that axis (odd parity on the axis,
     // even on all others — i.e. the axis' edge-midpoint class).
-    let mut updates: Vec<(usize, f64)> = Vec::new();
+    scratch.clear();
     for_each_point(&even, dims, strides, |coords, flat| {
         let mut acc = 0.0f64;
         for a in 0..ndim {
@@ -204,9 +208,9 @@ fn l2_update(
                 acc += buf[flat + s * strides[a]] * 0.25;
             }
         }
-        updates.push((flat, acc));
+        scratch.push((flat, acc));
     });
-    for (flat, acc) in updates {
+    for &(flat, acc) in scratch.iter() {
         buf[flat] += sign * acc;
     }
 }
@@ -221,11 +225,32 @@ impl<T: Scalar> Compressor<T> for Mgard {
     }
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        self.compress_impl(field, bound, None)
+        let mut out = Vec::new();
+        self.compress_impl(field, bound, None, &mut CompressCtx::new(), &mut out)?;
+        Ok(out)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
-        self.decompress_impl(bytes, 0)
+        self.decompress_impl(bytes, 0, &mut CompressCtx::new())
+    }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        out.clear();
+        self.compress_impl(field, bound, None, ctx, out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        self.decompress_impl(bytes, 0, ctx)
     }
 }
 
@@ -235,15 +260,17 @@ impl Mgard {
         field: &Field<T>,
         bound: ErrorBound,
         mut capture: Option<&mut QuantCapture>,
-    ) -> Result<Vec<u8>, CompressError> {
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
         let dims = field.shape().dims().to_vec();
         if dims.len() > 4 {
             return Err(CompressError::Unsupported("MGARD supports 1-4 dimensions"));
         }
         let strides = field.shape().strides().to_vec();
-        let abs_eb = bound.absolute(field.value_range());
+        let abs_eb = bound.resolve(field).abs;
 
-        let mut w = ByteWriter::with_capacity(field.len() / 4 + 128);
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         StreamHeader {
             magic: MAGIC_MGARD,
             scalar_bits: T::BITS as u8,
@@ -255,7 +282,9 @@ impl Mgard {
         w.put_u8(self.l2_projection as u8);
         self.qp.write(&mut w);
         if field.is_empty() {
-            return Ok(qip_core::integrity::seal(w.finish()));
+            *out = w.finish();
+            qip_core::integrity::seal_in_place(out);
+            return Ok(());
         }
 
         let max_dim = dims.iter().copied().max().unwrap();
@@ -263,24 +292,26 @@ impl Mgard {
         w.put_u8(levels as u8);
 
         // ---- Transform sweep: values → hierarchical detail coefficients ----
-        let mut buf: Vec<f64> = field.as_slice().iter().map(|v| v.to_f64()).collect();
+        let mut buf: Vec<f64> = ctx.pools.acquire();
+        buf.extend(field.as_slice().iter().map(|v| v.to_f64()));
         let order: Vec<usize> = (0..dims.len()).rev().collect();
         for level in 1..=levels {
             for pass in build_passes(dims.len(), level, &order, PassStructure::MultiDim) {
                 if pass.is_empty(&dims) {
                     continue;
                 }
-                let mut details: Vec<(usize, f64)> = Vec::with_capacity(pass.len(&dims));
+                ctx.pairs.clear();
+                let details = &mut ctx.pairs;
                 for_each_point(&pass, &dims, &strides, |coords, flat| {
                     let pred = corner_avg(&buf, &dims, &strides, coords, flat, &pass);
                     details.push((flat, buf[flat] - pred));
                 });
-                for (flat, d) in details {
+                for &(flat, d) in ctx.pairs.iter() {
                     buf[flat] = d;
                 }
             }
             if self.l2_projection {
-                l2_update(&mut buf, &dims, &strides, level, 1.0);
+                l2_update(&mut buf, &dims, &strides, level, 1.0, &mut ctx.pairs);
             }
         }
 
@@ -294,16 +325,22 @@ impl Mgard {
             interp_axes: vec![],
             qp_axes: (None, None, None),
         };
-        let mut coarse_bytes = Vec::new();
+        ctx.anchors.clear();
+        let coarse_bytes = &mut ctx.anchors;
         for_each_point(&coarse, &dims, &strides, |_c, flat| {
             coarse_bytes.extend_from_slice(&buf[flat].to_le_bytes());
         });
 
         // ---- Quantization sweep (coarse → fine), with the QP hook ----
         let qp = QpEngine::new(self.qp);
-        let mut qstore = vec![0i32; buf.len()];
-        let mut qprime: Vec<i32> = Vec::with_capacity(buf.len());
-        let mut unpred: Vec<u8> = Vec::new();
+        ctx.qstore.clear();
+        ctx.qstore.resize(buf.len(), 0);
+        let qstore = &mut ctx.qstore;
+        ctx.qprime.clear();
+        ctx.qprime.reserve(buf.len());
+        let qprime = &mut ctx.qprime;
+        ctx.unpred.clear();
+        let unpred = &mut ctx.unpred;
         for level in (1..=levels).rev() {
             let b = Self::budget(abs_eb, level);
             for pass in build_passes(dims.len(), level, &order, PassStructure::MultiDim) {
@@ -313,7 +350,7 @@ impl Mgard {
                 for_each_point(&pass, &dims, &strides, |coords, flat| {
                     let detail = buf[flat];
                     let qf = (detail / (2.0 * b)).round();
-                    let nb = qp_neighbors(&qstore, &pass, coords, flat, &strides);
+                    let nb = qp_neighbors(qstore, &pass, coords, flat, &strides);
                     if !qf.is_finite() || qf.abs() >= RADIUS as f64 {
                         qprime.push(UNPRED);
                         qstore[flat] = UNPRED;
@@ -339,16 +376,21 @@ impl Mgard {
             }
         }
 
-        w.put_block(&coarse_bytes);
-        w.put_block(&unpred);
-        w.put_block(&encode_indices(&qprime));
-        Ok(qip_core::integrity::seal(w.finish()))
+        ctx.pools.release(buf);
+        encode_indices_into(&ctx.qprime, &mut ctx.stream);
+        w.put_block(&ctx.anchors);
+        w.put_block(&ctx.unpred);
+        w.put_block(&ctx.stream);
+        *out = w.finish();
+        qip_core::integrity::seal_in_place(out);
+        Ok(())
     }
 
     fn decompress_impl<T: Scalar>(
         &self,
         bytes: &[u8],
         stop_level: usize,
+        ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
         let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
@@ -376,13 +418,15 @@ impl Mgard {
         if coarse_bytes.len() % 8 != 0 || unpred_bytes.len() % 8 != 0 {
             return Err(CompressError::WrongFormat("misaligned f64 block"));
         }
-        let unpred: Vec<f64> = unpred_bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        let qprime = qip_codec::decode_indices_capped(r.get_block()?, n)?;
+        qip_codec::decode_indices_capped_into(r.get_block()?, n, &mut ctx.qprime)?;
 
+        // `try_zeroed_vec` validates that `n` is allocatable before any of the
+        // reusable buffers below are resized to it.
         let mut buf = qip_core::try_zeroed_vec::<f64>(n)?;
+        let mut unpred: Vec<f64> = ctx.pools.acquire();
+        unpred.extend(
+            unpred_bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+        );
         let order: Vec<usize> = (0..dims.len()).rev().collect();
 
         // Coarse nodes.
@@ -413,7 +457,10 @@ impl Mgard {
 
         // Dequantize details (coarse → fine), mirroring the QP transform.
         let qp = QpEngine::new(qp_cfg);
-        let mut qstore = qip_core::try_zeroed_vec::<i32>(n)?;
+        ctx.qstore.clear();
+        ctx.qstore.resize(n, 0);
+        let qstore = &mut ctx.qstore;
+        let qprime = &ctx.qprime;
         let mut q_cursor = 0usize;
         let mut u_cursor = 0usize;
         let mut fail: Option<CompressError> = None;
@@ -432,7 +479,7 @@ impl Mgard {
                         return;
                     };
                     q_cursor += 1;
-                    let nb = qp_neighbors(&qstore, &pass, coords, flat, &strides);
+                    let nb = qp_neighbors(qstore, &pass, coords, flat, &strides);
                     let q = qp.recover(qp_val, level, &nb);
                     qstore[flat] = q;
                     if q == UNPRED {
@@ -462,23 +509,25 @@ impl Mgard {
         // unexpanded; the coarse lattice then holds the approximation) ----
         for level in ((stop_level + 1).max(1)..=levels).rev() {
             if l2_projection {
-                l2_update(&mut buf, &dims, &strides, level, -1.0);
+                l2_update(&mut buf, &dims, &strides, level, -1.0, &mut ctx.pairs);
             }
             for pass in build_passes(dims.len(), level, &order, PassStructure::MultiDim) {
                 if pass.is_empty(&dims) {
                     continue;
                 }
-                let mut values: Vec<(usize, f64)> = Vec::with_capacity(pass.len(&dims));
+                ctx.pairs.clear();
+                let values = &mut ctx.pairs;
                 for_each_point(&pass, &dims, &strides, |coords, flat| {
                     let pred = corner_avg(&buf, &dims, &strides, coords, flat, &pass);
                     values.push((flat, pred + buf[flat]));
                 });
-                for (flat, v) in values {
+                for &(flat, v) in ctx.pairs.iter() {
                     buf[flat] = v;
                 }
             }
         }
 
+        ctx.pools.release(unpred);
         let data: Vec<T> = buf.into_iter().map(T::from_f64).collect();
         Ok(Field::from_vec(header.shape, data)?)
     }
@@ -632,11 +681,12 @@ mod tests {
         let strides = [35usize, 5, 1];
         let n = 9 * 7 * 5;
         let orig: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.25 - 12.0).collect();
+        let mut scratch = Vec::new();
         for level in 1..=3 {
             let mut buf = orig.clone();
-            l2_update(&mut buf, &dims, &strides, level, 1.0);
+            l2_update(&mut buf, &dims, &strides, level, 1.0, &mut scratch);
             assert_ne!(buf, orig, "level {level}: update must change coarse nodes");
-            l2_update(&mut buf, &dims, &strides, level, -1.0);
+            l2_update(&mut buf, &dims, &strides, level, -1.0, &mut scratch);
             for (a, b) in buf.iter().zip(&orig) {
                 assert_eq!(a, b, "level {level}: inverse not exact");
             }

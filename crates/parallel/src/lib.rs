@@ -64,7 +64,7 @@ where
         let dims = field.shape().dims().to_vec();
         // Resolve the bound once against the whole field so every block
         // quantizes at the same absolute tolerance.
-        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        let abs = bound.resolve(field).as_abs();
 
         let mut w = ByteWriter::with_capacity(field.len() / 4 + 64);
         w.put_u8(MAGIC_PAR);

@@ -12,7 +12,7 @@
 
 #![warn(missing_docs)]
 
-use qip_core::{CompressError, Compressor, ErrorBound, QpConfig};
+use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
 use qip_interp::{EngineConfig, InterpEngine};
 use qip_tensor::{Field, Scalar};
 
@@ -94,6 +94,20 @@ impl Qoz {
     /// Pick (α, β) by trial compression of a central sample block: the
     /// smallest stream wins (same bound ⇒ same worst-case quality).
     fn tune<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> (f64, f64) {
+        self.tune_with(field, bound, &mut CompressCtx::new(), &mut Vec::new())
+    }
+
+    /// [`Self::tune`] with caller-provided scratch, so the `compress_into`
+    /// path's trial compressions reuse the context instead of allocating
+    /// their own working set per candidate. Trial streams are byte-identical
+    /// either way, so both entry points pick the same (α, β).
+    fn tune_with<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        scratch: &mut Vec<u8>,
+    ) -> (f64, f64) {
         if let Some(ab) = self.fixed_alpha_beta {
             return ab;
         }
@@ -104,7 +118,7 @@ impl Qoz {
         let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
         let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
         let block = field.subregion(&origin, &extent);
-        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        let abs = bound.resolve(field).as_abs();
         // The tuner runs QP-blind so QP never shifts (α, β) — and therefore
         // never changes the decompressed data (the paper's invariant).
         let mut blind = self.clone();
@@ -113,14 +127,17 @@ impl Qoz {
         let mut best_score = f64::NEG_INFINITY;
         for &(a, b) in &TUNE_CANDIDATES {
             let eng = blind.engine(a, b);
-            let Ok(bytes) = eng.compress(&block, abs) else { continue };
+            scratch.clear();
+            if eng.compress_append(&block, abs, ctx, scratch).is_err() {
+                continue;
+            }
             let score = match self.target {
                 // Smaller stream = better (same worst-case quality).
-                TuneTarget::Ratio => -(bytes.len() as f64),
+                TuneTarget::Ratio => -(scratch.len() as f64),
                 // SSIM per stored bit: decompress the trial and measure.
-                TuneTarget::Ssim => match eng.decompress(&bytes) {
+                TuneTarget::Ssim => match eng.decompress_with(scratch, ctx) {
                     Ok(out) => {
-                        qip_metrics::ssim(&block, &out) / (bytes.len().max(1) as f64)
+                        qip_metrics::ssim(&block, &out) / (scratch.len().max(1) as f64)
                     }
                     Err(_) => continue,
                 },
@@ -158,6 +175,30 @@ impl<T: Scalar> Compressor<T> for Qoz {
         let bytes = qip_core::integrity::check(bytes)?;
         // α/β live in the stream; the engine overrides its defaults from it.
         self.engine(1.0, 1.0).decompress(bytes)
+    }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        // `out` doubles as the trial-stream scratch; it is rebuilt below.
+        let (alpha, beta) = self.tune_with(field, bound, ctx, out);
+        out.clear();
+        self.engine(alpha, beta).compress_append(field, bound, ctx, out)?;
+        qip_core::integrity::seal_in_place(out);
+        Ok(())
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
+        self.engine(1.0, 1.0).decompress_with(bytes, ctx)
     }
 }
 

@@ -113,9 +113,66 @@ impl LinearQuantizer {
     }
 }
 
+/// A reusable bank of per-level quantizers.
+///
+/// Interpolation engines build one [`LinearQuantizer`] per interpolation level
+/// on every call; a bank owned by a compression context keeps the backing
+/// allocation alive across calls. `clear` + `push` rebuilds the bank for the
+/// next field without releasing capacity.
+#[derive(Debug, Default, Clone)]
+pub struct QuantizerBank {
+    levels: Vec<LinearQuantizer>,
+}
+
+impl QuantizerBank {
+    /// Create an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove all quantizers, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
+
+    /// Append the quantizer for the next level.
+    pub fn push(&mut self, q: LinearQuantizer) {
+        self.levels.push(q);
+    }
+
+    /// The quantizers currently in the bank, coarsest level first.
+    pub fn as_slice(&self) -> &[LinearQuantizer] {
+        &self.levels
+    }
+
+    /// Number of quantizers in the bank.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the bank holds no quantizers.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bank_clear_keeps_capacity() {
+        let mut bank = QuantizerBank::new();
+        assert!(bank.is_empty());
+        for level in 1..=4usize {
+            bank.push(LinearQuantizer::new(1e-3 * level as f64));
+        }
+        assert_eq!(bank.len(), 4);
+        assert_eq!(bank.as_slice()[0].error_bound(), 1e-3);
+        bank.clear();
+        assert!(bank.is_empty());
+        assert!(bank.levels.capacity() >= 4);
+    }
 
     #[test]
     fn exact_prediction_gives_zero_index() {

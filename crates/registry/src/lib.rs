@@ -1,0 +1,217 @@
+//! Unified compressor registry: one constructor surface for every compressor
+//! in the evaluation.
+//!
+//! Historically each consumer (the `qip` CLI, the benchmark runner, the fault
+//! harness) grew its own name→compressor table; this crate is the single home
+//! for that mapping. [`AnyCompressor`] implements [`Compressor`] for both
+//! `f32` and `f64` — including the reusable-buffer `compress_into` /
+//! `decompress_into` paths, which dispatch to each backend's specialized
+//! implementation — so a registry entry can be used anywhere a concrete
+//! compressor could.
+
+#![warn(missing_docs)]
+
+use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
+use qip_hpez::Hpez;
+use qip_interp::QuantCapture;
+use qip_mgard::Mgard;
+use qip_qoz::Qoz;
+use qip_sperr::Sperr;
+use qip_sz3::Sz3;
+use qip_tensor::{Field, Scalar};
+use qip_tthresh::Tthresh;
+use qip_zfp::Zfp;
+
+/// Any compressor in the evaluation (paper Table IV rows).
+#[derive(Debug, Clone)]
+pub enum AnyCompressor {
+    /// MGARD (optionally +QP).
+    Mgard(Mgard),
+    /// SZ3 (optionally +QP).
+    Sz3(Sz3),
+    /// QoZ (optionally +QP).
+    Qoz(Qoz),
+    /// HPEZ (optionally +QP).
+    Hpez(Hpez),
+    /// ZFP (transform-based comparator).
+    Zfp(Zfp),
+    /// SPERR (transform-based comparator).
+    Sperr(Sperr),
+    /// TTHRESH (transform-based comparator).
+    Tthresh(Tthresh),
+}
+
+impl AnyCompressor {
+    /// The four interpolation-based base compressors with the given QP
+    /// configuration (paper's evaluation order: MGARD, SZ3, QoZ, HPEZ).
+    pub fn base_four(qp: QpConfig) -> Vec<AnyCompressor> {
+        vec![
+            AnyCompressor::Mgard(Mgard::new().with_qp(qp)),
+            AnyCompressor::Sz3(Sz3::new().with_qp(qp)),
+            AnyCompressor::Qoz(Qoz::new().with_qp(qp)),
+            AnyCompressor::Hpez(Hpez::new().with_qp(qp)),
+        ]
+    }
+
+    /// One compressor by paper name (case-insensitive), with QP config.
+    /// The transform-based comparators ignore the QP configuration.
+    pub fn by_name(name: &str, qp: QpConfig) -> Option<AnyCompressor> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "mgard" => AnyCompressor::Mgard(Mgard::new().with_qp(qp)),
+            "sz3" => AnyCompressor::Sz3(Sz3::new().with_qp(qp)),
+            "qoz" => AnyCompressor::Qoz(Qoz::new().with_qp(qp)),
+            "hpez" => AnyCompressor::Hpez(Hpez::new().with_qp(qp)),
+            "zfp" => AnyCompressor::Zfp(Zfp::new()),
+            "sperr" => AnyCompressor::Sperr(Sperr::new()),
+            "tthresh" => AnyCompressor::Tthresh(Tthresh::new()),
+            _ => return None,
+        })
+    }
+
+    /// The transform-based comparators (paper Table IV's bottom rows).
+    pub fn comparators() -> Vec<AnyCompressor> {
+        vec![
+            AnyCompressor::Zfp(Zfp::new()),
+            AnyCompressor::Tthresh(Tthresh::new()),
+            AnyCompressor::Sperr(Sperr::new()),
+        ]
+    }
+
+    /// The wrapped compressor as a trait object, for callers that want plain
+    /// dynamic dispatch (and for the blanket [`Compressor`] impl below, which
+    /// routes every trait method — including the reusable-buffer paths —
+    /// through this single match).
+    pub fn as_dyn<T: Scalar>(&self) -> &dyn Compressor<T> {
+        match self {
+            AnyCompressor::Mgard(c) => c,
+            AnyCompressor::Sz3(c) => c,
+            AnyCompressor::Qoz(c) => c,
+            AnyCompressor::Hpez(c) => c,
+            AnyCompressor::Zfp(c) => c,
+            AnyCompressor::Sperr(c) => c,
+            AnyCompressor::Tthresh(c) => c,
+        }
+    }
+
+    /// Capture the quantization index arrays (interpolation-based compressors
+    /// only; `None` for the transform-based comparators).
+    pub fn quant_capture<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+    ) -> Option<Result<QuantCapture, CompressError>> {
+        match self {
+            AnyCompressor::Mgard(c) => Some(c.quant_capture(field, bound)),
+            AnyCompressor::Sz3(c) => Some(c.quant_capture(field, bound)),
+            AnyCompressor::Qoz(c) => Some(c.quant_capture(field, bound)),
+            AnyCompressor::Hpez(c) => Some(c.quant_capture(field, bound)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Scalar> Compressor<T> for AnyCompressor {
+    fn name(&self) -> String {
+        self.as_dyn::<T>().name()
+    }
+
+    fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        self.as_dyn::<T>().compress(field, bound)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        self.as_dyn::<T>().decompress(bytes)
+    }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        self.as_dyn::<T>().compress_into(field, bound, ctx, out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        self.as_dyn::<T>().decompress_into(bytes, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qip_tensor::Shape;
+
+    #[test]
+    fn base_four_names() {
+        let names: Vec<String> = AnyCompressor::base_four(QpConfig::off())
+            .iter()
+            .map(Compressor::<f32>::name)
+            .collect();
+        assert_eq!(names, vec!["MGARD", "SZ3", "QoZ", "HPEZ"]);
+        let qp_names: Vec<String> = AnyCompressor::base_four(QpConfig::best_fit())
+            .iter()
+            .map(Compressor::<f32>::name)
+            .collect();
+        assert_eq!(qp_names, vec!["MGARD+QP", "SZ3+QP", "QoZ+QP", "HPEZ+QP"]);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(AnyCompressor::by_name("sz3", QpConfig::off()).is_some());
+        assert!(AnyCompressor::by_name("SPERR", QpConfig::off()).is_some());
+        assert!(AnyCompressor::by_name("nope", QpConfig::off()).is_none());
+    }
+
+    #[test]
+    fn all_seven_roundtrip() {
+        let field = Field::<f32>::from_fn(Shape::d3(14, 13, 12), |c| {
+            (c[0] as f32 * 0.2).sin() + (c[1] as f32 * 0.15).cos() + c[2] as f32 * 0.01
+        });
+        let mut all = AnyCompressor::base_four(QpConfig::best_fit());
+        all.extend(AnyCompressor::comparators());
+        for c in &all {
+            let bytes = c.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+            let out: Field<f32> = c.decompress(&bytes).unwrap();
+            let err = qip_metrics::max_abs_error(&field, &out);
+            assert!(err <= 1e-3 + 1e-9, "{}: err {err}", Compressor::<f32>::name(c));
+        }
+    }
+
+    #[test]
+    fn capture_available_only_for_base_four() {
+        let field = Field::<f32>::from_fn(Shape::d3(12, 12, 12), |c| c[0] as f32 * 0.1);
+        for c in AnyCompressor::base_four(QpConfig::off()) {
+            assert!(c.quant_capture(&field, ErrorBound::Abs(1e-3)).is_some());
+        }
+        for c in AnyCompressor::comparators() {
+            assert!(c.quant_capture(&field, ErrorBound::Abs(1e-3)).is_none());
+        }
+    }
+
+    #[test]
+    fn dyn_dispatch_reaches_specialized_into_paths() {
+        // compress_into through the trait object must produce bytes identical
+        // to the allocating compress for every registry entry.
+        let field = Field::<f32>::from_fn(Shape::d3(13, 12, 11), |c| {
+            (c[0] as f32 * 0.17).sin() + c[1] as f32 * 0.02 - (c[2] as f32 * 0.09).cos()
+        });
+        let mut ctx = CompressCtx::new();
+        let mut out = Vec::new();
+        let mut all = AnyCompressor::base_four(QpConfig::best_fit());
+        all.extend(AnyCompressor::comparators());
+        for c in &all {
+            let baseline = c.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+            c.compress_into(&field, ErrorBound::Abs(1e-3), &mut ctx, &mut out).unwrap();
+            assert_eq!(baseline, out, "{}", Compressor::<f32>::name(c));
+            let a: Field<f32> = c.decompress(&baseline).unwrap();
+            let b: Field<f32> = c.decompress_into(&out, &mut ctx).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{}", Compressor::<f32>::name(c));
+        }
+    }
+}

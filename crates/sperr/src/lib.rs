@@ -54,7 +54,7 @@ impl<T: Scalar> Compressor<T> for Sperr {
         if dims.len() > 3 {
             return Err(CompressError::Unsupported("SPERR supports 1-3 dimensions"));
         }
-        let abs_eb = bound.absolute(field.value_range());
+        let abs_eb = bound.resolve(field).abs;
         let mut w = ByteWriter::with_capacity(field.len() / 4 + 128);
         StreamHeader {
             magic: MAGIC_SPERR,

@@ -35,7 +35,7 @@ pub mod lorenzo;
 pub mod regression;
 
 use qip_codec::{ByteReader, ByteWriter};
-use qip_core::{CompressError, Compressor, ErrorBound, QpConfig};
+use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
 use qip_interp::{EngineConfig, InterpEngine};
 use qip_tensor::{Field, Scalar};
 
@@ -108,6 +108,21 @@ impl Sz3 {
     /// both predictors and keeping the smaller stream (mirrors SZ3's
     /// sampling-based predictor selection).
     fn choose_pipeline<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> Pipeline {
+        self.choose_pipeline_with(field, bound, &mut CompressCtx::new(), &mut Vec::new())
+    }
+
+    /// [`Self::choose_pipeline`] with caller-provided scratch, so the
+    /// `compress_into` path's trial compression reuses the context instead
+    /// of allocating per-point scratch of its own. The trial stream is
+    /// byte-identical either way, so both entry points pick the same
+    /// pipeline.
+    fn choose_pipeline_with<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        scratch: &mut Vec<u8>,
+    ) -> Pipeline {
         if let Some(p) = self.force {
             return p;
         }
@@ -126,14 +141,14 @@ impl Sz3 {
         // Algorithm 1 intercepts the pipeline after predictor selection), so
         // enabling QP never changes which pipeline — and hence which
         // decompressed bytes — a stream produces.
-        let abs = ErrorBound::Abs(bound.absolute(field.value_range()));
+        let abs = bound.resolve(field).as_abs();
         let mut trial = Sz3::new();
         trial.force = self.force;
-        let interp_len = trial
-            .engine()
-            .compress(&block, abs)
-            .map(|b| b.len())
-            .unwrap_or(usize::MAX);
+        scratch.clear();
+        let interp_len = match trial.engine().compress_append(&block, abs, ctx, scratch) {
+            Ok(()) => scratch.len(),
+            Err(_) => usize::MAX,
+        };
         let lorenzo_len = lorenzo::compress(&block, abs, MAGIC_SZ3_LORENZO)
             .map(|b| b.len())
             .unwrap_or(usize::MAX);
@@ -205,6 +220,53 @@ impl<T: Scalar> Compressor<T> for Sz3 {
         let rest = r.rest();
         match tag {
             0 => self.engine().decompress(rest),
+            1 => lorenzo::decompress(rest, MAGIC_SZ3_LORENZO),
+            _ => Err(CompressError::WrongFormat("bad SZ3 pipeline tag")),
+        }
+    }
+
+    fn compress_into(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+        ctx: &mut CompressCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
+        // `out` doubles as the trial-stream scratch; it is rebuilt below.
+        let pipeline = self.choose_pipeline_with(field, bound, ctx, out);
+        out.clear();
+        out.push(MAGIC_SZ3);
+        match pipeline {
+            Pipeline::Interpolation => {
+                out.push(0);
+                self.engine().compress_append(field, bound, ctx, out)?;
+            }
+            Pipeline::Lorenzo => {
+                // The Lorenzo fallback is the rare small-bound path; it keeps
+                // the allocating implementation.
+                out.push(1);
+                out.extend_from_slice(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
+            }
+        }
+        qip_core::integrity::seal_in_place(out);
+        Ok(())
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        ctx: &mut CompressCtx,
+    ) -> Result<Field<T>, CompressError> {
+        let bytes = qip_core::integrity::check(bytes)?;
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u8()?;
+        if magic != MAGIC_SZ3 {
+            return Err(CompressError::WrongFormat("not an SZ3 stream"));
+        }
+        let tag = r.get_u8()?;
+        let rest = r.rest();
+        match tag {
+            0 => self.engine().decompress_with(rest, ctx),
             1 => lorenzo::decompress(rest, MAGIC_SZ3_LORENZO),
             _ => Err(CompressError::WrongFormat("bad SZ3 pipeline tag")),
         }

@@ -34,7 +34,7 @@ pub fn quant_indices<T: Scalar>(
     if dims.len() > 3 {
         return Err(CompressError::Unsupported("Lorenzo pipeline supports 1-3 dimensions"));
     }
-    let abs_eb = bound.absolute(field.value_range());
+    let abs_eb = bound.resolve(field).abs;
     let quant = LinearQuantizer::new(abs_eb);
     let strides = field.shape().strides().to_vec();
     let mut buf = field.as_slice().to_vec();
@@ -62,7 +62,7 @@ pub fn compress<T: Scalar>(
     if dims.len() > 3 {
         return Err(CompressError::Unsupported("Lorenzo pipeline supports 1-3 dimensions"));
     }
-    let abs_eb = bound.absolute(field.value_range());
+    let abs_eb = bound.resolve(field).abs;
     let mut w = ByteWriter::with_capacity(field.len() / 4 + 64);
     StreamHeader {
         magic,

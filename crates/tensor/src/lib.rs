@@ -15,7 +15,7 @@ mod scalar;
 mod shape;
 
 pub use field::Field;
-pub use scalar::Scalar;
+pub use scalar::{Scalar, ScalarPools};
 pub use shape::{BlockIter, Shape};
 
 /// Errors produced by tensor operations.

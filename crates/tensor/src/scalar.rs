@@ -44,6 +44,46 @@ pub trait Scalar:
     fn write_le(self, out: &mut Vec<u8>);
     /// Read a value from the first `Self::BYTES` bytes of `src`.
     fn read_le(src: &[u8]) -> Result<Self, TensorError>;
+    /// The slot inside a [`ScalarPools`] arena that holds buffers of `Self`.
+    fn pool_slot(pools: &mut ScalarPools) -> &mut Vec<Vec<Self>>;
+}
+
+/// A typed pool of reusable scalar working buffers.
+///
+/// Compression contexts hold one of these so repeated `compress_into` /
+/// `decompress_into` calls can check out typed scratch planes (working copies
+/// of the field, anchor/unpredictable channels) without re-allocating them.
+/// Buffers come back cleared but keep their capacity; a pool can serve `f32`
+/// and `f64` callers interchangeably because each type has its own slot.
+#[derive(Debug, Default)]
+pub struct ScalarPools {
+    f32: Vec<Vec<f32>>,
+    f64: Vec<Vec<f64>>,
+}
+
+impl ScalarPools {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a cleared buffer, reusing a pooled one when available.
+    pub fn acquire<T: Scalar>(&mut self) -> Vec<T> {
+        let mut v = T::pool_slot(self).pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Return a buffer to the pool for later reuse (capacity is retained).
+    pub fn release<T: Scalar>(&mut self, buf: Vec<T>) {
+        T::pool_slot(self).push(buf);
+    }
+
+    /// Drop all pooled buffers, releasing their capacity.
+    pub fn clear(&mut self) {
+        self.f32.clear();
+        self.f64.clear();
+    }
 }
 
 impl Scalar for f32 {
@@ -80,6 +120,10 @@ impl Scalar for f32 {
             .ok_or(TensorError::BadBytes("need 4 bytes for f32"))?;
         Ok(f32::from_le_bytes(bytes))
     }
+    #[inline]
+    fn pool_slot(pools: &mut ScalarPools) -> &mut Vec<Vec<Self>> {
+        &mut pools.f32
+    }
 }
 
 impl Scalar for f64 {
@@ -115,6 +159,10 @@ impl Scalar for f64 {
             .and_then(|s| s.try_into().ok())
             .ok_or(TensorError::BadBytes("need 8 bytes for f64"))?;
         Ok(f64::from_le_bytes(bytes))
+    }
+    #[inline]
+    fn pool_slot(pools: &mut ScalarPools) -> &mut Vec<Vec<Self>> {
+        &mut pools.f64
     }
 }
 
@@ -155,5 +203,23 @@ mod tests {
         assert_eq!(<f32 as Scalar>::BITS, 32);
         assert_eq!(<f64 as Scalar>::BITS, 64);
         assert_eq!(<f32 as Scalar>::ZERO + <f32 as Scalar>::ONE, 1.0);
+    }
+
+    #[test]
+    fn pool_reuses_capacity_per_type() {
+        let mut pools = ScalarPools::new();
+        let mut a: Vec<f32> = pools.acquire();
+        a.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let cap = a.capacity();
+        pools.release(a);
+
+        // Acquiring the other type must not hand back the f32 buffer.
+        let b: Vec<f64> = pools.acquire();
+        assert!(b.is_empty());
+        pools.release(b);
+
+        let c: Vec<f32> = pools.acquire();
+        assert!(c.is_empty(), "pooled buffer must come back cleared");
+        assert!(c.capacity() >= cap, "pooled buffer must keep its capacity");
     }
 }

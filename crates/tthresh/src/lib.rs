@@ -155,7 +155,7 @@ impl<T: Scalar> Compressor<T> for Tthresh {
         if dims.len() > 3 {
             return Err(CompressError::Unsupported("TTHRESH supports 1-3 dimensions"));
         }
-        let abs_eb = bound.absolute(field.value_range());
+        let abs_eb = bound.resolve(field).abs;
         let mut w = ByteWriter::with_capacity(field.len() / 4 + 256);
         StreamHeader {
             magic: MAGIC_TTHRESH,

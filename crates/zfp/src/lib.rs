@@ -347,7 +347,7 @@ impl<T: Scalar> Compressor<T> for Zfp {
             return Err(CompressError::Unsupported("ZFP supports 1-3 dimensions"));
         }
         let strides = field.shape().strides().to_vec();
-        let abs_eb = bound.absolute(field.value_range());
+        let abs_eb = bound.resolve(field).abs;
         let mut w = ByteWriter::with_capacity(field.len() + 64);
         StreamHeader {
             magic: MAGIC_ZFP,

@@ -12,6 +12,7 @@
 //! compressor from the stream magic.
 
 use qip::prelude::*;
+use qip::registry::AnyCompressor;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -22,6 +23,9 @@ fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
         return Err(
             "dims must have 1-4 axes (4-D works with sz3/qoz/hpez/mgard only)".into()
         );
+    }
+    if dims.contains(&0) {
+        return Err(format!("bad dims '{s}': every axis must be nonzero"));
     }
     Ok(dims)
 }
@@ -36,32 +40,12 @@ fn parse_eb(s: &str) -> Result<ErrorBound, String> {
     Err("error bound must be rel:<v> or abs:<v>".into())
 }
 
-fn compressor_by_name(name: &str, qp: bool) -> Result<Box<dyn Compressor<f32>>, String> {
+/// One constructor for both scalar types: `AnyCompressor` implements
+/// `Compressor<f32>` and `Compressor<f64>`, so the registry lookup replaces
+/// the two per-type tables this binary used to carry.
+fn compressor_by_name(name: &str, qp: bool) -> Result<AnyCompressor, String> {
     let cfg = if qp { QpConfig::best_fit() } else { QpConfig::off() };
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "sz3" => Box::new(qip::sz3::Sz3::new().with_qp(cfg)),
-        "qoz" => Box::new(qip::qoz::Qoz::new().with_qp(cfg)),
-        "hpez" => Box::new(qip::hpez::Hpez::new().with_qp(cfg)),
-        "mgard" => Box::new(qip::mgard::Mgard::new().with_qp(cfg)),
-        "zfp" => Box::new(qip::zfp::Zfp::new()),
-        "sperr" => Box::new(qip::sperr::Sperr::new()),
-        "tthresh" => Box::new(qip::tthresh::Tthresh::new()),
-        other => return Err(format!("unknown compressor '{other}'")),
-    })
-}
-
-fn compressor_by_name_f64(name: &str, qp: bool) -> Result<Box<dyn Compressor<f64>>, String> {
-    let cfg = if qp { QpConfig::best_fit() } else { QpConfig::off() };
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "sz3" => Box::new(qip::sz3::Sz3::new().with_qp(cfg)),
-        "qoz" => Box::new(qip::qoz::Qoz::new().with_qp(cfg)),
-        "hpez" => Box::new(qip::hpez::Hpez::new().with_qp(cfg)),
-        "mgard" => Box::new(qip::mgard::Mgard::new().with_qp(cfg)),
-        "zfp" => Box::new(qip::zfp::Zfp::new()),
-        "sperr" => Box::new(qip::sperr::Sperr::new()),
-        "tthresh" => Box::new(qip::tthresh::Tthresh::new()),
-        other => return Err(format!("unknown compressor '{other}'")),
-    })
+    AnyCompressor::by_name(name, cfg).ok_or_else(|| format!("unknown compressor '{name}'"))
 }
 
 /// Map a stream's leading magic byte to its compressor name.
@@ -118,16 +102,17 @@ fn run() -> Result<(), String> {
             let raw = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let shape = Shape::new(&dims);
 
+            let comp = compressor_by_name(method, qp)?;
             let (bytes, name, n) = if is_f64 {
                 let field = Field::<f64>::from_le_bytes(shape, &raw)
                     .map_err(|e| format!("{input}: {e}"))?;
-                let comp = compressor_by_name_f64(method, qp)?;
-                (comp.compress(&field, bound).map_err(|e| e.to_string())?, comp.name(), field.len() * 8)
+                let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
+                (bytes, Compressor::<f64>::name(&comp), field.len() * 8)
             } else {
                 let field = Field::<f32>::from_le_bytes(shape, &raw)
                     .map_err(|e| format!("{input}: {e}"))?;
-                let comp = compressor_by_name(method, qp)?;
-                (comp.compress(&field, bound).map_err(|e| e.to_string())?, comp.name(), field.len() * 4)
+                let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
+                (bytes, Compressor::<f32>::name(&comp), field.len() * 4)
             };
             std::fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
             eprintln!(
@@ -143,13 +128,12 @@ fn run() -> Result<(), String> {
             let output = need("o")?;
             let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let comp = compressor_by_name(method, false)?;
             let out = if is_f64 {
-                let comp = compressor_by_name_f64(method, false)?;
-                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                let field: Field<f64> = comp.decompress(&bytes).map_err(|e| e.to_string())?;
                 field.to_le_bytes()
             } else {
-                let comp = compressor_by_name(method, false)?;
-                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                let field: Field<f32> = comp.decompress(&bytes).map_err(|e| e.to_string())?;
                 field.to_le_bytes()
             };
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;

@@ -173,6 +173,27 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
+fn zero_sized_axes_rejected_with_clear_error() {
+    let raw = tmp("zero.f32");
+    std::fs::write(&raw, [0u8; 64]).unwrap();
+    for dims in ["0x64x64", "16x0", "0"] {
+        let out = qip()
+            .args(["compress", "-i", raw.to_str().unwrap(), "-o", "/dev/null", "-d", dims])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "dims {dims} must be rejected");
+        let msg = String::from_utf8_lossy(&out.stderr);
+        assert!(msg.contains("nonzero"), "dims {dims}: unclear error: {msg}");
+    }
+    // `gen` goes through the same parser.
+    assert!(!qip()
+        .args(["gen", "-o", "/dev/null", "-d", "0x8"])
+        .status()
+        .unwrap()
+        .success());
+}
+
+#[test]
 fn decompress_rejects_garbage() {
     let junk = tmp("junk.qip");
     std::fs::write(&junk, b"this is not a qip stream").unwrap();

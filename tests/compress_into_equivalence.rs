@@ -1,0 +1,94 @@
+//! Equivalence property for the reusable-buffer API: for every compressor in
+//! the registry, `compress_into` must emit the exact bytes of the allocating
+//! `compress`, and `decompress_into` must reconstruct the exact field of
+//! `decompress` — with ONE `CompressCtx` threaded through every compressor,
+//! shape, and scalar type in sequence, so any state leaking from a previous
+//! use would be caught as a byte or value divergence.
+
+use qip::prelude::*;
+use qip::registry::AnyCompressor;
+use qip_core::CompressCtx;
+
+fn registry() -> Vec<AnyCompressor> {
+    let mut all = AnyCompressor::base_four(QpConfig::off());
+    all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    all.extend(AnyCompressor::comparators());
+    all
+}
+
+/// Same seed corpus as the fault suite, plus one field large enough
+/// (> 2^17 points) to exercise the chunked entropy framing.
+fn corpus_f32() -> Vec<Field<f32>> {
+    vec![
+        qip::data::Dataset::Miranda.generate_f32(7, &[12, 13, 11]),
+        qip::data::Dataset::SegSalt.generate_f32(3, &[16, 9, 8]),
+        qip::data::Dataset::Miranda.generate_f32(1, &[64, 60, 40]),
+    ]
+}
+
+fn corpus_f64() -> Vec<Field<f64>> {
+    vec![
+        qip::data::Dataset::S3d.generate_f64(2, &[11, 9, 7]),
+        qip::data::Dataset::Hurricane.generate_f64(4, &[25, 18]),
+    ]
+}
+
+#[test]
+fn compress_into_is_byte_identical_across_reuses() {
+    // One context for the whole test: reused across compressors, shapes,
+    // and scalar types, interleaved f32/f64.
+    let mut ctx = CompressCtx::new();
+    let mut out = Vec::new();
+    let fields32 = corpus_f32();
+    let fields64 = corpus_f64();
+    for comp in registry() {
+        for (fi, field) in fields32.iter().enumerate() {
+            let name = Compressor::<f32>::name(&comp);
+            let baseline = comp.compress(field, ErrorBound::Abs(1e-3)).unwrap();
+            comp.compress_into(field, ErrorBound::Abs(1e-3), &mut ctx, &mut out).unwrap();
+            assert_eq!(baseline, out, "{name}: f32 field {fi} bytes diverge");
+            let a: Field<f32> = comp.decompress(&baseline).unwrap();
+            let b: Field<f32> = comp.decompress_into(&out, &mut ctx).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{name}: f32 field {fi} values diverge");
+        }
+        for (fi, field) in fields64.iter().enumerate() {
+            let name = Compressor::<f64>::name(&comp);
+            let baseline = comp.compress(field, ErrorBound::Rel(1e-4)).unwrap();
+            comp.compress_into(field, ErrorBound::Rel(1e-4), &mut ctx, &mut out).unwrap();
+            assert_eq!(baseline, out, "{name}: f64 field {fi} bytes diverge");
+            let a: Field<f64> = comp.decompress(&baseline).unwrap();
+            let b: Field<f64> = comp.decompress_into(&out, &mut ctx).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{name}: f64 field {fi} values diverge");
+        }
+    }
+}
+
+#[test]
+fn reused_ctx_never_leaks_state_between_shapes() {
+    // Compress the same field with a fresh ctx and with a ctx "dirtied" by a
+    // run over a different shape/dtype; outputs must match bit for bit.
+    let probe = qip::data::Dataset::Miranda.generate_f32(5, &[21, 17, 13]);
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        let mut fresh = CompressCtx::new();
+        let mut expect = Vec::new();
+        comp.compress_into(&probe, ErrorBound::Abs(1e-3), &mut fresh, &mut expect).unwrap();
+
+        let mut dirty = CompressCtx::new();
+        let mut scratch = Vec::new();
+        for f in corpus_f32() {
+            comp.compress_into(&f, ErrorBound::Abs(2e-3), &mut dirty, &mut scratch).unwrap();
+        }
+        for f in corpus_f64() {
+            comp.compress_into(&f, ErrorBound::Rel(1e-4), &mut dirty, &mut scratch).unwrap();
+        }
+        let mut got = Vec::new();
+        comp.compress_into(&probe, ErrorBound::Abs(1e-3), &mut dirty, &mut got).unwrap();
+        assert_eq!(expect, got, "{name}: dirty ctx changed the output");
+
+        // Decompress through the dirty ctx as well.
+        let a: Field<f32> = comp.decompress(&expect).unwrap();
+        let b: Field<f32> = comp.decompress_into(&got, &mut dirty).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "{name}: dirty ctx changed decompression");
+    }
+}
