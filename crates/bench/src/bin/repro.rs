@@ -15,6 +15,10 @@
 //!   rd         rate-distortion (Figs. 10-15); --dataset selects one
 //!   speed      compression/decompression speed (Figs. 16-17)
 //!   throughput allocating vs reused-context API throughput + allocation counts
+//!              (--baseline FILE compares against a previous BENCH_throughput.json
+//!              and exits 1 on a >5% geometric-mean regression)
+//!   profile    per-stage trace profiles for every registry compressor
+//!              (build with --features trace for populated stage tables)
 //!   table4     comparison with ZFP/TTHRESH/SPERR
 //!   fig18      end-to-end parallel transfer
 //!   ablate     ablation studies (DESIGN.md §8)
@@ -49,8 +53,8 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|table4|fig18|ablate|all> \
-         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME]"
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|profile|table4|fig18|ablate|all> \
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -63,6 +67,7 @@ fn main() {
     let cmd = args[0].clone();
     let mut opts = Opts::default();
     let mut dataset: Option<String> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +87,10 @@ fn main() {
             "--dataset" => {
                 i += 1;
                 dataset = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
             }
             other => {
                 eprintln!("unknown option: {other}");
@@ -122,7 +131,16 @@ fn main() {
         },
         "speed" => experiments::speed::run(&opts),
         "throughput" => {
-            experiments::throughput::run(&opts);
+            let records = experiments::throughput::run(&opts);
+            if let Some(b) = &baseline {
+                if let Err(msg) = experiments::throughput::compare_baseline(&records, b, 0.05) {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "profile" => {
+            experiments::profile::run(&opts);
         }
         "table4" => experiments::sota::run(&opts),
         "fig18" => experiments::transfer::run(&opts),
@@ -139,6 +157,7 @@ fn main() {
             rd_all();
             experiments::speed::run(&opts);
             experiments::throughput::run(&opts);
+            experiments::profile::run(&opts);
             experiments::sota::run(&opts);
             experiments::transfer::run(&opts);
             experiments::ablate::run(&opts);

@@ -1,0 +1,232 @@
+//! `repro profile`: per-stage pipeline profiles for every registry compressor.
+//!
+//! Each compressor runs one traced compress + decompress over SegSalt at the
+//! requested `--scale`, and the merged [`qip_trace::TraceReport`] is flattened
+//! into `BENCH_profile.json` — one record per compressor with the span tree as
+//! `/`-joined stage rows plus the raw counter and value tables. Builds without
+//! the workspace `trace` feature still run (the timing columns are real); the
+//! stage/counter tables are simply empty, and a note says so.
+
+use super::Opts;
+use crate::registry::AnyCompressor;
+use crate::report::{fmt, print_table};
+use qip_core::{Compressor, ErrorBound, QpConfig};
+use qip_data::Dataset;
+use qip_trace::TraceReport;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Value-range-relative bound used for every profiled run.
+const REL_EB: f64 = 1e-3;
+
+/// One flattened span-tree node (`path` is the `/`-joined root-to-node path).
+#[derive(Debug, Clone, Serialize)]
+pub struct StageRow {
+    /// `/`-joined span path, e.g. `"compress[SZ3+QP]/quantize/level_1"`.
+    pub path: String,
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Total wall milliseconds inside the span.
+    pub total_ms: f64,
+    /// Wall milliseconds not attributed to any child span.
+    pub self_ms: f64,
+}
+
+/// One named counter from the trace session.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterRow {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub count: u64,
+}
+
+/// One named floating-point observation from the trace session.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValueRow {
+    /// Value name.
+    pub name: String,
+    /// Last recorded value.
+    pub value: f64,
+}
+
+/// One compressor's profile: end-to-end timings plus the flattened trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileRecord {
+    /// Compressor name ("SZ3+QP", …).
+    pub compressor: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Field dimensions after `--scale`.
+    pub dims: Vec<usize>,
+    /// Value-range-relative error bound.
+    pub rel_eb: f64,
+    /// Raw field size in bytes.
+    pub raw_bytes: u64,
+    /// Compressed stream size in bytes.
+    pub compressed_bytes: u64,
+    /// End-to-end compress wall milliseconds (single traced run).
+    pub compress_ms: f64,
+    /// End-to-end decompress wall milliseconds (single traced run).
+    pub decompress_ms: f64,
+    /// Flattened compress-session span tree (empty without the trace feature).
+    pub compress_stages: Vec<StageRow>,
+    /// Flattened decompress-session span tree.
+    pub decompress_stages: Vec<StageRow>,
+    /// Compress-session counters.
+    pub counters: Vec<CounterRow>,
+    /// Compress-session values (entropies, gating rates, tuner choices).
+    pub values: Vec<ValueRow>,
+}
+
+fn stage_rows(report: &TraceReport) -> Vec<StageRow> {
+    report
+        .span_paths()
+        .into_iter()
+        .map(|(path, calls, total_ns, self_ns)| StageRow {
+            path,
+            calls,
+            total_ms: total_ns as f64 / 1e6,
+            self_ms: self_ns as f64 / 1e6,
+        })
+        .collect()
+}
+
+fn profile_one(comp: &AnyCompressor, ds: Dataset, dims: &[usize]) -> ProfileRecord {
+    let field = ds.generate_f32(0, dims);
+    let bound = ErrorBound::Rel(REL_EB);
+    let name = Compressor::<f32>::name(comp);
+
+    let t = Instant::now();
+    let (bytes, creport) = comp.compress_traced(&field, bound);
+    let compress_ms = t.elapsed().as_secs_f64() * 1e3;
+    let bytes = bytes.unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
+
+    let t = Instant::now();
+    let (out, dreport) = comp.decompress_traced::<f32>(&bytes);
+    let decompress_ms = t.elapsed().as_secs_f64() * 1e3;
+    out.unwrap_or_else(|e| panic!("{name}: decompress failed: {e}"));
+
+    ProfileRecord {
+        compressor: name,
+        dataset: ds.name().to_string(),
+        dims: dims.to_vec(),
+        rel_eb: REL_EB,
+        raw_bytes: (field.len() * 4) as u64,
+        compressed_bytes: bytes.len() as u64,
+        compress_ms,
+        decompress_ms,
+        compress_stages: stage_rows(&creport),
+        decompress_stages: stage_rows(&dreport),
+        counters: creport
+            .counters
+            .iter()
+            .map(|c| CounterRow { name: c.name.clone(), count: c.value })
+            .collect(),
+        values: creport
+            .values
+            .iter()
+            .map(|v| ValueRow { name: v.name.clone(), value: v.value })
+            .collect(),
+    }
+}
+
+/// Profile every registry compressor over SegSalt, print a summary table, and
+/// write `BENCH_profile.json` under `opts.out`. Returns the records.
+pub fn run(opts: &Opts) -> Vec<ProfileRecord> {
+    if !qip_trace::compiled() {
+        eprintln!(
+            "[note: built without the `trace` feature — stage tables will be empty; \
+             rerun with `cargo run --release --features trace --bin repro -- profile`]"
+        );
+    }
+    let ds = Dataset::SegSalt;
+    let dims = ds.scaled_dims(opts.scale);
+
+    let mut registry = AnyCompressor::base_four(QpConfig::off());
+    registry.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    registry.extend(AnyCompressor::comparators());
+
+    let records: Vec<ProfileRecord> =
+        registry.iter().map(|comp| profile_one(comp, ds, &dims)).collect();
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            // Heaviest top-level stage under the root span, if traced.
+            let top = r
+                .compress_stages
+                .iter()
+                .filter(|s| s.path.matches('/').count() == 1)
+                .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms));
+            vec![
+                r.compressor.clone(),
+                fmt(r.raw_bytes as f64 / r.compressed_bytes.max(1) as f64),
+                format!("{:.1}", r.compress_ms),
+                format!("{:.1}", r.decompress_ms),
+                top.map(|s| s.path.split('/').next_back().unwrap_or("").to_string())
+                    .unwrap_or_else(|| "-".into()),
+                top.map(|s| format!("{:.1}", s.total_ms)).unwrap_or_else(|| "-".into()),
+                r.compress_stages.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Profile: SegSalt {dims:?}, rel eb {REL_EB} (one traced run each)"),
+        &["compressor", "CR", "comp ms", "decomp ms", "hottest stage", "stage ms", "spans"],
+        &rows,
+    );
+
+    if let Err(e) = write_json(opts, &records) {
+        eprintln!("[failed to write BENCH_profile.json: {e}]");
+    }
+    records
+}
+
+fn write_json(opts: &Opts, records: &[ProfileRecord]) -> std::io::Result<()> {
+    std::fs::create_dir_all(&opts.out)?;
+    let path = opts.out.join("BENCH_profile.json");
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str("  ");
+        s.push_str(&serde_json::to_string(r).expect("serializable record"));
+    }
+    s.push_str("\n]\n");
+    std::fs::write(&path, s)?;
+    eprintln!("[results written to {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_registry_compressor() {
+        let opts = Opts {
+            scale: 32,
+            fields: 1,
+            out: std::env::temp_dir().join("qip_profile_test"),
+        };
+        let records = run(&opts);
+        assert_eq!(records.len(), 11, "base four ×2 QP configs + 3 comparators");
+        for r in &records {
+            assert!(r.compressed_bytes > 0, "{}", r.compressor);
+            assert!(r.compress_ms > 0.0 && r.decompress_ms > 0.0, "{}", r.compressor);
+            if qip_trace::compiled() {
+                assert!(
+                    r.compress_stages.iter().any(|s| s.path == format!("compress[{}]", r.compressor)),
+                    "{}: missing root stage",
+                    r.compressor
+                );
+            } else {
+                assert!(r.compress_stages.is_empty());
+            }
+        }
+        let json = std::fs::read_to_string(opts.out.join("BENCH_profile.json")).unwrap();
+        assert!(json.contains("\"compress_stages\""));
+    }
+}

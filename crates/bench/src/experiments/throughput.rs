@@ -176,6 +176,101 @@ pub fn run(opts: &Opts) -> Vec<ThroughputRecord> {
     records
 }
 
+/// Minimal field extractors for our own `BENCH_throughput.json` layout (one
+/// record object per line). The vendored `serde_json` stub only serializes,
+/// so the baseline gate re-reads its files with these instead of a parser.
+fn json_str_field(record: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = record.find(&pat)? + pat.len();
+    let end = record[start..].find('"')?;
+    Some(record[start..start + end].to_string())
+}
+
+fn json_num_field(record: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = record.find(&pat)? + pat.len();
+    let rest = &record[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The four throughput metrics the baseline gate compares.
+const GATED_METRICS: [&str; 4] =
+    ["compress_mbs", "compress_into_mbs", "decompress_mbs", "decompress_into_mbs"];
+
+fn metric(r: &ThroughputRecord, name: &str) -> f64 {
+    match name {
+        "compress_mbs" => r.compress_mbs,
+        "compress_into_mbs" => r.compress_into_mbs,
+        "decompress_mbs" => r.decompress_mbs,
+        "decompress_into_mbs" => r.decompress_into_mbs,
+        _ => unreachable!("unknown gated metric {name}"),
+    }
+}
+
+/// Compare `records` against a previously written `BENCH_throughput.json` and
+/// fail when the geometric mean over every (record, metric) throughput ratio
+/// drops below `1 − max_regression` (e.g. 0.05 = 5%). The geometric mean over
+/// 4 metrics × all (compressor, dataset) cells absorbs single-cell timing
+/// noise; the CI `trace-overhead` step uses this to pin "trace compiled but
+/// disabled" to within 5% of a feature-off build.
+pub fn compare_baseline(
+    records: &[ThroughputRecord],
+    baseline_path: &std::path::Path,
+    max_regression: f64,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"compressor\"")) {
+        let (Some(comp), Some(ds)) =
+            (json_str_field(line, "compressor"), json_str_field(line, "dataset"))
+        else {
+            return Err(format!("unparseable baseline record: {line}"));
+        };
+        let Some(new) = records.iter().find(|r| r.compressor == comp && r.dataset == ds) else {
+            continue; // baseline may cover a superset (e.g. different scale grid)
+        };
+        for m in GATED_METRICS {
+            let Some(old) = json_num_field(line, m) else {
+                return Err(format!("baseline record for {comp}/{ds} lacks {m}"));
+            };
+            if old > 0.0 {
+                ratios.push((format!("{comp}/{ds}/{m}"), metric(new, m) / old));
+            }
+        }
+    }
+    if ratios.is_empty() {
+        return Err(format!(
+            "no baseline records in {} match the current run",
+            baseline_path.display()
+        ));
+    }
+    let geomean =
+        (ratios.iter().map(|(_, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    ratios.sort_by(|a, b| a.1.total_cmp(&b.1));
+    eprintln!(
+        "[baseline gate: geometric-mean throughput ratio {:.4} over {} cells; worst: {} {:.3}, best: {} {:.3}]",
+        geomean,
+        ratios.len(),
+        ratios[0].0,
+        ratios[0].1,
+        ratios[ratios.len() - 1].0,
+        ratios[ratios.len() - 1].1,
+    );
+    if geomean < 1.0 - max_regression {
+        let worst: Vec<String> =
+            ratios.iter().take(5).map(|(n, r)| format!("  {n}: {r:.3}×")).collect();
+        return Err(format!(
+            "throughput regressed: geomean {:.4} < {:.4} allowed; worst cells:\n{}",
+            geomean,
+            1.0 - max_regression,
+            worst.join("\n")
+        ));
+    }
+    Ok(())
+}
+
 fn write_json(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<()> {
     std::fs::create_dir_all(&opts.out)?;
     let path = opts.out.join("BENCH_throughput.json");
@@ -216,5 +311,41 @@ mod tests {
             std::fs::read_to_string(opts.out.join("BENCH_throughput.json")).unwrap();
         assert!(json.trim_start().starts_with('['));
         assert!(json.contains("\"compress_into_mbs\""));
+    }
+
+    fn fake_record(mbs: f64) -> ThroughputRecord {
+        ThroughputRecord {
+            compressor: "SZ3".into(),
+            dataset: "SegSalt".into(),
+            dims: vec![8, 8, 8],
+            rel_eb: 1e-3,
+            cr: 10.0,
+            compress_mbs: mbs,
+            compress_into_mbs: mbs,
+            decompress_mbs: mbs,
+            decompress_into_mbs: mbs,
+            compress_allocs: 1,
+            compress_into_allocs: 0,
+            speedup_pct: 0.0,
+        }
+    }
+
+    #[test]
+    fn baseline_gate_accepts_self_and_rejects_regression() {
+        let opts = Opts {
+            scale: 32,
+            fields: 1,
+            out: std::env::temp_dir().join("qip_baseline_test"),
+        };
+        let baseline = vec![fake_record(100.0)];
+        write_json(&opts, &baseline).unwrap();
+        let path = opts.out.join("BENCH_throughput.json");
+        // Identical run passes; 4% regression passes a 5% gate; 10% fails it.
+        assert!(compare_baseline(&baseline, &path, 0.05).is_ok());
+        assert!(compare_baseline(&[fake_record(96.0)], &path, 0.05).is_ok());
+        let err = compare_baseline(&[fake_record(90.0)], &path, 0.05).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A baseline that matches nothing is an error, not a silent pass.
+        assert!(compare_baseline(&[], &path, 0.05).is_err());
     }
 }

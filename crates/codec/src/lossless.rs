@@ -40,17 +40,30 @@ pub const CHUNK_SYMBOLS: usize = 1 << 17;
 /// Entropy-code one block of indices (modes 0–3), keeping whichever
 /// combination of coder and optional LZ pass is smallest.
 fn encode_block(indices: &[i32]) -> Vec<u8> {
-    let huff = huffman::encode(indices);
-    let lzed = lz::compress(&huff);
+    let huff = {
+        let _t = qip_trace::span("huffman_encode");
+        huffman::encode(indices)
+    };
+    let lzed = {
+        let _t = qip_trace::span("lz_compress");
+        lz::compress(&huff)
+    };
+    qip_trace::counter("codec.huffman_bytes", huff.len() as u64);
     let mut best: (u8, Vec<u8>) = if lzed.len() < huff.len() {
         (MODE_HUFF_LZ, lzed)
     } else {
         (MODE_HUFF, huff)
     };
     if indices.len() <= RANGE_TRY_LIMIT {
-        let rng = range::encode(indices);
+        let rng = {
+            let _t = qip_trace::span("range_encode");
+            range::encode(indices)
+        };
         if rng.len() < best.1.len() {
-            let rlz = lz::compress(&rng);
+            let rlz = {
+                let _t = qip_trace::span("lz_compress");
+                lz::compress(&rng)
+            };
             best = if rlz.len() < rng.len() { (MODE_RANGE_LZ, rlz) } else { (MODE_RANGE, rng) };
         }
     }
@@ -66,14 +79,28 @@ fn decode_block(mode: u8, rest: &[u8], max_count: usize) -> Result<Vec<i32>, Cod
     // above any legal code or escape cost, and the slack covers headers.
     let max_payload = max_count.saturating_mul(16).saturating_add(4096);
     match mode {
-        MODE_HUFF => huffman::decode_capped(rest, max_count),
+        MODE_HUFF => {
+            let _t = qip_trace::span("huffman_decode");
+            huffman::decode_capped(rest, max_count)
+        }
         MODE_HUFF_LZ => {
-            let huff = lz::decompress_capped(rest, max_payload)?;
+            let huff = {
+                let _t = qip_trace::span("lz_decompress");
+                lz::decompress_capped(rest, max_payload)?
+            };
+            let _t = qip_trace::span("huffman_decode");
             huffman::decode_capped(&huff, max_count)
         }
-        MODE_RANGE => range::decode_capped(rest, max_count),
+        MODE_RANGE => {
+            let _t = qip_trace::span("range_decode");
+            range::decode_capped(rest, max_count)
+        }
         MODE_RANGE_LZ => {
-            let rng = lz::decompress_capped(rest, max_payload)?;
+            let rng = {
+                let _t = qip_trace::span("lz_decompress");
+                lz::decompress_capped(rest, max_payload)?
+            };
+            let _t = qip_trace::span("range_decode");
             range::decode_capped(&rng, max_count)
         }
         _ => Err(CodecError::BadHeader("unknown lossless mode tag")),
@@ -95,12 +122,16 @@ pub fn encode_indices(indices: &[i32]) -> Vec<u8> {
 /// compressions reuse the output allocation.
 pub fn encode_indices_into(indices: &[i32], out: &mut Vec<u8>) {
     out.clear();
+    qip_trace::counter("codec.symbols_in", indices.len() as u64);
     if indices.len() <= CHUNK_SYMBOLS {
         let block = encode_block(indices);
         out.extend_from_slice(&block);
+        qip_trace::counter("codec.chunks", 1);
+        qip_trace::counter("codec.bytes_out", out.len() as u64);
         return;
     }
     let chunks: Vec<&[i32]> = indices.chunks(CHUNK_SYMBOLS).collect();
+    qip_trace::counter("codec.chunks", chunks.len() as u64);
     let encoded: Vec<Vec<u8>> = chunks.par_iter().map(|c| encode_block(c)).collect();
     let mut w = ByteWriter::from_vec(std::mem::take(out));
     w.put_u8(MODE_CHUNKED);
@@ -114,6 +145,7 @@ pub fn encode_indices_into(indices: &[i32], out: &mut Vec<u8>) {
         w.put_bytes(e);
     }
     *out = w.finish();
+    qip_trace::counter("codec.bytes_out", out.len() as u64);
 }
 
 /// Decode a stream produced by [`encode_indices`].
@@ -144,9 +176,12 @@ pub fn decode_indices_capped_into(
     out: &mut Vec<i32>,
 ) -> Result<(), CodecError> {
     out.clear();
+    qip_trace::counter("codec.decode_bytes_in", bytes.len() as u64);
     let (&mode, rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
     if mode != MODE_CHUNKED {
         *out = decode_block(mode, rest, max_count)?;
+        qip_trace::counter("codec.decode_chunks", 1);
+        qip_trace::counter("codec.decode_symbols", out.len() as u64);
         return Ok(());
     }
 
@@ -207,6 +242,8 @@ pub fn decode_indices_capped_into(
     for d in decoded {
         out.extend_from_slice(&d?);
     }
+    qip_trace::counter("codec.decode_chunks", nchunks as u64);
+    qip_trace::counter("codec.decode_symbols", out.len() as u64);
     Ok(())
 }
 

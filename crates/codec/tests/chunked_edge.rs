@@ -1,0 +1,93 @@
+//! Edge cases of the mode-4 chunked entropy framing: boundary lengths around
+//! [`CHUNK_SYMBOLS`], a hand-built single-chunk stream the encoder itself
+//! never emits (it prefers the flat framing below the threshold), and capped
+//! decoding of a stream with a damaged offset-table entry.
+
+use qip_codec::{
+    decode_indices, decode_indices_capped, encode_indices, ByteWriter, CHUNK_SYMBOLS,
+};
+
+/// The mode tag of the chunked framing (mirrors the private constant; the
+/// public contract is "first byte of a large stream", pinned by a test below).
+const MODE_CHUNKED: u8 = 4;
+
+fn sample(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i * 37 + 11) % 23) as i32 - 11).collect()
+}
+
+/// Encoded byte length of a LEB128 varint, for locating the offset table.
+fn uvarint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn empty_stream_roundtrips_flat() {
+    let enc = encode_indices(&[]);
+    assert_ne!(enc[0], MODE_CHUNKED, "empty stream must not use the chunked framing");
+    assert_eq!(decode_indices(&enc).unwrap(), Vec::<i32>::new());
+    assert_eq!(decode_indices_capped(&enc, 0).unwrap(), Vec::<i32>::new());
+}
+
+#[test]
+fn exactly_chunk_symbols_stays_flat() {
+    let q = sample(CHUNK_SYMBOLS);
+    let enc = encode_indices(&q);
+    assert_ne!(enc[0], MODE_CHUNKED, "threshold length must stay on the flat framing");
+    assert_eq!(decode_indices_capped(&enc, q.len()).unwrap(), q);
+}
+
+#[test]
+fn one_past_chunk_symbols_goes_chunked() {
+    let q = sample(CHUNK_SYMBOLS + 1);
+    let enc = encode_indices(&q);
+    assert_eq!(enc[0], MODE_CHUNKED, "threshold+1 must use the chunked framing");
+    assert_eq!(decode_indices_capped(&enc, q.len()).unwrap(), q);
+    // The exact cap is accepted; one below the true count is rejected before
+    // any count-sized allocation.
+    assert!(decode_indices_capped(&enc, q.len() - 1).is_err());
+}
+
+#[test]
+fn hand_built_single_chunk_stream_roundtrips() {
+    // The encoder never emits a 1-chunk mode-4 stream (≤ CHUNK_SYMBOLS takes
+    // the flat path), but the decoder must accept one: total ≤ chunk size,
+    // chunk count 1, offset table with a single entry. The chunk body is a
+    // flat encoding of the same symbols (exactly what encode_block produces).
+    let q = sample(4096);
+    let inner = encode_indices(&q);
+    assert_ne!(inner[0], MODE_CHUNKED);
+    let mut w = ByteWriter::new();
+    w.put_u8(MODE_CHUNKED);
+    w.put_uvarint(q.len() as u64);
+    w.put_uvarint(CHUNK_SYMBOLS as u64);
+    w.put_uvarint(1);
+    w.put_uvarint(inner.len() as u64);
+    w.put_bytes(&inner);
+    let stream = w.finish();
+    assert_eq!(decode_indices_capped(&stream, q.len()).unwrap(), q);
+}
+
+#[test]
+fn corrupted_offset_table_entry_is_rejected() {
+    let q = sample(CHUNK_SYMBOLS + 1);
+    let mut enc = encode_indices(&q);
+    assert_eq!(enc[0], MODE_CHUNKED);
+    // Locate the first offset-table entry: mode byte, then the three header
+    // varints (total, chunk size, chunk count).
+    let idx = 1
+        + uvarint_len(q.len() as u64)
+        + uvarint_len(CHUNK_SYMBOLS as u64)
+        + uvarint_len(2);
+    // Clearing the entry's first byte shrinks (or misaligns) the declared
+    // chunk length, so the table no longer matches the payload exactly.
+    let original = enc[idx];
+    enc[idx] = 0;
+    assert_ne!(enc[idx], original, "test requires an actual change");
+    let err = decode_indices_capped(&enc, q.len());
+    assert!(err.is_err(), "damaged offset table decoded cleanly: {:?}", err.map(|v| v.len()));
+}

@@ -235,21 +235,15 @@ impl QpEngine {
         &self.config
     }
 
-    /// The `quant_pred` subroutine (paper Algorithm 2, generalized to every
-    /// configuration): the compensation to subtract from the current index.
-    pub fn predict(&self, level: usize, nb: &Neighbors) -> i32 {
-        if !self.config.is_enabled() || level > self.config.max_level {
-            return 0;
-        }
-
-        // Gather the neighbors involved in the chosen mode; all must exist.
-        let involved: &[Option<i32>] = match self.config.mode {
-            PredMode::Off => return 0,
-            PredMode::Back1 => &[nb.back],
-            PredMode::Top1 => &[nb.top],
-            PredMode::Left1 => &[nb.left],
-            PredMode::Lorenzo2d => &[nb.left, nb.top, nb.diag],
-            PredMode::Lorenzo3d => &[
+    /// Neighbors involved in the configured mode, or `None` when QP is off.
+    fn involved(&self, nb: &Neighbors) -> Option<[Option<i32>; 7]> {
+        Some(match self.config.mode {
+            PredMode::Off => return None,
+            PredMode::Back1 => [nb.back, None, None, None, None, None, None],
+            PredMode::Top1 => [nb.top, None, None, None, None, None, None],
+            PredMode::Left1 => [nb.left, None, None, None, None, None, None],
+            PredMode::Lorenzo2d => [nb.left, nb.top, nb.diag, None, None, None, None],
+            PredMode::Lorenzo3d => [
                 nb.left,
                 nb.top,
                 nb.back,
@@ -258,27 +252,41 @@ impl QpEngine {
                 nb.top_back,
                 nb.diag_back,
             ],
-        };
-        let mut vals = [0i64; 7];
-        for (slot, n) in vals.iter_mut().zip(involved) {
-            match n {
-                Some(v) => *slot = *v as i64,
-                None => return 0,
-            }
+        })
+    }
+
+    /// Number of neighbor slots the configured mode reads.
+    fn involved_len(&self) -> usize {
+        match self.config.mode {
+            PredMode::Off => 0,
+            PredMode::Back1 | PredMode::Top1 | PredMode::Left1 => 1,
+            PredMode::Lorenzo2d => 3,
+            PredMode::Lorenzo3d => 7,
+        }
+    }
+
+    /// Whether the gating condition admits a prediction at this point (paper
+    /// Fig. 8): QP enabled, level within range, every involved neighbor
+    /// present, and the configured [`Condition`] satisfied. This is the
+    /// "accept" event in the per-level gating-rate telemetry; when the gate
+    /// is open, [`QpEngine::predict`] computes the actual compensation.
+    pub fn gate_open(&self, level: usize, nb: &Neighbors) -> bool {
+        if !self.config.is_enabled() || level > self.config.max_level {
+            return false;
+        }
+        let Some(involved) = self.involved(nb) else { return false };
+        let involved = &involved[..self.involved_len()];
+        if involved.iter().any(|n| n.is_none()) {
+            return false;
         }
 
-        // Gating conditions.
         let any_unpred = involved.iter().any(|n| n.unwrap() == UNPRED);
         match self.config.condition {
-            Condition::CaseI => {}
-            Condition::CaseII => {
-                if any_unpred {
-                    return 0;
-                }
-            }
+            Condition::CaseI => true,
+            Condition::CaseII => !any_unpred,
             Condition::CaseIII => {
                 if any_unpred {
-                    return 0;
+                    return false;
                 }
                 // Strict same-sign check on the plane neighbors (or the
                 // single neighbor for 1-D modes).
@@ -291,20 +299,24 @@ impl QpEngine {
                     PredMode::Left1 => (nb.left.unwrap(), nb.left.unwrap()),
                     PredMode::Off => unreachable!(),
                 };
-                if !((a > 0 && b > 0) || (a < 0 && b < 0)) {
-                    return 0;
-                }
+                (a > 0 && b > 0) || (a < 0 && b < 0)
             }
             Condition::CaseIV => {
                 if any_unpred {
-                    return 0;
+                    return false;
                 }
                 let all_pos = involved.iter().all(|n| n.unwrap() > 0);
                 let all_neg = involved.iter().all(|n| n.unwrap() < 0);
-                if !(all_pos || all_neg) {
-                    return 0;
-                }
+                all_pos || all_neg
             }
+        }
+    }
+
+    /// The `quant_pred` subroutine (paper Algorithm 2, generalized to every
+    /// configuration): the compensation to subtract from the current index.
+    pub fn predict(&self, level: usize, nb: &Neighbors) -> i32 {
+        if !self.gate_open(level, nb) {
+            return 0;
         }
 
         // Case I may involve the sentinel; substitute zero there.

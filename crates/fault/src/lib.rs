@@ -19,6 +19,38 @@
 
 use qip_core::integrity;
 
+/// Replay a failing operation inside a fresh trace session and render the
+/// per-stage report, so a corruption-suite failure message carries the
+/// pipeline trace next to its repro line. Panics inside `f` are caught (the
+/// session always closes and capture switches back off) and folded into the
+/// returned text instead of propagating.
+///
+/// Without the `trace` feature compiled into the workspace the replay still
+/// runs — exercising the same code path the failure took — but the report is
+/// empty and the text says how to get a real one.
+pub fn trace_replay<R>(f: impl FnOnce() -> R) -> String {
+    let (result, report) =
+        qip_trace::with_session(|| std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)));
+    let mut out = String::new();
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload");
+        out.push_str(&format!("replay panicked: {msg}\n"));
+    }
+    if qip_trace::compiled() {
+        out.push_str("stage trace of the failing run:\n");
+        out.push_str(&report.render());
+    } else {
+        out.push_str(
+            "(rebuild with `--features qip-fault/trace` for a stage trace of the failing run)\n",
+        );
+    }
+    out
+}
+
 /// Minimal xorshift64* generator: deterministic, dependency-free, and good
 /// enough to scatter corruption positions. Not for cryptography or sampling.
 #[derive(Debug, Clone)]
@@ -263,6 +295,16 @@ mod tests {
         let msg = f.to_string();
         assert!(msg.contains("0x00000000deadbeef"), "{msg}");
         assert!(msg.contains("corrupt"), "{msg}");
+    }
+
+    #[test]
+    fn trace_replay_survives_panics_and_mentions_tracing() {
+        let text = trace_replay(|| panic!("boom at byte 42"));
+        assert!(text.contains("boom at byte 42"), "{text}");
+        let calm = trace_replay(|| 1 + 1);
+        assert!(!calm.contains("panicked"), "{calm}");
+        // Either a rendered report (trace feature on) or the rebuild hint.
+        assert!(calm.contains("stage trace") || calm.contains("qip-fault/trace"), "{calm}");
     }
 
     #[test]

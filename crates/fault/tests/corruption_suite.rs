@@ -44,10 +44,14 @@ fn raw_corruptions_always_error() {
             for seed in 0..RAW_SEEDS {
                 let (bad, fault) = qip_fault::corrupt(&stream, seed);
                 let res: Result<Field<f32>, _> = comp.decompress(&bad);
-                assert!(
-                    res.is_err(),
-                    "{name} on field {fi} decoded a corrupted stream cleanly: {fault}"
-                );
+                if res.is_ok() {
+                    let trace = qip_fault::trace_replay(|| {
+                        let _: Result<Field<f32>, _> = comp.decompress(&bad);
+                    });
+                    panic!(
+                        "{name} on field {fi} decoded a corrupted stream cleanly: {fault}\n{trace}"
+                    );
+                }
             }
         }
     }
@@ -64,19 +68,32 @@ fn resealed_corruptions_never_panic() {
             for seed in 0..RESEALED_SEEDS {
                 let (bad, fault) = qip_fault::corrupt_resealed(&stream, seed)
                     .unwrap_or_else(|| panic!("{name}: stream not sealed"));
-                // Reaching this assert at all is the property: decompress must
-                // return (Ok with garbage values is tolerable, Err is typical),
-                // not panic, abort, or OOM. A panic here prints `fault`'s seed
-                // via the test harness backtrace context below.
-                let res: Result<Field<f32>, _> = comp.decompress(&bad);
-                if let Ok(out) = res {
-                    // If the damaged stream still parses, the declared shape
-                    // must at least be internally consistent.
-                    assert_eq!(
-                        out.len(),
-                        out.shape().len(),
-                        "{name}: inconsistent field from {fault}"
-                    );
+                // The property: decompress must return (Ok with garbage values
+                // is tolerable, Err is typical), not panic, abort, or OOM. A
+                // panic is caught and replayed under tracing so the failure
+                // message carries the per-stage trace next to `fault`'s seed.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let r: Result<Field<f32>, _> = comp.decompress(&bad);
+                    r
+                }));
+                match res {
+                    Err(_) => {
+                        let trace = qip_fault::trace_replay(|| {
+                            let _: Result<Field<f32>, _> = comp.decompress(&bad);
+                        });
+                        panic!("{name} panicked on a resealed corruption: {fault}\n{trace}");
+                    }
+                    Ok(Ok(out)) => {
+                        // If the damaged stream still parses, the declared
+                        // shape must at least be internally consistent.
+                        if out.len() != out.shape().len() {
+                            let trace = qip_fault::trace_replay(|| {
+                                let _: Result<Field<f32>, _> = comp.decompress(&bad);
+                            });
+                            panic!("{name}: inconsistent field from {fault}\n{trace}");
+                        }
+                    }
+                    Ok(Err(_)) => {}
                 }
             }
         }

@@ -12,6 +12,7 @@ use qip_codec::{encode_indices, encode_indices_into, ByteReader, ByteWriter};
 use qip_core::{
     CompressCtx, CompressError, Compressor, ErrorBound, Neighbors, QpEngine, StreamHeader,
 };
+use qip_metrics::entropy;
 use qip_predict::{
     cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind,
 };
@@ -261,6 +262,7 @@ fn run_pipeline<T: Scalar, S: PointSink<T>>(
     let mut qstore = vec![0i32; buf.len()];
 
     for level in (1..=start_level).rev() {
+        let _lvl = qip_trace::span_with(|| format!("level_{level}"));
         let params = sink.params_for_level(level, buf, dims, strides)?;
         let passes = build_passes(dims.len(), level, &params.order, cfg.passes);
         for pass in &passes {
@@ -360,6 +362,7 @@ fn run_pipeline_ctx<T: Scalar, S: PointSink<T>>(
     qstore.resize(buf.len(), 0);
 
     for level in (1..=start_level).rev() {
+        let _lvl = qip_trace::span_with(|| format!("level_{level}"));
         let params = sink.params_for_level(level, buf, dims, strides)?;
         let passes = build_passes(dims.len(), level, &params.order, cfg.passes);
         for pass in &passes {
@@ -403,6 +406,62 @@ fn run_pipeline_ctx<T: Scalar, S: PointSink<T>>(
     Ok(())
 }
 
+/// Per-level quantization/QP statistics, collected only while tracing.
+#[derive(Default)]
+struct LevelStat {
+    points: u64,
+    accept: u64,
+    fired: u64,
+    qprime_start: usize,
+}
+
+/// Per-run pipeline statistics, collected only while tracing (the sink holds
+/// `None` otherwise, so the untraced hot path pays nothing per point).
+struct SinkStats {
+    predictable: u64,
+    unpredictable: u64,
+    levels: Vec<LevelStat>,
+}
+
+impl SinkStats {
+    /// Stats collector when capture is live at compress entry, else `None`.
+    fn new_if_tracing(start_level: usize) -> Option<SinkStats> {
+        qip_trace::enabled().then(|| SinkStats {
+            predictable: 0,
+            unpredictable: 0,
+            levels: (0..=start_level).map(|_| LevelStat::default()).collect(),
+        })
+    }
+
+    /// Emit the collected counters and per-level values. `qprime` is the full
+    /// transformed index stream, contiguous per level (coarsest first), so
+    /// the recorded offsets delimit each level's segment for the entropy
+    /// computation (the signal behind the paper's Fig. 9 level gate).
+    fn emit(self, qprime: &[i32]) {
+        qip_trace::counter("quant.predictable", self.predictable);
+        qip_trace::counter("quant.unpredictable", self.unpredictable);
+        let max = self.levels.len().saturating_sub(1);
+        for level in 1..=max {
+            let ls = &self.levels[level];
+            if ls.points == 0 {
+                continue;
+            }
+            let end =
+                if level > 1 { self.levels[level - 1].qprime_start } else { qprime.len() };
+            qip_trace::counter_owned(format!("qp.points.l{level}"), ls.points);
+            qip_trace::counter_owned(format!("qp.accept.l{level}"), ls.accept);
+            qip_trace::counter_owned(format!("qp.fired.l{level}"), ls.fired);
+            qip_trace::value_owned(
+                format!("qp.accept_rate.l{level}"),
+                ls.accept as f64 / ls.points as f64,
+            );
+            if let Some(seg) = qprime.get(ls.qprime_start..end) {
+                qip_trace::value_owned(format!("interp.entropy.l{level}"), entropy(seg));
+            }
+        }
+    }
+}
+
 /// Compression-side sink. The output channels borrow the caller's buffers so
 /// the allocating path (fresh locals) and the buffer-reusing path (a
 /// [`CompressCtx`] arena) share this one implementation — byte-identical
@@ -415,6 +474,24 @@ struct CompressSink<'a> {
     unpred: &'a mut Vec<u8>,
     qprime: &'a mut Vec<i32>,
     quantizers: &'a [LinearQuantizer],
+    stats: Option<SinkStats>,
+}
+
+/// Record the per-channel byte breakdown of one compressed stream (no-op
+/// unless capture is live).
+fn trace_compress_bytes<T: Scalar>(
+    points: usize,
+    anchors: &[u8],
+    unpred: &[u8],
+    index_bytes: &[u8],
+) {
+    if !qip_trace::enabled() {
+        return;
+    }
+    qip_trace::counter("interp.bytes.in", (points * T::BYTES) as u64);
+    qip_trace::counter("interp.bytes.anchors", anchors.len() as u64);
+    qip_trace::counter("interp.bytes.unpred", unpred.len() as u64);
+    qip_trace::counter("interp.bytes.index", index_bytes.len() as u64);
 }
 
 /// Build the per-level quantizer bank used while compressing.
@@ -436,6 +513,11 @@ impl<T: Scalar> PointSink<T> for CompressSink<'_> {
         let params = choose_level_params(&self.cfg, dims, strides, buf, level);
         self.level_tags
             .push((params.kind.tag(), order_tag(&params.order), params.axis_mask));
+        if let Some(st) = &mut self.stats {
+            if let Some(ls) = st.levels.get_mut(level) {
+                ls.qprime_start = self.qprime.len();
+            }
+        }
         Ok(params)
     }
 
@@ -452,14 +534,33 @@ impl<T: Scalar> PointSink<T> for CompressSink<'_> {
         nb: &Neighbors,
     ) -> Result<(T, i32, i32), CompressError> {
         let quant = &self.quantizers[level.min(self.quantizers.len() - 1)];
+        if let Some(st) = &mut self.stats {
+            if let Some(ls) = st.levels.get_mut(level) {
+                ls.points += 1;
+                if self.qp.gate_open(level, nb) {
+                    ls.accept += 1;
+                }
+            }
+        }
         match quant.quantize(current, pred) {
             Quantized::Pred { index, recon } => {
                 let qp = self.qp.transform(index, level, nb);
                 self.qprime.push(qp);
+                if let Some(st) = &mut self.stats {
+                    st.predictable += 1;
+                    if qp != index {
+                        if let Some(ls) = st.levels.get_mut(level) {
+                            ls.fired += 1;
+                        }
+                    }
+                }
                 Ok((recon, index, qp))
             }
             Quantized::Unpred => {
                 self.qprime.push(UNPRED);
+                if let Some(st) = &mut self.stats {
+                    st.unpredictable += 1;
+                }
                 // Serialized inline, in emission order — the same bytes the
                 // end-of-run serialization used to produce.
                 current.write_le(self.unpred);
@@ -641,6 +742,7 @@ impl InterpEngine {
         let mut buf = field.as_slice().to_vec();
         let mut bank = QuantizerBank::new();
         build_quantizers(cfg, abs_eb, start_level, &mut bank);
+        bank.trace_levels();
         let (mut anchors, mut unpred, mut qprime) = (Vec::new(), Vec::new(), Vec::new());
         let mut sink = CompressSink {
             cfg: *cfg,
@@ -650,18 +752,31 @@ impl InterpEngine {
             unpred: &mut unpred,
             qprime: &mut qprime,
             quantizers: bank.as_slice(),
+            stats: SinkStats::new_if_tracing(start_level),
         };
-        run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
-        let level_tags = sink.level_tags;
+        {
+            let _t = qip_trace::span("quantize");
+            run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
+        }
+        let (level_tags, stats) = (sink.level_tags, sink.stats);
+        if let Some(stats) = stats {
+            stats.emit(&qprime);
+        }
 
         for &(k, o, m) in &level_tags {
             w.put_u8(k);
             w.put_u8(o);
             w.put_u8(m);
         }
+        let index_bytes = {
+            let _t = qip_trace::span("entropy_encode");
+            encode_indices(&qprime)
+        };
+        let _t = qip_trace::span("serialize");
         w.put_block(&anchors);
         w.put_block(&unpred);
-        w.put_block(&encode_indices(&qprime));
+        w.put_block(&index_bytes);
+        trace_compress_bytes::<T>(field.len(), &anchors, &unpred, &index_bytes);
         Ok(w.finish())
     }
 
@@ -699,6 +814,7 @@ impl InterpEngine {
         let mut buf: Vec<T> = ctx.pools.acquire();
         buf.extend_from_slice(field.as_slice());
         build_quantizers(cfg, abs_eb, start_level, &mut ctx.quantizers);
+        ctx.quantizers.trace_levels();
         ctx.anchors.clear();
         ctx.unpred.clear();
         ctx.qprime.clear();
@@ -710,28 +826,40 @@ impl InterpEngine {
             unpred: &mut ctx.unpred,
             qprime: &mut ctx.qprime,
             quantizers: ctx.quantizers.as_slice(),
+            stats: SinkStats::new_if_tracing(start_level),
         };
-        run_pipeline_ctx(
-            cfg,
-            field.shape().dims(),
-            field.shape().strides(),
-            &mut buf,
-            &mut sink,
-            &mut ctx.points,
-            &mut ctx.qstore,
-            None,
-        )?;
-        let level_tags = sink.level_tags;
+        {
+            let _t = qip_trace::span("quantize");
+            run_pipeline_ctx(
+                cfg,
+                field.shape().dims(),
+                field.shape().strides(),
+                &mut buf,
+                &mut sink,
+                &mut ctx.points,
+                &mut ctx.qstore,
+                None,
+            )?;
+        }
+        let (level_tags, stats) = (sink.level_tags, sink.stats);
+        if let Some(stats) = stats {
+            stats.emit(&ctx.qprime);
+        }
 
         for &(k, o, m) in &level_tags {
             w.put_u8(k);
             w.put_u8(o);
             w.put_u8(m);
         }
+        {
+            let _t = qip_trace::span("entropy_encode");
+            encode_indices_into(&ctx.qprime, &mut ctx.stream);
+        }
+        let _t = qip_trace::span("serialize");
         w.put_block(&ctx.anchors);
         w.put_block(&ctx.unpred);
-        encode_indices_into(&ctx.qprime, &mut ctx.stream);
         w.put_block(&ctx.stream);
+        trace_compress_bytes::<T>(field.len(), &ctx.anchors, &ctx.unpred, &ctx.stream);
         ctx.pools.release(buf);
         *out = w.finish();
         Ok(())
@@ -815,16 +943,21 @@ impl InterpEngine {
     }
 
     fn decompress_impl<T: Scalar>(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
-        let p = self.parse_stream::<T>(bytes)?;
+        let p = {
+            let _t = qip_trace::span("parse");
+            self.parse_stream::<T>(bytes)?
+        };
         if p.n == 0 {
             return Ok(Field::zeros(p.shape));
         }
 
+        let _t = qip_trace::span("entropy_decode");
         let mut anchors = Vec::new();
         decode_scalars_into(p.anchor_bytes, &mut anchors, "anchor block misaligned")?;
         let mut unpred = Vec::new();
         decode_scalars_into(p.unpred_bytes, &mut unpred, "unpredictable block misaligned")?;
         let qprime = qip_codec::decode_indices_capped(p.index_block, p.n)?;
+        drop(_t);
         let mut bank = QuantizerBank::new();
         build_decode_quantizers(&p.eff, p.abs_eb, p.start_level, &mut bank)?;
 
@@ -843,7 +976,10 @@ impl InterpEngine {
             q_cursor: 0,
             quantizers: bank.as_slice(),
         };
-        run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, None)?;
+        {
+            let _t = qip_trace::span("reconstruct");
+            run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, None)?;
+        }
         Ok(Field::from_vec(p.shape, buf)?)
     }
 
@@ -856,16 +992,21 @@ impl InterpEngine {
         bytes: &[u8],
         ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
-        let p = self.parse_stream::<T>(bytes)?;
+        let p = {
+            let _t = qip_trace::span("parse");
+            self.parse_stream::<T>(bytes)?
+        };
         if p.n == 0 {
             return Ok(Field::zeros(p.shape));
         }
 
+        let _t = qip_trace::span("entropy_decode");
         let mut anchors: Vec<T> = ctx.pools.acquire();
         decode_scalars_into(p.anchor_bytes, &mut anchors, "anchor block misaligned")?;
         let mut unpred: Vec<T> = ctx.pools.acquire();
         decode_scalars_into(p.unpred_bytes, &mut unpred, "unpredictable block misaligned")?;
         qip_codec::decode_indices_capped_into(p.index_block, p.n, &mut ctx.qprime)?;
+        drop(_t);
         build_decode_quantizers(&p.eff, p.abs_eb, p.start_level, &mut ctx.quantizers)?;
 
         let mut buf = qip_core::try_zeroed_vec::<T>(p.n)?;
@@ -881,16 +1022,19 @@ impl InterpEngine {
             q_cursor: 0,
             quantizers: ctx.quantizers.as_slice(),
         };
-        run_pipeline_ctx(
-            &p.eff,
-            p.shape.dims(),
-            p.shape.strides(),
-            &mut buf,
-            &mut sink,
-            &mut ctx.points,
-            &mut ctx.qstore,
-            None,
-        )?;
+        {
+            let _t = qip_trace::span("reconstruct");
+            run_pipeline_ctx(
+                &p.eff,
+                p.shape.dims(),
+                p.shape.strides(),
+                &mut buf,
+                &mut sink,
+                &mut ctx.points,
+                &mut ctx.qstore,
+                None,
+            )?;
+        }
         ctx.pools.release(anchors);
         ctx.pools.release(unpred);
         Ok(Field::from_vec(p.shape, buf)?)

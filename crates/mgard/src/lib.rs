@@ -292,6 +292,7 @@ impl Mgard {
         w.put_u8(levels as u8);
 
         // ---- Transform sweep: values → hierarchical detail coefficients ----
+        let transform_span = qip_trace::span("transform");
         let mut buf: Vec<f64> = ctx.pools.acquire();
         buf.extend(field.as_slice().iter().map(|v| v.to_f64()));
         let order: Vec<usize> = (0..dims.len()).rev().collect();
@@ -314,6 +315,7 @@ impl Mgard {
                 l2_update(&mut buf, &dims, &strides, level, 1.0, &mut ctx.pairs);
             }
         }
+        drop(transform_span);
 
         // ---- Coarse approximation nodes: stored raw ----
         let coarse_step = 1usize << levels;
@@ -332,6 +334,8 @@ impl Mgard {
         });
 
         // ---- Quantization sweep (coarse → fine), with the QP hook ----
+        let quantize_span = qip_trace::span("quantize");
+        let stats_on = qip_trace::enabled();
         let qp = QpEngine::new(self.qp);
         ctx.qstore.clear();
         ctx.qstore.resize(buf.len(), 0);
@@ -341,8 +345,12 @@ impl Mgard {
         let qprime = &mut ctx.qprime;
         ctx.unpred.clear();
         let unpred = &mut ctx.unpred;
+        let (mut n_pred, mut n_unpred) = (0u64, 0u64);
         for level in (1..=levels).rev() {
+            let _lvl = qip_trace::span_with(|| format!("level_{level}"));
             let b = Self::budget(abs_eb, level);
+            let level_start = qprime.len();
+            let (mut lvl_points, mut lvl_accept, mut lvl_fired) = (0u64, 0u64, 0u64);
             for pass in build_passes(dims.len(), level, &order, PassStructure::MultiDim) {
                 if pass.is_empty(&dims) {
                     continue;
@@ -351,7 +359,12 @@ impl Mgard {
                     let detail = buf[flat];
                     let qf = (detail / (2.0 * b)).round();
                     let nb = qp_neighbors(qstore, &pass, coords, flat, &strides);
+                    if stats_on {
+                        lvl_points += 1;
+                        lvl_accept += qp.gate_open(level, &nb) as u64;
+                    }
                     if !qf.is_finite() || qf.abs() >= RADIUS as f64 {
+                        n_unpred += stats_on as u64;
                         qprime.push(UNPRED);
                         qstore[flat] = UNPRED;
                         unpred.extend_from_slice(&detail.to_le_bytes());
@@ -363,6 +376,10 @@ impl Mgard {
                     } else {
                         let q = qf as i32;
                         let qpv = qp.transform(q, level, &nb);
+                        if stats_on {
+                            n_pred += 1;
+                            lvl_fired += (qpv != q) as u64;
+                        }
                         qprime.push(qpv);
                         qstore[flat] = q;
                         buf[flat] = 2.0 * q as f64 * b;
@@ -374,14 +391,44 @@ impl Mgard {
                     }
                 });
             }
+            if stats_on && lvl_points > 0 {
+                qip_trace::counter_owned(format!("qp.points.l{level}"), lvl_points);
+                qip_trace::counter_owned(format!("qp.accept.l{level}"), lvl_accept);
+                qip_trace::counter_owned(format!("qp.fired.l{level}"), lvl_fired);
+                qip_trace::value_owned(
+                    format!("qp.accept_rate.l{level}"),
+                    lvl_accept as f64 / lvl_points as f64,
+                );
+                qip_trace::value_owned(
+                    format!("mgard.entropy.l{level}"),
+                    qip_metrics::entropy(&qprime[level_start..]),
+                );
+            }
         }
+        if stats_on {
+            qip_trace::counter("quant.predictable", n_pred);
+            qip_trace::counter("quant.unpredictable", n_unpred);
+        }
+        drop(quantize_span);
 
         ctx.pools.release(buf);
-        encode_indices_into(&ctx.qprime, &mut ctx.stream);
+        {
+            let _t = qip_trace::span("entropy_encode");
+            encode_indices_into(&ctx.qprime, &mut ctx.stream);
+        }
+        let serialize_span = qip_trace::span("serialize");
         w.put_block(&ctx.anchors);
         w.put_block(&ctx.unpred);
         w.put_block(&ctx.stream);
         *out = w.finish();
+        drop(serialize_span);
+        if qip_trace::enabled() {
+            qip_trace::counter("mgard.bytes.in", (field.len() * T::BYTES) as u64);
+            qip_trace::counter("mgard.bytes.coarse", ctx.anchors.len() as u64);
+            qip_trace::counter("mgard.bytes.unpred", ctx.unpred.len() as u64);
+            qip_trace::counter("mgard.bytes.index", ctx.stream.len() as u64);
+        }
+        let _t = qip_trace::span("seal");
         qip_core::integrity::seal_in_place(out);
         Ok(())
     }
@@ -392,6 +439,7 @@ impl Mgard {
         stop_level: usize,
         ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
+        let parse_span = qip_trace::span("parse");
         let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_MGARD, T::BITS as u8)?;
@@ -418,7 +466,11 @@ impl Mgard {
         if coarse_bytes.len() % 8 != 0 || unpred_bytes.len() % 8 != 0 {
             return Err(CompressError::WrongFormat("misaligned f64 block"));
         }
-        qip_codec::decode_indices_capped_into(r.get_block()?, n, &mut ctx.qprime)?;
+        drop(parse_span);
+        {
+            let _t = qip_trace::span("entropy_decode");
+            qip_codec::decode_indices_capped_into(r.get_block()?, n, &mut ctx.qprime)?;
+        }
 
         // `try_zeroed_vec` validates that `n` is allocatable before any of the
         // reusable buffers below are resized to it.
@@ -456,6 +508,7 @@ impl Mgard {
         }
 
         // Dequantize details (coarse → fine), mirroring the QP transform.
+        let dequant_span = qip_trace::span("dequantize");
         let qp = QpEngine::new(qp_cfg);
         ctx.qstore.clear();
         ctx.qstore.resize(n, 0);
@@ -503,10 +556,12 @@ impl Mgard {
         if let Some(e) = fail {
             return Err(e);
         }
+        drop(dequant_span);
 
         // ---- Inverse transform (coarse → fine), optionally stopping early
         // for resolution reduction (levels ≤ stop_level keep their details
         // unexpanded; the coarse lattice then holds the approximation) ----
+        let _t = qip_trace::span("inverse_transform");
         for level in ((stop_level + 1).max(1)..=levels).rev() {
             if l2_projection {
                 l2_update(&mut buf, &dims, &strides, level, -1.0, &mut ctx.pairs);

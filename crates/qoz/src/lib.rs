@@ -114,6 +114,10 @@ impl Qoz {
         if field.len() < 8192 {
             return TUNE_CANDIDATES[1];
         }
+        // Trial compressions run capture-paused: the tuning cost stays
+        // visible as this span without polluting the chosen run's stats.
+        let _t = qip_trace::span("tune");
+        let _p = qip_trace::pause();
         let dims = field.shape().dims();
         let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
         let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
@@ -157,6 +161,14 @@ impl Default for Qoz {
     }
 }
 
+/// Record the (α, β) pair the tuner settled on.
+fn trace_tuned(alpha: f64, beta: f64) {
+    if qip_trace::enabled() {
+        qip_trace::value("qoz.alpha", alpha);
+        qip_trace::value("qoz.beta", beta);
+    }
+}
+
 impl<T: Scalar> Compressor<T> for Qoz {
     fn name(&self) -> String {
         if self.qp.is_enabled() {
@@ -168,7 +180,10 @@ impl<T: Scalar> Compressor<T> for Qoz {
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
         let (alpha, beta) = self.tune(field, bound);
-        Ok(qip_core::integrity::seal(self.engine(alpha, beta).compress(field, bound)?))
+        trace_tuned(alpha, beta);
+        let stream = self.engine(alpha, beta).compress(field, bound)?;
+        let _t = qip_trace::span("seal");
+        Ok(qip_core::integrity::seal(stream))
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
@@ -186,8 +201,10 @@ impl<T: Scalar> Compressor<T> for Qoz {
     ) -> Result<(), CompressError> {
         // `out` doubles as the trial-stream scratch; it is rebuilt below.
         let (alpha, beta) = self.tune_with(field, bound, ctx, out);
+        trace_tuned(alpha, beta);
         out.clear();
         self.engine(alpha, beta).compress_append(field, bound, ctx, out)?;
+        let _t = qip_trace::span("seal");
         qip_core::integrity::seal_in_place(out);
         Ok(())
     }

@@ -154,6 +154,18 @@ impl QuantizerBank {
     pub fn is_empty(&self) -> bool {
         self.levels.is_empty()
     }
+
+    /// Emit the bank's per-level error bounds into the active trace session
+    /// (`quant.eb.l{level}` values). No-op unless capture is live.
+    pub fn trace_levels(&self) {
+        if !qip_trace::enabled() {
+            return;
+        }
+        for (level, q) in self.levels.iter().enumerate() {
+            qip_trace::value_owned(format!("quant.eb.l{level}"), q.error_bound());
+        }
+        qip_trace::counter("quant.bank_builds", 1);
+    }
 }
 
 #[cfg(test)]

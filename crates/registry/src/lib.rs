@@ -108,6 +108,25 @@ impl AnyCompressor {
             _ => None,
         }
     }
+
+    /// [`Compressor::compress`] inside a fresh trace session, returning the
+    /// stream together with the run's [`qip_trace::TraceReport`]. The report
+    /// is empty unless the workspace `trace` feature is compiled in.
+    pub fn compress_traced<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        bound: ErrorBound,
+    ) -> (Result<Vec<u8>, CompressError>, qip_trace::TraceReport) {
+        qip_trace::with_session(|| self.compress(field, bound))
+    }
+
+    /// [`Compressor::decompress`] inside a fresh trace session.
+    pub fn decompress_traced<T: Scalar>(
+        &self,
+        bytes: &[u8],
+    ) -> (Result<Field<T>, CompressError>, qip_trace::TraceReport) {
+        qip_trace::with_session(|| self.decompress(bytes))
+    }
 }
 
 impl<T: Scalar> Compressor<T> for AnyCompressor {
@@ -116,10 +135,12 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
     }
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let _t = qip_trace::span_with(|| format!("compress[{}]", Compressor::<T>::name(self)));
         self.as_dyn::<T>().compress(field, bound)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
+        let _t = qip_trace::span_with(|| format!("decompress[{}]", Compressor::<T>::name(self)));
         self.as_dyn::<T>().decompress(bytes)
     }
 
@@ -130,6 +151,7 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
         ctx: &mut CompressCtx,
         out: &mut Vec<u8>,
     ) -> Result<(), CompressError> {
+        let _t = qip_trace::span_with(|| format!("compress[{}]", Compressor::<T>::name(self)));
         self.as_dyn::<T>().compress_into(field, bound, ctx, out)
     }
 
@@ -138,6 +160,7 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
         bytes: &[u8],
         ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
+        let _t = qip_trace::span_with(|| format!("decompress[{}]", Compressor::<T>::name(self)));
         self.as_dyn::<T>().decompress_into(bytes, ctx)
     }
 }
@@ -191,6 +214,31 @@ mod tests {
         }
         for c in AnyCompressor::comparators() {
             assert!(c.quant_capture(&field, ErrorBound::Abs(1e-3)).is_none());
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_root_span_per_compressor() {
+        let field = Field::<f32>::from_fn(Shape::d3(14, 13, 12), |c| {
+            (c[0] as f32 * 0.2).sin() + (c[1] as f32 * 0.15).cos() + c[2] as f32 * 0.01
+        });
+        let mut all = AnyCompressor::base_four(QpConfig::best_fit());
+        all.extend(AnyCompressor::comparators());
+        for c in &all {
+            let name = Compressor::<f32>::name(c);
+            let (bytes, creport) = c.compress_traced(&field, ErrorBound::Abs(1e-3));
+            let bytes = bytes.unwrap();
+            let (out, dreport) = c.decompress_traced::<f32>(&bytes);
+            out.unwrap();
+            if qip_trace::compiled() {
+                let root = creport
+                    .span(&format!("compress[{name}]"))
+                    .unwrap_or_else(|| panic!("{name}: missing compress root span"));
+                assert_eq!(root.calls, 1, "{name}");
+                assert!(dreport.span(&format!("decompress[{name}]")).is_some(), "{name}");
+            } else {
+                assert!(creport.is_empty() && dreport.is_empty(), "{name}");
+            }
         }
     }
 

@@ -131,6 +131,11 @@ impl Sz3 {
         if field.len() < 4096 {
             return Pipeline::Interpolation;
         }
+        // The trial compressions run capture-paused: the tuning *cost* stays
+        // visible as this span, but trial-stream stats never pollute the
+        // counters of the pipeline actually chosen.
+        let _t = qip_trace::span("select_pipeline");
+        let _p = qip_trace::pause();
         // Central block of up to 32 per axis.
         let origin: Vec<usize> =
             dims.iter().map(|&d| d.saturating_sub(d.min(32)) / 2).collect();
@@ -183,6 +188,17 @@ impl Default for Sz3 {
     }
 }
 
+/// Count which predictor pipeline the trial selection picked.
+fn trace_pipeline_choice(p: Pipeline) {
+    qip_trace::counter(
+        match p {
+            Pipeline::Interpolation => "sz3.pipeline.interpolation",
+            Pipeline::Lorenzo => "sz3.pipeline.lorenzo",
+        },
+        1,
+    );
+}
+
 impl<T: Scalar> Compressor<T> for Sz3 {
     fn name(&self) -> String {
         if self.qp.is_enabled() {
@@ -194,6 +210,7 @@ impl<T: Scalar> Compressor<T> for Sz3 {
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
         let pipeline = self.choose_pipeline(field, bound);
+        trace_pipeline_choice(pipeline);
         let mut w = ByteWriter::new();
         w.put_u8(MAGIC_SZ3);
         match pipeline {
@@ -206,6 +223,7 @@ impl<T: Scalar> Compressor<T> for Sz3 {
                 w.put_bytes(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
             }
         }
+        let _t = qip_trace::span("seal");
         Ok(qip_core::integrity::seal(w.finish()))
     }
 
@@ -234,6 +252,7 @@ impl<T: Scalar> Compressor<T> for Sz3 {
     ) -> Result<(), CompressError> {
         // `out` doubles as the trial-stream scratch; it is rebuilt below.
         let pipeline = self.choose_pipeline_with(field, bound, ctx, out);
+        trace_pipeline_choice(pipeline);
         out.clear();
         out.push(MAGIC_SZ3);
         match pipeline {
@@ -248,6 +267,7 @@ impl<T: Scalar> Compressor<T> for Sz3 {
                 out.extend_from_slice(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
             }
         }
+        let _t = qip_trace::span("seal");
         qip_core::integrity::seal_in_place(out);
         Ok(())
     }

@@ -62,6 +62,34 @@ fn detect(bytes: &[u8]) -> Option<&'static str> {
     }
 }
 
+/// Run `f` inside a trace session when `--trace FILE` or `--stats` was given:
+/// the span/counter report is written to `FILE` as JSON and/or rendered to
+/// stderr. Without either option `f` runs untraced (and with the `trace`
+/// feature not compiled in, tracing costs nothing at all).
+fn with_cli_trace<R>(
+    trace_path: Option<&String>,
+    stats: bool,
+    f: impl FnOnce() -> Result<R, String>,
+) -> Result<R, String> {
+    if trace_path.is_none() && !stats {
+        return f();
+    }
+    if !qip_trace::compiled() {
+        eprintln!(
+            "warning: --trace/--stats need the `trace` cargo feature; \
+             rebuild with `cargo build --release --features trace` (report will be empty)"
+        );
+    }
+    let (result, report) = qip_trace::with_session(f);
+    if let Some(path) = trace_path {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if stats {
+        eprintln!("{}", report.render());
+    }
+    result
+}
+
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or_else(usage)?;
@@ -72,7 +100,7 @@ fn run() -> Result<(), String> {
         if let Some(k) = key.take() {
             opts.insert(k, a);
         } else if let Some(f) = a.strip_prefix("--") {
-            if matches!(f, "qp" | "f64") {
+            if matches!(f, "qp" | "f64" | "stats") {
                 flags.push(f.into());
             } else {
                 key = Some(f.into());
@@ -103,17 +131,20 @@ fn run() -> Result<(), String> {
             let shape = Shape::new(&dims);
 
             let comp = compressor_by_name(method, qp)?;
-            let (bytes, name, n) = if is_f64 {
-                let field = Field::<f64>::from_le_bytes(shape, &raw)
-                    .map_err(|e| format!("{input}: {e}"))?;
-                let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
-                (bytes, Compressor::<f64>::name(&comp), field.len() * 8)
-            } else {
-                let field = Field::<f32>::from_le_bytes(shape, &raw)
-                    .map_err(|e| format!("{input}: {e}"))?;
-                let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
-                (bytes, Compressor::<f32>::name(&comp), field.len() * 4)
-            };
+            let (bytes, name, n) =
+                with_cli_trace(opts.get("trace"), flags.iter().any(|f| f == "stats"), || {
+                    if is_f64 {
+                        let field = Field::<f64>::from_le_bytes(shape, &raw)
+                            .map_err(|e| format!("{input}: {e}"))?;
+                        let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
+                        Ok((bytes, Compressor::<f64>::name(&comp), field.len() * 8))
+                    } else {
+                        let field = Field::<f32>::from_le_bytes(shape, &raw)
+                            .map_err(|e| format!("{input}: {e}"))?;
+                        let bytes = comp.compress(&field, bound).map_err(|e| e.to_string())?;
+                        Ok((bytes, Compressor::<f32>::name(&comp), field.len() * 4))
+                    }
+                })?;
             std::fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
             eprintln!(
                 "{name}: {} -> {} bytes (CR {:.2})",
@@ -129,13 +160,18 @@ fn run() -> Result<(), String> {
             let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let method = detect(&bytes).ok_or("unrecognized stream magic")?;
             let comp = compressor_by_name(method, false)?;
-            let out = if is_f64 {
-                let field: Field<f64> = comp.decompress(&bytes).map_err(|e| e.to_string())?;
-                field.to_le_bytes()
-            } else {
-                let field: Field<f32> = comp.decompress(&bytes).map_err(|e| e.to_string())?;
-                field.to_le_bytes()
-            };
+            let out =
+                with_cli_trace(opts.get("trace"), flags.iter().any(|f| f == "stats"), || {
+                    if is_f64 {
+                        let field: Field<f64> =
+                            comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                        Ok(field.to_le_bytes())
+                    } else {
+                        let field: Field<f32> =
+                            comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                        Ok(field.to_le_bytes())
+                    }
+                })?;
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
             eprintln!("{method}: {} -> {} bytes", bytes.len(), out.len());
             Ok(())
@@ -180,10 +216,11 @@ fn run() -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64]\n  \
-     qip decompress -i IN -o OUT [--f64]\n  \
+     qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64] [--trace T.json] [--stats]\n  \
+     qip decompress -i IN -o OUT [--f64] [--trace T.json] [--stats]\n  \
      qip info       -i IN\n  \
-     qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]"
+     qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n\n\
+     --trace/--stats need the `trace` cargo feature (`cargo build --release --features trace`)."
         .into()
 }
 

@@ -1,0 +1,69 @@
+//! Byte-identity invariant for instrumentation: running any registry
+//! compressor inside a live trace session must produce the exact bytes (and
+//! the exact reconstruction) of an untraced run. Spans and counters observe
+//! the pipeline; they must never steer it.
+//!
+//! Without the workspace `trace` feature this degenerates to untraced ==
+//! untraced; CI runs it with `--features trace`, where capture is genuinely
+//! live (asserted via the report), making the equality a real regression gate.
+
+use qip::prelude::*;
+use qip::registry::AnyCompressor;
+
+fn registry() -> Vec<AnyCompressor> {
+    let mut all = AnyCompressor::base_four(QpConfig::off());
+    all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+    all.extend(AnyCompressor::comparators());
+    all
+}
+
+/// Small fields plus one > 2^17 points so the chunked entropy framing (and
+/// its worker threads) runs under capture too.
+fn corpus() -> Vec<Field<f32>> {
+    vec![
+        qip::data::Dataset::Miranda.generate_f32(7, &[12, 13, 11]),
+        qip::data::Dataset::SegSalt.generate_f32(3, &[16, 9, 8]),
+        qip::data::Dataset::Miranda.generate_f32(1, &[64, 60, 40]),
+    ]
+}
+
+#[test]
+fn tracing_never_changes_compressed_bytes() {
+    for comp in registry() {
+        let name = Compressor::<f32>::name(&comp);
+        for (fi, field) in corpus().iter().enumerate() {
+            let untraced = comp.compress(field, ErrorBound::Abs(1e-3)).unwrap();
+            let (traced, report) = comp.compress_traced(field, ErrorBound::Abs(1e-3));
+            let traced = traced.unwrap();
+            assert_eq!(
+                untraced, traced,
+                "{name}: field {fi} bytes diverge between traced and untraced runs"
+            );
+            if qip_trace::compiled() {
+                assert!(
+                    !report.is_empty(),
+                    "{name}: capture was live but the report is empty"
+                );
+            }
+
+            let plain: Field<f32> = comp.decompress(&untraced).unwrap();
+            let (replay, _) = comp.decompress_traced::<f32>(&traced);
+            assert_eq!(
+                plain.as_slice(),
+                replay.unwrap().as_slice(),
+                "{name}: field {fi} values diverge between traced and untraced decodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_f64_path_is_byte_identical_too() {
+    let field = qip::data::Dataset::S3d.generate_f64(2, &[22, 18, 14]);
+    for comp in registry() {
+        let name = Compressor::<f64>::name(&comp);
+        let untraced = comp.compress(&field, ErrorBound::Rel(1e-4)).unwrap();
+        let (traced, _) = comp.compress_traced(&field, ErrorBound::Rel(1e-4));
+        assert_eq!(untraced, traced.unwrap(), "{name}: f64 bytes diverge under tracing");
+    }
+}
