@@ -14,7 +14,7 @@ fn bench_parallel(c: &mut Criterion) {
     let raw = (field.len() * 4) as u64;
 
     let mono = Sz3::new();
-    let par = BlockParallel::new(Sz3::new(), 48);
+    let par = BlockParallel::new(Sz3::new(), 48).expect("valid block size");
 
     let mut g = c.benchmark_group("parallel_scaling");
     g.throughput(Throughput::Bytes(raw));

@@ -19,6 +19,10 @@
 //!              and exits 1 on a >5% geometric-mean regression)
 //!   profile    per-stage trace profiles for every registry compressor
 //!              (build with --features trace for populated stage tables)
+//!   conformance  golden-vector verification, execution-path differential
+//!              oracles, and the error-bound contract suite; exits 1 on any
+//!              failure. `--bless` regenerates the committed golden fixtures
+//!              (crates/conformance/golden) after an intentional format change
 //!   table4     comparison with ZFP/TTHRESH/SPERR
 //!   fig18      end-to-end parallel transfer
 //!   ablate     ablation studies (DESIGN.md §8)
@@ -53,8 +57,8 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|profile|table4|fig18|ablate|all> \
-         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE]"
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|profile|conformance|table4|fig18|ablate|all> \
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--bless]"
     );
     std::process::exit(2);
 }
@@ -68,6 +72,7 @@ fn main() {
     let mut opts = Opts::default();
     let mut dataset: Option<String> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut bless = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +89,7 @@ fn main() {
                 opts.out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--full" => opts.scale = 1,
+            "--bless" => bless = true,
             "--dataset" => {
                 i += 1;
                 dataset = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -142,6 +148,11 @@ fn main() {
         "profile" => {
             experiments::profile::run(&opts);
         }
+        "conformance" => {
+            if !experiments::conformance::run(&opts, bless) {
+                std::process::exit(1);
+            }
+        }
         "table4" => experiments::sota::run(&opts),
         "fig18" => experiments::transfer::run(&opts),
         "ablate" => experiments::ablate::run(&opts),
@@ -158,6 +169,9 @@ fn main() {
             experiments::speed::run(&opts);
             experiments::throughput::run(&opts);
             experiments::profile::run(&opts);
+            if !experiments::conformance::run(&opts, false) {
+                std::process::exit(1);
+            }
             experiments::sota::run(&opts);
             experiments::transfer::run(&opts);
             experiments::ablate::run(&opts);

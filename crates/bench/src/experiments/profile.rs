@@ -10,7 +10,7 @@
 use super::Opts;
 use crate::registry::AnyCompressor;
 use crate::report::{fmt, print_table};
-use qip_core::{Compressor, ErrorBound, QpConfig};
+use qip_core::{Compressor, ErrorBound};
 use qip_data::Dataset;
 use qip_trace::TraceReport;
 use serde::Serialize;
@@ -143,9 +143,7 @@ pub fn run(opts: &Opts) -> Vec<ProfileRecord> {
     let ds = Dataset::SegSalt;
     let dims = ds.scaled_dims(opts.scale);
 
-    let mut registry = AnyCompressor::base_four(QpConfig::off());
-    registry.extend(AnyCompressor::base_four(QpConfig::best_fit()));
-    registry.extend(AnyCompressor::comparators());
+    let registry = AnyCompressor::registry();
 
     let records: Vec<ProfileRecord> =
         registry.iter().map(|comp| profile_one(comp, ds, &dims)).collect();

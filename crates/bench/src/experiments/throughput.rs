@@ -12,7 +12,7 @@ use super::Opts;
 use crate::alloc_track::count_allocs_during;
 use crate::registry::AnyCompressor;
 use crate::report::{fmt, print_table};
-use qip_core::{CompressCtx, Compressor, ErrorBound, QpConfig};
+use qip_core::{CompressCtx, Compressor, ErrorBound};
 use qip_data::Dataset;
 use serde::Serialize;
 use std::time::Instant;
@@ -124,9 +124,7 @@ fn measure(comp: &AnyCompressor, ds: Dataset, dims: &[usize]) -> ThroughputRecor
 /// Run the throughput grid, print the table, and write
 /// `BENCH_throughput.json` under `opts.out`. Returns the records.
 pub fn run(opts: &Opts) -> Vec<ThroughputRecord> {
-    let mut registry = AnyCompressor::base_four(QpConfig::off());
-    registry.extend(AnyCompressor::base_four(QpConfig::best_fit()));
-    registry.extend(AnyCompressor::comparators());
+    let registry = AnyCompressor::registry();
 
     let mut records = Vec::new();
     for ds in THROUGHPUT_DATASETS {

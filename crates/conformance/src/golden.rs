@@ -1,0 +1,391 @@
+//! Golden stream vectors: committed fixtures that pin the byte format.
+//!
+//! For every registry compressor × {f32, f64} × {1-D, 2-D, 3-D} there is one
+//! committed compressed stream (`golden/<stem>.bin`) and a manifest row
+//! recording its length, its CRC32, and the CRC32 of the decompressed
+//! output's little-endian bytes. [`verify`] fails loudly on three kinds of
+//! drift:
+//!
+//! - **encoder drift** — recompressing the pinned input no longer reproduces
+//!   the committed bytes (an FMT_VERSION bump, framing change, or tuner
+//!   behaviour change);
+//! - **decoder drift** — the committed stream no longer decodes to the
+//!   pinned output checksum (a reconstruction change);
+//! - **fixture rot** — manifest and `.bin` files disagree, or specs were
+//!   added/removed without re-blessing.
+//!
+//! Intentional format changes run `repro conformance --bless`, which
+//! regenerates every fixture deterministically (the input fields use
+//! arithmetic-only generators — see [`crate::fields`]) so the diff shows up
+//! in review as changed binary fixtures, never as silent drift.
+
+use crate::fields::{synth, FieldFamily};
+use qip_core::integrity::crc32;
+use qip_core::{CompressError, Compressor, ErrorBound};
+use qip_registry::AnyCompressor;
+use qip_tensor::{Field, Scalar};
+use std::path::{Path, PathBuf};
+
+/// The error bound every golden vector is compressed under.
+pub const GOLDEN_BOUND: ErrorBound = ErrorBound::Abs(1e-3);
+
+/// One golden-vector specification (what to compress).
+#[derive(Debug, Clone)]
+pub struct VectorSpec {
+    /// Registry compressor name ("SZ3+QP", …).
+    pub compressor: String,
+    /// `"f32"` or `"f64"`.
+    pub dtype: &'static str,
+    /// Field dimensions (1–3 axes).
+    pub dims: Vec<usize>,
+    /// Input field family.
+    pub family: FieldFamily,
+    /// Input field seed.
+    pub seed: u64,
+}
+
+impl VectorSpec {
+    /// Filesystem-safe fixture stem, e.g. `sz3_qp_f32_3d`.
+    pub fn stem(&self) -> String {
+        format!(
+            "{}_{}_{}d",
+            self.compressor.to_ascii_lowercase().replace('+', "_"),
+            self.dtype,
+            self.dims.len()
+        )
+    }
+}
+
+/// One verified/blessed fixture (a manifest row).
+#[derive(Debug, Clone)]
+pub struct GoldenEntry {
+    /// Fixture stem (also the `.bin` file name).
+    pub name: String,
+    /// Compressed stream length in bytes.
+    pub stream_len: usize,
+    /// CRC32 of the compressed stream.
+    pub stream_crc32: u32,
+    /// CRC32 of the decompressed field's little-endian bytes.
+    pub decomp_crc32: u32,
+}
+
+/// One verification failure.
+#[derive(Debug, Clone)]
+pub struct GoldenFinding {
+    /// Fixture stem (or `"manifest"` for structural problems).
+    pub name: String,
+    /// Human-readable description of the drift.
+    pub problem: String,
+}
+
+impl std::fmt::Display for GoldenFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.problem)
+    }
+}
+
+/// The input-side grid: per registry compressor, both scalar types at one
+/// representative shape per dimensionality. Families differ per ndim so the
+/// vectors pin a smooth, a banded, and a turbulent regime at once.
+pub fn vector_specs() -> Vec<(AnyCompressor, VectorSpec)> {
+    let grid: [(&[usize], FieldFamily); 3] = [
+        (&[64], FieldFamily::Smooth),
+        (&[16, 12], FieldFamily::Banded),
+        (&[10, 9, 8], FieldFamily::Turbulent),
+    ];
+    let mut specs = Vec::new();
+    for comp in AnyCompressor::registry() {
+        let name = Compressor::<f32>::name(&comp);
+        for (dims, family) in grid {
+            // Stable per-compressor seed so re-ordering the registry cannot
+            // silently change fixture contents.
+            let seed = name.bytes().fold(0x5EED_u64, |h, b| {
+                h.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64)
+            });
+            for dtype in ["f32", "f64"] {
+                specs.push((
+                    comp.clone(),
+                    VectorSpec {
+                        compressor: name.clone(),
+                        dtype,
+                        dims: dims.to_vec(),
+                        family,
+                        seed,
+                    },
+                ));
+            }
+        }
+    }
+    specs
+}
+
+/// The committed fixture directory (`crates/conformance/golden`).
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Compress + decompress one spec, returning the stream and the decompressed
+/// checksum.
+fn produce<T: Scalar>(
+    comp: &AnyCompressor,
+    spec: &VectorSpec,
+) -> Result<(Vec<u8>, u32), CompressError> {
+    let field: Field<T> = synth(spec.family, spec.seed, &spec.dims);
+    let bytes = comp.compress(&field, GOLDEN_BOUND)?;
+    let out: Field<T> = comp.decompress(&bytes)?;
+    Ok((bytes, crc32(&out.to_le_bytes())))
+}
+
+fn produce_spec(
+    comp: &AnyCompressor,
+    spec: &VectorSpec,
+) -> Result<(Vec<u8>, u32), CompressError> {
+    match spec.dtype {
+        "f64" => produce::<f64>(comp, spec),
+        _ => produce::<f32>(comp, spec),
+    }
+}
+
+/// Decode a committed stream and return the decompressed checksum.
+fn decode_checksum(comp: &AnyCompressor, dtype: &str, bytes: &[u8]) -> Result<u32, CompressError> {
+    match dtype {
+        "f64" => {
+            let f: Field<f64> = comp.decompress(bytes)?;
+            Ok(crc32(&f.to_le_bytes()))
+        }
+        _ => {
+            let f: Field<f32> = comp.decompress(bytes)?;
+            Ok(crc32(&f.to_le_bytes()))
+        }
+    }
+}
+
+const MANIFEST: &str = "manifest.tsv";
+
+fn manifest_line(e: &GoldenEntry) -> String {
+    format!(
+        "{}\t{}\t{:08x}\t{:08x}",
+        e.name, e.stream_len, e.stream_crc32, e.decomp_crc32
+    )
+}
+
+fn parse_manifest(text: &str) -> Result<Vec<GoldenEntry>, String> {
+    let mut entries = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 4 {
+            return Err(format!("manifest line {}: expected 4 fields", ln + 1));
+        }
+        entries.push(GoldenEntry {
+            name: parts[0].to_string(),
+            stream_len: parts[1].parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+            stream_crc32: u32::from_str_radix(parts[2], 16)
+                .map_err(|e| format!("line {}: {e}", ln + 1))?,
+            decomp_crc32: u32::from_str_radix(parts[3], 16)
+                .map_err(|e| format!("line {}: {e}", ln + 1))?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Regenerate every fixture under `dir` (creating it if needed) and rewrite
+/// the manifest. Returns the blessed entries in spec order.
+pub fn bless(dir: &Path) -> std::io::Result<Vec<GoldenEntry>> {
+    std::fs::create_dir_all(dir)?;
+    let mut entries = Vec::new();
+    let mut manifest = String::from(
+        "# Golden stream vectors — regenerate with `repro conformance --bless`.\n\
+         # stem\tstream_len\tstream_crc32\tdecomp_crc32\n",
+    );
+    for (comp, spec) in vector_specs() {
+        let (bytes, decomp) = produce_spec(&comp, &spec).map_err(|e| {
+            std::io::Error::other(format!("{}: {e}", spec.stem()))
+        })?;
+        let entry = GoldenEntry {
+            name: spec.stem(),
+            stream_len: bytes.len(),
+            stream_crc32: crc32(&bytes),
+            decomp_crc32: decomp,
+        };
+        std::fs::write(dir.join(format!("{}.bin", entry.name)), &bytes)?;
+        manifest.push_str(&manifest_line(&entry));
+        manifest.push('\n');
+        entries.push(entry);
+    }
+    std::fs::write(dir.join(MANIFEST), manifest)?;
+    Ok(entries)
+}
+
+/// Verify every committed fixture under `dir` against the current code.
+/// Returns an empty list when everything is pinned and reproducible.
+pub fn verify(dir: &Path) -> Vec<GoldenFinding> {
+    let mut findings = Vec::new();
+    let manifest = match std::fs::read_to_string(dir.join(MANIFEST)) {
+        Ok(text) => match parse_manifest(&text) {
+            Ok(entries) => entries,
+            Err(problem) => {
+                return vec![GoldenFinding { name: "manifest".into(), problem }];
+            }
+        },
+        Err(e) => {
+            return vec![GoldenFinding {
+                name: "manifest".into(),
+                problem: format!(
+                    "cannot read {}: {e}; run `repro conformance --bless`",
+                    dir.join(MANIFEST).display()
+                ),
+            }];
+        }
+    };
+
+    let specs = vector_specs();
+    if manifest.len() != specs.len() {
+        findings.push(GoldenFinding {
+            name: "manifest".into(),
+            problem: format!(
+                "manifest has {} entries but the registry grid has {}; re-bless",
+                manifest.len(),
+                specs.len()
+            ),
+        });
+    }
+
+    for (comp, spec) in &specs {
+        let stem = spec.stem();
+        let Some(entry) = manifest.iter().find(|e| e.name == stem) else {
+            findings.push(GoldenFinding {
+                name: stem,
+                problem: "missing from manifest (new spec?); re-bless".into(),
+            });
+            continue;
+        };
+        let committed = match std::fs::read(dir.join(format!("{stem}.bin"))) {
+            Ok(b) => b,
+            Err(e) => {
+                findings.push(GoldenFinding {
+                    name: stem,
+                    problem: format!("cannot read fixture: {e}"),
+                });
+                continue;
+            }
+        };
+        if committed.len() != entry.stream_len || crc32(&committed) != entry.stream_crc32 {
+            findings.push(GoldenFinding {
+                name: stem,
+                problem: format!(
+                    "fixture file disagrees with manifest ({} bytes, crc {:08x}; manifest says {} bytes, crc {:08x})",
+                    committed.len(),
+                    crc32(&committed),
+                    entry.stream_len,
+                    entry.stream_crc32
+                ),
+            });
+            continue;
+        }
+
+        // Decoder drift: the committed stream must still decode to the
+        // pinned output bits.
+        match decode_checksum(comp, spec.dtype, &committed) {
+            Ok(crc) if crc == entry.decomp_crc32 => {}
+            Ok(crc) => findings.push(GoldenFinding {
+                name: stem.clone(),
+                problem: format!(
+                    "decoder drift: committed stream decodes to crc {crc:08x}, pinned {:08x}",
+                    entry.decomp_crc32
+                ),
+            }),
+            Err(e) => findings.push(GoldenFinding {
+                name: stem.clone(),
+                problem: format!("committed stream no longer decodes: {e}"),
+            }),
+        }
+
+        // Encoder drift: recompressing the pinned input must reproduce the
+        // committed bytes exactly.
+        match produce_spec(comp, spec) {
+            Ok((bytes, _)) if bytes == committed => {}
+            Ok((bytes, _)) => {
+                let diverge = bytes
+                    .iter()
+                    .zip(&committed)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(bytes.len().min(committed.len()));
+                findings.push(GoldenFinding {
+                    name: stem,
+                    problem: format!(
+                        "encoder drift: {} bytes vs committed {}, first divergence at offset {diverge}; \
+                         if intentional, run `repro conformance --bless`",
+                        bytes.len(),
+                        committed.len()
+                    ),
+                });
+            }
+            Err(e) => findings.push(GoldenFinding {
+                name: stem,
+                problem: format!("compress failed: {e}"),
+            }),
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_eleven_by_two_by_three() {
+        let specs = vector_specs();
+        assert_eq!(specs.len(), 11 * 2 * 3);
+        let stems: std::collections::BTreeSet<String> =
+            specs.iter().map(|(_, s)| s.stem()).collect();
+        assert_eq!(stems.len(), specs.len(), "stems must be unique");
+        assert!(stems.contains("sz3_qp_f32_3d"));
+        assert!(stems.contains("tthresh_f64_1d"));
+    }
+
+    #[test]
+    fn bless_into_temp_dir_is_deterministic() {
+        let dir_a = std::env::temp_dir().join("qip_golden_bless_a");
+        let dir_b = std::env::temp_dir().join("qip_golden_bless_b");
+        let a = bless(&dir_a).expect("bless a");
+        let b = bless(&dir_b).expect("bless b");
+        assert_eq!(a.len(), 11 * 2 * 3);
+        for (ea, eb) in a.iter().zip(&b) {
+            assert_eq!(ea.name, eb.name);
+            assert_eq!(ea.stream_crc32, eb.stream_crc32, "{}", ea.name);
+            assert_eq!(ea.decomp_crc32, eb.decomp_crc32, "{}", ea.name);
+        }
+        // And verification of a freshly blessed dir is clean.
+        let findings = verify(&dir_a);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn verify_detects_a_tampered_fixture() {
+        let dir = std::env::temp_dir().join("qip_golden_tamper");
+        bless(&dir).expect("bless");
+        let victim = dir.join("sz3_f32_3d.bin");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let findings = verify(&dir);
+        assert!(
+            findings.iter().any(|f| f.name == "sz3_f32_3d"),
+            "tampering not detected: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn verify_reports_missing_manifest_with_bless_hint() {
+        let dir = std::env::temp_dir().join("qip_golden_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let findings = verify(&dir);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].problem.contains("--bless"), "{}", findings[0].problem);
+    }
+}

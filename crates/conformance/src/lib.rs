@@ -1,0 +1,32 @@
+//! qip-conformance: format pinning, differential oracles, and the
+//! error-bound contract suite for the QIP workspace.
+//!
+//! Three pillars, each a library module so both the integration tests here
+//! and the `repro conformance` experiment in `qip-bench` run the same code:
+//!
+//! - [`golden`] — committed golden stream vectors per registry compressor ×
+//!   precision × dimensionality. [`golden::verify`] detects encoder drift,
+//!   decoder drift, and fixture rot; [`golden::bless`] regenerates the
+//!   fixtures after an *intentional* format change
+//!   (`repro conformance --bless`).
+//! - [`differential`] — the four execution paths (serial, reusable-ctx,
+//!   traced, block-parallel) must produce byte/bit-identical results, and the
+//!   block-parallel path must be invariant under `RAYON_NUM_THREADS`.
+//! - [`contract`] — a seeded random suite asserting the paper's reversibility
+//!   contract pointwise (`|d − d'| ≤ ε`) for every registry compressor, with
+//!   greedy counterexample minimization and stage-trace replay on failure.
+//!
+//! Synthetic inputs come from [`fields`], whose generators are arithmetic-only
+//! so fixtures are bit-reproducible across platforms.
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod differential;
+pub mod fields;
+pub mod golden;
+
+pub use contract::{contract_suite, ContractStats, Violation};
+pub use differential::{path_identity_suite, thread_sweep_suite, Divergence, SWEEP_THREADS};
+pub use fields::{synth, FieldFamily};
+pub use golden::{bless, default_dir, vector_specs, verify, GoldenFinding, VectorSpec, GOLDEN_BOUND};

@@ -1,0 +1,40 @@
+//! The committed golden fixtures must match what today's encoders and
+//! decoders produce. A failure here means the on-disk format changed —
+//! either fix the regression or, for an intentional format change, rerun
+//! `cargo run --release -p qip-bench --bin repro -- conformance --bless`
+//! and commit the refreshed fixtures with the change that caused them.
+
+use qip_conformance::golden;
+
+#[test]
+fn committed_fixtures_match_current_encoders_and_decoders() {
+    let dir = golden::default_dir();
+    let findings = golden::verify(&dir);
+    assert!(
+        findings.is_empty(),
+        "{} golden finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn blessing_is_deterministic() {
+    // Two independent blessings into fresh directories must agree byte for
+    // byte — otherwise fixtures would churn on every regeneration.
+    let base = std::env::temp_dir().join(format!("qip-golden-det-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    let ea = golden::bless(&a).expect("bless a");
+    let eb = golden::bless(&b).expect("bless b");
+    assert_eq!(ea.len(), eb.len());
+    for (x, y) in ea.iter().zip(&eb) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.stream_crc32, y.stream_crc32, "{}", x.name);
+        assert_eq!(x.decomp_crc32, y.decomp_crc32, "{}", x.name);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

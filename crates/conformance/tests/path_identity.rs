@@ -1,0 +1,18 @@
+//! Full differential sweep: every registry compressor, every field family,
+//! both precisions, one shared reusable context — serial, `compress_into`,
+//! and traced paths must be byte/bit identical.
+
+#[test]
+fn all_execution_paths_agree_for_every_registry_compressor() {
+    let findings = qip_conformance::path_identity_suite();
+    assert!(
+        findings.is_empty(),
+        "{} divergence(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|d| format!("{} [{}]: {}", d.compressor, d.case, d.problem))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -20,10 +20,7 @@ const RAW_SEEDS: u64 = 1000;
 const RESEALED_SEEDS: u64 = 300;
 
 fn registry() -> Vec<AnyCompressor> {
-    let mut all = AnyCompressor::base_four(QpConfig::off());
-    all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
-    all.extend(AnyCompressor::comparators());
-    all
+    AnyCompressor::registry()
 }
 
 fn small_fields() -> Vec<Field<f32>> {
@@ -100,19 +97,74 @@ fn resealed_corruptions_never_panic() {
     }
 }
 
+/// Seeded corruptions per (inner compressor, stream) in the block-parallel
+/// sweep below (smaller than RAW_SEEDS/RESEALED_SEEDS because the sweep
+/// multiplies across four inner compressors).
+const PAR_RAW_SEEDS: u64 = 400;
+const PAR_RESEALED_SEEDS: u64 = 200;
+
 #[test]
 fn block_parallel_wrapper_rejects_corruption() {
+    // The wrapper stream carries its own CRC32 trailer (on top of the
+    // per-block trailers the inner compressors seal), so raw damage anywhere
+    // — wrapper header, block table, nested payloads, trailer — must be
+    // rejected, for every interpolation-based inner compressor.
     let field = qip_data::Dataset::Miranda.generate_f32(1, &[20, 18, 10]);
-    let par = BlockParallel::new(Sz3::new(), 10);
-    let stream = par.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
-    for seed in 0..RAW_SEEDS {
-        let (bad, fault) = qip_fault::corrupt(&stream, seed);
-        let res: Result<Field<f32>, _> = par.decompress(&bad);
-        assert!(res.is_err(), "block-parallel decoded corrupted stream: {fault}");
+    for inner in AnyCompressor::base_four(QpConfig::best_fit()) {
+        let name = Compressor::<f32>::name(&inner);
+        let par = BlockParallel::new(inner, 10).expect("valid block size");
+        let stream = par.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
+        for seed in 0..PAR_RAW_SEEDS {
+            let (bad, fault) = qip_fault::corrupt(&stream, seed);
+            let res: Result<Field<f32>, _> = par.decompress(&bad);
+            assert!(res.is_err(), "{name}∥: decoded corrupted stream: {fault}");
+        }
     }
-    for seed in 0..RESEALED_SEEDS {
-        let (bad, _fault) = qip_fault::corrupt_resealed(&stream, seed).expect("sealed");
-        let _res: Result<Field<f32>, _> = par.decompress(&bad); // must not panic
+}
+
+#[test]
+fn block_parallel_resealed_corruptions_never_panic() {
+    // Damage that gets past the wrapper's CRC gate (payload corrupted, outer
+    // trailer recomputed) reaches the block table and the nested decoders;
+    // like the flat-stream pass above, the contract is no panics, ever.
+    let field = qip_data::Dataset::Miranda.generate_f32(4, &[20, 18, 10]);
+    for inner in AnyCompressor::base_four(QpConfig::best_fit()) {
+        let name = Compressor::<f32>::name(&inner);
+        let par = BlockParallel::new(inner, 10).expect("valid block size");
+        let stream = par.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
+        for seed in 0..PAR_RESEALED_SEEDS {
+            let (bad, fault) = qip_fault::corrupt_resealed(&stream, seed).expect("sealed");
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r: Result<Field<f32>, _> = par.decompress(&bad);
+                r
+            }));
+            if res.is_err() {
+                let trace = qip_fault::trace_replay(|| {
+                    let _: Result<Field<f32>, _> = par.decompress(&bad);
+                });
+                panic!("{name}∥ panicked on a resealed corruption: {fault}\n{trace}");
+            }
+        }
+    }
+}
+
+#[test]
+fn block_parallel_trailer_flags_every_payload_bitflip() {
+    // The wrapper-level CRC must catch any single-bit flip before nested
+    // parsing starts, exactly like the flat-stream trailer check.
+    let field = qip_data::Dataset::SegSalt.generate_f32(0, &[16, 12, 10]);
+    let par = BlockParallel::new(Sz3::new(), 8).expect("valid block size");
+    let stream = par.compress(&field, ErrorBound::Abs(1e-2)).expect("compress");
+    let mut rng = qip_fault::XorShift64::new(0xB10C_BA11);
+    for pos in 0..stream.len() {
+        let mut bad = stream.clone();
+        bad[pos] ^= 1 << rng.below(8);
+        let res: Result<Field<f32>, _> = par.decompress(&bad);
+        match res {
+            Err(qip_core::CompressError::Corrupt(_)) => {}
+            Err(e) => panic!("∥: flip at byte {pos} gave non-Corrupt error: {e}"),
+            Ok(_) => panic!("∥: flip at byte {pos} decoded cleanly"),
+        }
     }
 }
 

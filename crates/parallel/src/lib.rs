@@ -25,6 +25,10 @@ const MAGIC_PAR: u8 = 0x90;
 /// Stream format version.
 const FMT_VERSION: u8 = 1;
 
+/// Smallest accepted block edge: below this, block boundaries destroy so much
+/// prediction context that ratios collapse, so construction refuses outright.
+pub const MIN_BLOCK: usize = 8;
+
 /// A compressor wrapper that processes independent blocks in parallel.
 #[derive(Debug, Clone)]
 pub struct BlockParallel<C> {
@@ -35,9 +39,17 @@ pub struct BlockParallel<C> {
 impl<C> BlockParallel<C> {
     /// Wrap `inner`, splitting fields into blocks of `block` per axis
     /// (clipped at field edges). 64 matches the GPU compressors' chunking.
-    pub fn new(inner: C, block: usize) -> Self {
-        assert!(block >= 8, "blocks below 8 per axis destroy prediction context");
-        BlockParallel { inner, block }
+    ///
+    /// Returns [`CompressError::Unsupported`] when `block` is below
+    /// [`MIN_BLOCK`], so callers wiring a user-supplied block size get a
+    /// typed error instead of a panic.
+    pub fn new(inner: C, block: usize) -> Result<Self, CompressError> {
+        if block < MIN_BLOCK {
+            return Err(CompressError::Unsupported(
+                "block edge below 8 per axis destroys prediction context",
+            ));
+        }
+        Ok(BlockParallel { inner, block })
     }
 
     /// The wrapped compressor.
@@ -172,7 +184,7 @@ mod tests {
     #[test]
     fn roundtrip_bound_held() {
         let f = field(&[70, 50, 40]);
-        let par = BlockParallel::new(Sz3::new().with_qp(QpConfig::best_fit()), 32);
+        let par = BlockParallel::new(Sz3::new().with_qp(QpConfig::best_fit()), 32).expect("valid block size");
         let bytes = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         let out = par.decompress(&bytes).unwrap();
         let abs = 1e-3 * f.value_range();
@@ -190,7 +202,7 @@ mod tests {
     #[test]
     fn parallel_deterministic() {
         let f = field(&[64, 48, 33]);
-        let par = BlockParallel::new(Sz3::new(), 32);
+        let par = BlockParallel::new(Sz3::new(), 32).expect("valid block size");
         let a = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         let b = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         assert_eq!(a, b, "parallel compression must be deterministic");
@@ -202,7 +214,7 @@ mod tests {
         // produce for that block at the same absolute bound.
         let f = field(&[40, 40, 20]);
         let inner = Sz3::new();
-        let par = BlockParallel::new(inner.clone(), 20);
+        let par = BlockParallel::new(inner.clone(), 20).expect("valid block size");
         let abs = ErrorBound::Abs(ErrorBound::Rel(1e-3).absolute(f.value_range()));
         let bytes = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         let whole = par.decompress(&bytes).unwrap();
@@ -219,7 +231,7 @@ mod tests {
     fn edge_blocks_clipped() {
         // Dims not divisible by the block size.
         let f = field(&[37, 29, 21]);
-        let par = BlockParallel::new(Sz3::new(), 16);
+        let par = BlockParallel::new(Sz3::new(), 16).expect("valid block size");
         let bytes = par.compress(&f, ErrorBound::Rel(1e-2)).unwrap();
         let out: Field<f32> = par.decompress(&bytes).unwrap();
         assert_eq!(out.shape(), f.shape());
@@ -228,7 +240,7 @@ mod tests {
     #[test]
     fn small_field_single_block() {
         let f = field(&[10, 10, 10]);
-        let par = BlockParallel::new(Sz3::new(), 64);
+        let par = BlockParallel::new(Sz3::new(), 64).expect("valid block size");
         let bytes = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         let out: Field<f32> = par.decompress(&bytes).unwrap();
         assert_eq!(out.shape(), f.shape());
@@ -237,7 +249,7 @@ mod tests {
     #[test]
     fn truncation_and_foreign_rejected() {
         let f = field(&[32, 32, 16]);
-        let par = BlockParallel::new(Sz3::new(), 16);
+        let par = BlockParallel::new(Sz3::new(), 16).expect("valid block size");
         let bytes = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap();
         for cut in [0, 3, bytes.len() / 2] {
             let r: Result<Field<f32>, _> = par.decompress(&bytes[..cut]);
@@ -254,7 +266,7 @@ mod tests {
         // Block boundaries cost some ratio but not a collapse.
         let f = field(&[80, 80, 40]);
         let mono = Sz3::new();
-        let par = BlockParallel::new(Sz3::new(), 40);
+        let par = BlockParallel::new(Sz3::new(), 40).expect("valid block size");
         let a = mono.compress(&f, ErrorBound::Rel(1e-3)).unwrap().len();
         let b = par.compress(&f, ErrorBound::Rel(1e-3)).unwrap().len();
         assert!(
@@ -264,8 +276,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn tiny_blocks_rejected() {
-        let _ = BlockParallel::new(Sz3::new(), 4);
+    fn tiny_blocks_rejected_with_typed_error() {
+        for bad in [0, 1, 4, MIN_BLOCK - 1] {
+            match BlockParallel::new(Sz3::new(), bad) {
+                Err(CompressError::Unsupported(msg)) => {
+                    assert!(msg.contains("block edge"), "{msg}")
+                }
+                other => panic!("block {bad}: expected Unsupported, got {other:?}"),
+            }
+        }
+        // The boundary itself is accepted.
+        let ok = BlockParallel::new(Sz3::new(), MIN_BLOCK).expect("MIN_BLOCK is valid");
+        assert_eq!(ok.block_size(), MIN_BLOCK);
     }
 }

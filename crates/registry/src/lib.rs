@@ -68,6 +68,18 @@ impl AnyCompressor {
         })
     }
 
+    /// The full evaluation registry: the base four with QP off, the base four
+    /// with QP on, and the three transform-based comparators — eleven entries,
+    /// in the order every experiment and suite reports them. The bench
+    /// harness, the fault corruption suite, and the conformance suite all
+    /// iterate this list, so "every registry compressor" means one thing.
+    pub fn registry() -> Vec<AnyCompressor> {
+        let mut all = AnyCompressor::base_four(QpConfig::off());
+        all.extend(AnyCompressor::base_four(QpConfig::best_fit()));
+        all.extend(AnyCompressor::comparators());
+        all
+    }
+
     /// The transform-based comparators (paper Table IV's bottom rows).
     pub fn comparators() -> Vec<AnyCompressor> {
         vec![
@@ -182,6 +194,19 @@ mod tests {
             .map(Compressor::<f32>::name)
             .collect();
         assert_eq!(qp_names, vec!["MGARD+QP", "SZ3+QP", "QoZ+QP", "HPEZ+QP"]);
+    }
+
+    #[test]
+    fn registry_is_the_canonical_eleven() {
+        let names: Vec<String> =
+            AnyCompressor::registry().iter().map(Compressor::<f32>::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MGARD", "SZ3", "QoZ", "HPEZ", "MGARD+QP", "SZ3+QP", "QoZ+QP", "HPEZ+QP",
+                "ZFP", "TTHRESH", "SPERR"
+            ]
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn detect(bytes: &[u8]) -> Option<&'static str> {
         0x60 => Some("zfp"),
         0x70 => Some("sperr"),
         0x80 => Some("tthresh"),
+        0x90 => Some("block-parallel"),
         _ => None,
     }
 }
@@ -159,6 +160,13 @@ fn run() -> Result<(), String> {
             let output = need("o")?;
             let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
             let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            if method == "block-parallel" {
+                return Err(
+                    "block-parallel streams need the wrapping API (qip_parallel::BlockParallel); \
+                     this CLI decodes single-compressor streams"
+                        .into(),
+                );
+            }
             let comp = compressor_by_name(method, false)?;
             let out =
                 with_cli_trace(opts.get("trace"), flags.iter().any(|f| f == "stats"), || {

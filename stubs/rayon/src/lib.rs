@@ -62,9 +62,21 @@ where
     R: Send,
 {
     /// Run the map across threads and collect results in input order.
+    ///
+    /// Like real rayon, the worker count honours `RAYON_NUM_THREADS` (read at
+    /// call time rather than once at pool construction — this stub has no
+    /// global pool), falling back to the machine's available parallelism.
+    /// The conformance suite leans on this to re-run block-parallel codecs at
+    /// 1/2/8 workers and assert identical output.
     pub fn collect<B: FromIterator<R>>(self) -> B {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            });
         let threads = threads.min(n.max(1));
         if threads <= 1 || n <= 1 {
             return self.items.iter().map(&self.f).collect();
@@ -102,6 +114,24 @@ mod tests {
         let v = vec![1i32, 2, 3];
         let out: Result<Vec<i32>, ()> = v.par_iter().map(|&x| Ok(x)).collect();
         assert_eq!(out.unwrap(), v);
+    }
+
+    #[test]
+    fn honours_rayon_num_threads() {
+        // Serialized via the env var; value restored so other tests in this
+        // binary see the ambient configuration.
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let v: Vec<u64> = (0..1000).collect();
+        let single: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        std::env::set_var("RAYON_NUM_THREADS", "8");
+        let eight: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        match prev {
+            Some(p) => std::env::set_var("RAYON_NUM_THREADS", p),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        assert_eq!(single, eight);
+        assert_eq!(single, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]

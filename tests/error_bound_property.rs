@@ -27,16 +27,10 @@ fn arb_field() -> impl Strategy<Value = Field<f32>> {
         })
 }
 
-fn compressors() -> Vec<Box<dyn Compressor<f32>>> {
-    vec![
-        Box::new(qip::mgard::Mgard::new().with_qp(QpConfig::best_fit())),
-        Box::new(qip::sz3::Sz3::new().with_qp(QpConfig::best_fit())),
-        Box::new(qip::qoz::Qoz::new().with_qp(QpConfig::best_fit())),
-        Box::new(qip::hpez::Hpez::new().with_qp(QpConfig::best_fit())),
-        Box::new(qip::zfp::Zfp::new()),
-        Box::new(qip::sperr::Sperr::new()),
-        Box::new(qip::tthresh::Tthresh::new()),
-    ]
+/// All 11 registry compressors: base four with QP off, base four with QP
+/// best-fit, and the three comparators.
+fn compressors() -> Vec<qip::registry::AnyCompressor> {
+    qip::registry::AnyCompressor::registry()
 }
 
 proptest! {
@@ -47,12 +41,12 @@ proptest! {
         let eb = 10f64.powi(exp);
         for comp in compressors() {
             let bytes = comp.compress(&field, ErrorBound::Abs(eb)).expect("compress");
-            let out = comp.decompress(&bytes).expect("decompress");
+            let out: Field<f32> = comp.decompress(&bytes).expect("decompress");
             let err = qip::metrics::max_abs_error(&field, &out);
             prop_assert!(
                 err <= eb * (1.0 + 1e-9),
                 "{}: err {} > eb {}",
-                comp.name(),
+                Compressor::<f32>::name(&comp),
                 err,
                 eb
             );
@@ -60,17 +54,17 @@ proptest! {
     }
 
     #[test]
-    fn relative_bound_holds_for_all_compressors(field in arb_field()) {
-        let rel = 1e-3;
+    fn relative_bound_holds_for_all_compressors(field in arb_field(), exp in -4i32..-1) {
+        let rel = 10f64.powi(exp);
         let abs = rel * field.value_range();
         for comp in compressors() {
             let bytes = comp.compress(&field, ErrorBound::Rel(rel)).expect("compress");
-            let out = comp.decompress(&bytes).expect("decompress");
+            let out: Field<f32> = comp.decompress(&bytes).expect("decompress");
             let err = qip::metrics::max_abs_error(&field, &out);
             prop_assert!(
                 err <= abs * (1.0 + 1e-9) + f64::MIN_POSITIVE,
                 "{}: err {} > {}",
-                comp.name(),
+                Compressor::<f32>::name(&comp),
                 err,
                 abs
             );
@@ -81,7 +75,7 @@ proptest! {
     fn streams_decode_to_original_shape(field in arb_field()) {
         for comp in compressors() {
             let bytes = comp.compress(&field, ErrorBound::Rel(1e-2)).expect("compress");
-            let out = comp.decompress(&bytes).expect("decompress");
+            let out: Field<f32> = comp.decompress(&bytes).expect("decompress");
             prop_assert_eq!(out.shape(), field.shape());
         }
     }
@@ -92,7 +86,7 @@ proptest! {
             let bytes = comp.compress(&field, ErrorBound::Rel(1e-2)).expect("compress");
             let cut = cut_num * bytes.len() / 100;
             // Must return (Ok or Err), never panic.
-            let _ = comp.decompress(&bytes[..cut]);
+            let _: Result<Field<f32>, _> = comp.decompress(&bytes[..cut]);
         }
     }
 }
@@ -108,20 +102,11 @@ proptest! {
             state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             (c[0] as f64 * 0.3).sin() + ((state >> 40) as f64 / 1.6e7) * 0.01
         });
-        let comps: Vec<Box<dyn Compressor<f64>>> = vec![
-            Box::new(qip::mgard::Mgard::new().with_qp(QpConfig::best_fit())),
-            Box::new(qip::sz3::Sz3::new().with_qp(QpConfig::best_fit())),
-            Box::new(qip::qoz::Qoz::new().with_qp(QpConfig::best_fit())),
-            Box::new(qip::hpez::Hpez::new().with_qp(QpConfig::best_fit())),
-            Box::new(qip::zfp::Zfp::new()),
-            Box::new(qip::sperr::Sperr::new()),
-            Box::new(qip::tthresh::Tthresh::new()),
-        ];
-        for comp in comps {
-            let bytes = comp.compress(&field, ErrorBound::Abs(eb)).expect("compress");
-            let out = comp.decompress(&bytes).expect("decompress");
+        for comp in compressors() {
+            let bytes = Compressor::<f64>::compress(&comp, &field, ErrorBound::Abs(eb)).expect("compress");
+            let out: Field<f64> = comp.decompress(&bytes).expect("decompress");
             let err = qip::metrics::max_abs_error(&field, &out);
-            prop_assert!(err <= eb * (1.0 + 1e-9), "{}: err {err} > eb {eb}", comp.name());
+            prop_assert!(err <= eb * (1.0 + 1e-9), "{}: err {err} > eb {eb}", Compressor::<f64>::name(&comp));
         }
     }
 }
