@@ -16,7 +16,15 @@
 //!   speed      compression/decompression speed (Figs. 16-17)
 //!   throughput allocating vs reused-context API throughput + allocation counts
 //!              (--baseline FILE compares against a previous BENCH_throughput.json
-//!              and exits 1 on a >5% geometric-mean regression)
+//!              or BENCH_history.jsonl — newest entry — and exits 1 on a >5%
+//!              geometric-mean regression; every run also appends to
+//!              BENCH_history.jsonl under --out)
+//!   monitor    production-telemetry run: every registry compressor with a live
+//!              metrics hub attached; asserts byte-identity vs the dormant path
+//!              and emits BENCH_telemetry.json (latency p50/p90/p99, CR,
+//!              per-level QP accept rates), BENCH_telemetry.prom, a flight dump,
+//!              and BENCH_flame.folded. `--gate 0.02` exits 1 when attached
+//!              throughput drops >2% (geomean) below detached
 //!   profile    per-stage trace profiles for every registry compressor
 //!              (build with --features trace for populated stage tables)
 //!   conformance  golden-vector verification, execution-path differential
@@ -57,8 +65,8 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|profile|conformance|table4|fig18|ablate|all> \
-         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--bless]"
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|all> \
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--bless]"
     );
     std::process::exit(2);
 }
@@ -72,6 +80,7 @@ fn main() {
     let mut opts = Opts::default();
     let mut dataset: Option<String> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut gate: Option<f64> = None;
     let mut bless = false;
     let mut i = 1;
     while i < args.len() {
@@ -97,6 +106,10 @@ fn main() {
             "--baseline" => {
                 i += 1;
                 baseline = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--gate" => {
+                i += 1;
+                gate = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
             other => {
                 eprintln!("unknown option: {other}");
@@ -145,6 +158,12 @@ fn main() {
                 }
             }
         }
+        "monitor" => {
+            if let Err(msg) = experiments::monitor::run(&opts, gate) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
         "profile" => {
             experiments::profile::run(&opts);
         }
@@ -168,6 +187,10 @@ fn main() {
             rd_all();
             experiments::speed::run(&opts);
             experiments::throughput::run(&opts);
+            if let Err(msg) = experiments::monitor::run(&opts, None) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
             experiments::profile::run(&opts);
             if !experiments::conformance::run(&opts, false) {
                 std::process::exit(1);

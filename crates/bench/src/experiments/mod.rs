@@ -4,6 +4,7 @@ pub mod ablate;
 pub mod characterize;
 pub mod config_explore;
 pub mod conformance;
+pub mod monitor;
 pub mod profile;
 pub mod rd;
 pub mod sota;

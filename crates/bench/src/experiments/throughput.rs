@@ -171,25 +171,37 @@ pub fn run(opts: &Opts) -> Vec<ThroughputRecord> {
     if let Err(e) = write_json(opts, &records) {
         eprintln!("[failed to write BENCH_throughput.json: {e}]");
     }
+    if let Err(e) = append_history(opts, &records) {
+        eprintln!("[failed to append BENCH_history.jsonl: {e}]");
+    }
     records
 }
 
-/// Minimal field extractors for our own `BENCH_throughput.json` layout (one
-/// record object per line). The vendored `serde_json` stub only serializes,
-/// so the baseline gate re-reads its files with these instead of a parser.
-fn json_str_field(record: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":\"");
-    let start = record.find(&pat)? + pat.len();
-    let end = record[start..].find('"')?;
-    Some(record[start..start + end].to_string())
-}
-
-fn json_num_field(record: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = record.find(&pat)? + pat.len();
-    let rest = &record[start..];
-    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+/// Append this run to `BENCH_history.jsonl`, one self-contained line per run:
+/// `{"ts_unix":…,"scale":…,"records":[…]}`. The file accumulates across runs
+/// so trends survive individual `BENCH_throughput.json` overwrites, and the
+/// regression gate accepts it directly (`--baseline results/BENCH_history.jsonl`
+/// compares against the newest entry).
+fn append_history(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(&opts.out)?;
+    let path = opts.out.join("BENCH_history.jsonl");
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!("{{\"ts_unix\":{ts},\"scale\":{},\"records\":[", opts.scale);
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&serde_json::to_string(r).expect("serializable record"));
+    }
+    line.push_str("]}\n");
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+    f.write_all(line.as_bytes())?;
+    eprintln!("[history appended to {}]", path.display());
+    Ok(())
 }
 
 /// The four throughput metrics the baseline gate compares.
@@ -206,31 +218,55 @@ fn metric(r: &ThroughputRecord, name: &str) -> f64 {
     }
 }
 
-/// Compare `records` against a previously written `BENCH_throughput.json` and
-/// fail when the geometric mean over every (record, metric) throughput ratio
-/// drops below `1 − max_regression` (e.g. 0.05 = 5%). The geometric mean over
-/// 4 metrics × all (compressor, dataset) cells absorbs single-cell timing
-/// noise; the CI `trace-overhead` step uses this to pin "trace compiled but
-/// disabled" to within 5% of a feature-off build.
+/// Load the baseline record objects from either supported layout: a
+/// `BENCH_throughput.json` array, or a `BENCH_history.jsonl` file (one run
+/// object per line; the newest line's `records` array becomes the baseline).
+fn load_baseline(baseline_path: &std::path::Path) -> Result<Vec<crate::jsonx::Json>, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let looks_jsonl = text.trim_start().starts_with('{');
+    if looks_jsonl {
+        let runs = crate::jsonx::parse_lines(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let last = runs.last().ok_or_else(|| format!("{}: empty history", baseline_path.display()))?;
+        let records = last
+            .get("records")
+            .and_then(|r| r.as_arr())
+            .ok_or_else(|| format!("{}: newest history entry has no records array", baseline_path.display()))?;
+        Ok(records.to_vec())
+    } else {
+        let doc = crate::jsonx::parse(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let records = doc
+            .as_arr()
+            .ok_or_else(|| format!("{}: expected a top-level array", baseline_path.display()))?;
+        Ok(records.to_vec())
+    }
+}
+
+/// Compare `records` against a previous run — either a `BENCH_throughput.json`
+/// array or a `BENCH_history.jsonl` (newest entry wins) — and fail when the
+/// geometric mean over every (record, metric) throughput ratio drops below
+/// `1 − max_regression` (e.g. 0.05 = 5%). The geometric mean over 4 metrics ×
+/// all (compressor, dataset) cells absorbs single-cell timing noise; the CI
+/// `trace-overhead` step uses this to pin "trace compiled but disabled" to
+/// within 5% of a feature-off build.
 pub fn compare_baseline(
     records: &[ThroughputRecord],
     baseline_path: &std::path::Path,
     max_regression: f64,
 ) -> Result<(), String> {
-    let text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let baseline = load_baseline(baseline_path)?;
     let mut ratios: Vec<(String, f64)> = Vec::new();
-    for line in text.lines().filter(|l| l.contains("\"compressor\"")) {
-        let (Some(comp), Some(ds)) =
-            (json_str_field(line, "compressor"), json_str_field(line, "dataset"))
-        else {
-            return Err(format!("unparseable baseline record: {line}"));
+    for entry in &baseline {
+        let (Some(comp), Some(ds)) = (entry.str("compressor"), entry.str("dataset")) else {
+            return Err(format!("baseline record lacks compressor/dataset: {entry:?}"));
         };
         let Some(new) = records.iter().find(|r| r.compressor == comp && r.dataset == ds) else {
             continue; // baseline may cover a superset (e.g. different scale grid)
         };
         for m in GATED_METRICS {
-            let Some(old) = json_num_field(line, m) else {
+            let Some(old) = entry.num(m) else {
                 return Err(format!("baseline record for {comp}/{ds} lacks {m}"));
             };
             if old > 0.0 {
@@ -345,5 +381,24 @@ mod tests {
         assert!(err.contains("regressed"), "{err}");
         // A baseline that matches nothing is an error, not a silent pass.
         assert!(compare_baseline(&[], &path, 0.05).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_reads_history_jsonl() {
+        let out = std::env::temp_dir().join("qip_history_test");
+        let opts = Opts { scale: 32, fields: 1, out: out.clone() };
+        let path = out.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // Two appended runs; the gate must compare against the NEWEST line.
+        append_history(&opts, &[fake_record(50.0)]).unwrap();
+        append_history(&opts, &[fake_record(100.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let runs = crate::jsonx::parse_lines(&text).unwrap();
+        assert!(runs[0].num("ts_unix").is_some());
+        assert_eq!(runs[0].num("scale"), Some(32.0));
+        assert!(compare_baseline(&[fake_record(97.0)], &path, 0.05).is_ok());
+        let err = compare_baseline(&[fake_record(60.0)], &path, 0.05).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
     }
 }

@@ -128,10 +128,12 @@ pub fn encode_indices_into(indices: &[i32], out: &mut Vec<u8>) {
         out.extend_from_slice(&block);
         qip_trace::counter("codec.chunks", 1);
         qip_trace::counter("codec.bytes_out", out.len() as u64);
+        telemetry_encode_counters(indices.len(), 1, out.len());
         return;
     }
     let chunks: Vec<&[i32]> = indices.chunks(CHUNK_SYMBOLS).collect();
     qip_trace::counter("codec.chunks", chunks.len() as u64);
+    let nchunks = chunks.len();
     let encoded: Vec<Vec<u8>> = chunks.par_iter().map(|c| encode_block(c)).collect();
     let mut w = ByteWriter::from_vec(std::mem::take(out));
     w.put_u8(MODE_CHUNKED);
@@ -146,6 +148,17 @@ pub fn encode_indices_into(indices: &[i32], out: &mut Vec<u8>) {
     }
     *out = w.finish();
     qip_trace::counter("codec.bytes_out", out.len() as u64);
+    telemetry_encode_counters(indices.len(), nchunks, out.len());
+}
+
+/// Production-telemetry mirror of the encode-side trace counters.
+fn telemetry_encode_counters(symbols: usize, chunks: usize, bytes_out: usize) {
+    if !qip_telemetry::active() {
+        return;
+    }
+    qip_telemetry::counter_add("qip.codec.symbols_in", &[], symbols as u64);
+    qip_telemetry::counter_add("qip.codec.chunks", &[], chunks as u64);
+    qip_telemetry::counter_add("qip.codec.bytes_out", &[], bytes_out as u64);
 }
 
 /// Decode a stream produced by [`encode_indices`].
@@ -182,6 +195,7 @@ pub fn decode_indices_capped_into(
         *out = decode_block(mode, rest, max_count)?;
         qip_trace::counter("codec.decode_chunks", 1);
         qip_trace::counter("codec.decode_symbols", out.len() as u64);
+        telemetry_decode_counters(bytes.len(), 1, out.len());
         return Ok(());
     }
 
@@ -244,7 +258,18 @@ pub fn decode_indices_capped_into(
     }
     qip_trace::counter("codec.decode_chunks", nchunks as u64);
     qip_trace::counter("codec.decode_symbols", out.len() as u64);
+    telemetry_decode_counters(bytes.len(), nchunks, out.len());
     Ok(())
+}
+
+/// Production-telemetry mirror of the decode-side trace counters.
+fn telemetry_decode_counters(bytes_in: usize, chunks: usize, symbols: usize) {
+    if !qip_telemetry::active() {
+        return;
+    }
+    qip_telemetry::counter_add("qip.codec.decode_bytes_in", &[], bytes_in as u64);
+    qip_telemetry::counter_add("qip.codec.decode_chunks", &[], chunks as u64);
+    qip_telemetry::counter_add("qip.codec.decode_symbols", &[], symbols as u64);
 }
 
 #[cfg(test)]

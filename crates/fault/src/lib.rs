@@ -51,6 +51,17 @@ pub fn trace_replay<R>(f: impl FnOnce() -> R) -> String {
     out
 }
 
+/// Feed one observed decode rejection into the attached telemetry hub's
+/// flight recorder (no-op when no hub is attached). The record's outcome
+/// carries both the decoder's error and the fault's repro line, so a fleet
+/// incident can be replayed from the JSONL dump alone.
+pub fn record_rejection(fault: &Fault, compressor: &str, error: &str) {
+    if !qip_telemetry::active() {
+        return;
+    }
+    qip_telemetry::record_fault(compressor, "decompress", &format!("{error} [{fault}]"));
+}
+
 /// Minimal xorshift64* generator: deterministic, dependency-free, and good
 /// enough to scatter corruption positions. Not for cryptography or sampling.
 #[derive(Debug, Clone)]

@@ -193,6 +193,45 @@ fn crc_trailer_flags_every_payload_bitflip() {
 }
 
 #[test]
+fn telemetry_flight_recorder_captures_rejections() {
+    // With a metrics hub attached, every rejected decode both lands in the
+    // hub via the registry entry point and can be annotated with the fault's
+    // repro seed via `record_rejection` — the production triage path.
+    let field = qip_data::Dataset::SegSalt.generate_f32(1, &[12, 10, 8]);
+    let comp = AnyCompressor::by_name("sz3", QpConfig::best_fit()).unwrap();
+    let name = Compressor::<f32>::name(&comp);
+    let stream = comp.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
+    let hub = std::sync::Arc::new(qip_telemetry::MetricsHub::new());
+    qip_telemetry::attach(std::sync::Arc::clone(&hub));
+    let mut rejected = 0u64;
+    for seed in 0..50u64 {
+        let (bad, fault) = qip_fault::corrupt(&stream, seed);
+        let res: Result<Field<f32>, _> = comp.decompress(&bad);
+        match res {
+            Ok(_) => {}
+            Err(e) => {
+                qip_fault::record_rejection(&fault, &name, &e.to_string());
+                rejected += 1;
+            }
+        }
+    }
+    qip_telemetry::detach();
+    assert_eq!(rejected, 50, "every raw corruption must be rejected");
+    let records = hub.recorder.records();
+    // One registry-side record plus one fault annotation per rejection (other
+    // concurrently running tests may add more; never fewer).
+    assert!(records.len() as u64 >= 2 * rejected, "got {} records", records.len());
+    let annotated: Vec<_> =
+        records.iter().filter(|r| r.outcome.contains("reproduce with qip_fault::")).collect();
+    assert!(annotated.len() as u64 >= rejected);
+    assert!(annotated.iter().all(|r| r.compressor == name && r.op == "decompress"));
+    // The registry-side records classify the CRC rejection as corrupt.
+    assert!(records.iter().any(|r| r.outcome.starts_with("corrupt stream:")));
+    let jsonl = hub.recorder.dump_jsonl();
+    assert!(jsonl.lines().count() >= records.len().min(2));
+}
+
+#[test]
 fn truncation_at_every_prefix_errors() {
     let field = qip_data::Dataset::Miranda.generate_f32(2, &[10, 9, 8]);
     for comp in registry() {

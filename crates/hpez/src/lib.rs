@@ -102,6 +102,7 @@ impl Hpez {
         // visible as this span without polluting the chosen run's stats.
         let _t = qip_trace::span("tune");
         let _p = qip_trace::pause();
+        let _pt = qip_telemetry::pause();
         let dims = field.shape().dims();
         let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
         let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
@@ -137,6 +138,10 @@ fn trace_tuned(alpha: f64, beta: f64) {
     if qip_trace::enabled() {
         qip_trace::value("hpez.alpha", alpha);
         qip_trace::value("hpez.beta", beta);
+    }
+    if qip_telemetry::active() {
+        qip_telemetry::gauge_set("qip.hpez.alpha", &[], alpha);
+        qip_telemetry::gauge_set("qip.hpez.beta", &[], beta);
     }
 }
 

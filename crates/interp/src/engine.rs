@@ -424,9 +424,11 @@ struct SinkStats {
 }
 
 impl SinkStats {
-    /// Stats collector when capture is live at compress entry, else `None`.
+    /// Stats collector when capture is live at compress entry — either a
+    /// qip-trace session or an attached qip-telemetry hub — else `None` (the
+    /// dormant hot path pays only the two relaxed flag loads).
     fn new_if_tracing(start_level: usize) -> Option<SinkStats> {
-        qip_trace::enabled().then(|| SinkStats {
+        (qip_trace::enabled() || qip_telemetry::active()).then(|| SinkStats {
             predictable: 0,
             unpredictable: 0,
             levels: (0..=start_level).map(|_| LevelStat::default()).collect(),
@@ -438,8 +440,13 @@ impl SinkStats {
     /// the recorded offsets delimit each level's segment for the entropy
     /// computation (the signal behind the paper's Fig. 9 level gate).
     fn emit(self, qprime: &[i32]) {
+        let telemetry = qip_telemetry::active();
         qip_trace::counter("quant.predictable", self.predictable);
         qip_trace::counter("quant.unpredictable", self.unpredictable);
+        if telemetry {
+            qip_telemetry::counter_add("qip.quant.predictable", &[], self.predictable);
+            qip_telemetry::counter_add("qip.quant.unpredictable", &[], self.unpredictable);
+        }
         let max = self.levels.len().saturating_sub(1);
         for level in 1..=max {
             let ls = &self.levels[level];
@@ -448,15 +455,28 @@ impl SinkStats {
             }
             let end =
                 if level > 1 { self.levels[level - 1].qprime_start } else { qprime.len() };
+            let rate = ls.accept as f64 / ls.points as f64;
             qip_trace::counter_owned(format!("qp.points.l{level}"), ls.points);
             qip_trace::counter_owned(format!("qp.accept.l{level}"), ls.accept);
             qip_trace::counter_owned(format!("qp.fired.l{level}"), ls.fired);
-            qip_trace::value_owned(
-                format!("qp.accept_rate.l{level}"),
-                ls.accept as f64 / ls.points as f64,
-            );
-            if let Some(seg) = qprime.get(ls.qprime_start..end) {
-                qip_trace::value_owned(format!("interp.entropy.l{level}"), entropy(seg));
+            qip_trace::value_owned(format!("qp.accept_rate.l{level}"), rate);
+            if telemetry {
+                let lvl = format!("l{level}");
+                let labels = [("level", lvl.as_str())];
+                qip_telemetry::counter_add("qip.qp.points", &labels, ls.points);
+                qip_telemetry::counter_add("qip.qp.accept", &labels, ls.accept);
+                qip_telemetry::counter_add("qip.qp.fired", &labels, ls.fired);
+                // Harvested by the registry entry point into the flight
+                // record and per-compressor gauges.
+                qip_telemetry::call_value(&format!("qp.accept_rate.l{level}"), rate);
+            }
+            // Per-level entropy is an O(n) scan per level — a profiling
+            // signal for trace sessions only, too costly for the always-on
+            // telemetry hub (which keeps only the counter-grade stats above).
+            if qip_trace::enabled() {
+                if let Some(seg) = qprime.get(ls.qprime_start..end) {
+                    qip_trace::value_owned(format!("interp.entropy.l{level}"), entropy(seg));
+                }
             }
         }
     }
@@ -485,13 +505,18 @@ fn trace_compress_bytes<T: Scalar>(
     unpred: &[u8],
     index_bytes: &[u8],
 ) {
-    if !qip_trace::enabled() {
-        return;
+    if qip_trace::enabled() {
+        qip_trace::counter("interp.bytes.in", (points * T::BYTES) as u64);
+        qip_trace::counter("interp.bytes.anchors", anchors.len() as u64);
+        qip_trace::counter("interp.bytes.unpred", unpred.len() as u64);
+        qip_trace::counter("interp.bytes.index", index_bytes.len() as u64);
     }
-    qip_trace::counter("interp.bytes.in", (points * T::BYTES) as u64);
-    qip_trace::counter("interp.bytes.anchors", anchors.len() as u64);
-    qip_trace::counter("interp.bytes.unpred", unpred.len() as u64);
-    qip_trace::counter("interp.bytes.index", index_bytes.len() as u64);
+    if qip_telemetry::active() {
+        qip_telemetry::counter_add("qip.interp.bytes.in", &[], (points * T::BYTES) as u64);
+        qip_telemetry::counter_add("qip.interp.bytes.anchors", &[], anchors.len() as u64);
+        qip_telemetry::counter_add("qip.interp.bytes.unpred", &[], unpred.len() as u64);
+        qip_telemetry::counter_add("qip.interp.bytes.index", &[], index_bytes.len() as u64);
+    }
 }
 
 /// Build the per-level quantizer bank used while compressing.

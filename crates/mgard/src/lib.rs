@@ -335,7 +335,8 @@ impl Mgard {
 
         // ---- Quantization sweep (coarse → fine), with the QP hook ----
         let quantize_span = qip_trace::span("quantize");
-        let stats_on = qip_trace::enabled();
+        let telemetry_on = qip_telemetry::active();
+        let stats_on = qip_trace::enabled() || telemetry_on;
         let qp = QpEngine::new(self.qp);
         ctx.qstore.clear();
         ctx.qstore.resize(buf.len(), 0);
@@ -392,22 +393,36 @@ impl Mgard {
                 });
             }
             if stats_on && lvl_points > 0 {
+                let rate = lvl_accept as f64 / lvl_points as f64;
                 qip_trace::counter_owned(format!("qp.points.l{level}"), lvl_points);
                 qip_trace::counter_owned(format!("qp.accept.l{level}"), lvl_accept);
                 qip_trace::counter_owned(format!("qp.fired.l{level}"), lvl_fired);
-                qip_trace::value_owned(
-                    format!("qp.accept_rate.l{level}"),
-                    lvl_accept as f64 / lvl_points as f64,
-                );
-                qip_trace::value_owned(
-                    format!("mgard.entropy.l{level}"),
-                    qip_metrics::entropy(&qprime[level_start..]),
-                );
+                qip_trace::value_owned(format!("qp.accept_rate.l{level}"), rate);
+                // Per-level entropy is an O(n) scan — a profiling signal for
+                // trace sessions only, too costly for the always-on hub.
+                if qip_trace::enabled() {
+                    qip_trace::value_owned(
+                        format!("mgard.entropy.l{level}"),
+                        qip_metrics::entropy(&qprime[level_start..]),
+                    );
+                }
+                if telemetry_on {
+                    let lvl = format!("l{level}");
+                    let labels = [("level", lvl.as_str())];
+                    qip_telemetry::counter_add("qip.qp.points", &labels, lvl_points);
+                    qip_telemetry::counter_add("qip.qp.accept", &labels, lvl_accept);
+                    qip_telemetry::counter_add("qip.qp.fired", &labels, lvl_fired);
+                    qip_telemetry::call_value(&format!("qp.accept_rate.l{level}"), rate);
+                }
             }
         }
         if stats_on {
             qip_trace::counter("quant.predictable", n_pred);
             qip_trace::counter("quant.unpredictable", n_unpred);
+            if telemetry_on {
+                qip_telemetry::counter_add("qip.quant.predictable", &[], n_pred);
+                qip_telemetry::counter_add("qip.quant.unpredictable", &[], n_unpred);
+            }
         }
         drop(quantize_span);
 
@@ -427,6 +442,12 @@ impl Mgard {
             qip_trace::counter("mgard.bytes.coarse", ctx.anchors.len() as u64);
             qip_trace::counter("mgard.bytes.unpred", ctx.unpred.len() as u64);
             qip_trace::counter("mgard.bytes.index", ctx.stream.len() as u64);
+        }
+        if telemetry_on {
+            qip_telemetry::counter_add("qip.interp.bytes.in", &[], (field.len() * T::BYTES) as u64);
+            qip_telemetry::counter_add("qip.interp.bytes.anchors", &[], ctx.anchors.len() as u64);
+            qip_telemetry::counter_add("qip.interp.bytes.unpred", &[], ctx.unpred.len() as u64);
+            qip_telemetry::counter_add("qip.interp.bytes.index", &[], ctx.stream.len() as u64);
         }
         let _t = qip_trace::span("seal");
         qip_core::integrity::seal_in_place(out);

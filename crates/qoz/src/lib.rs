@@ -118,6 +118,7 @@ impl Qoz {
         // visible as this span without polluting the chosen run's stats.
         let _t = qip_trace::span("tune");
         let _p = qip_trace::pause();
+        let _pt = qip_telemetry::pause();
         let dims = field.shape().dims();
         let origin: Vec<usize> = dims.iter().map(|&d| d.saturating_sub(d.min(48)) / 2).collect();
         let extent: Vec<usize> = dims.iter().map(|&d| d.min(48)).collect();
@@ -166,6 +167,10 @@ fn trace_tuned(alpha: f64, beta: f64) {
     if qip_trace::enabled() {
         qip_trace::value("qoz.alpha", alpha);
         qip_trace::value("qoz.beta", beta);
+    }
+    if qip_telemetry::active() {
+        qip_telemetry::gauge_set("qip.qoz.alpha", &[], alpha);
+        qip_telemetry::gauge_set("qip.qoz.beta", &[], beta);
     }
 }
 

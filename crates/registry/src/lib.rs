@@ -141,6 +141,90 @@ impl AnyCompressor {
     }
 }
 
+/// Low-cardinality outcome class for telemetry counter labels.
+fn outcome_kind(result: &Result<(), &CompressError>) -> &'static str {
+    match result {
+        Ok(()) => "ok",
+        Err(CompressError::Corrupt(_)) => "corrupt",
+        Err(CompressError::Codec(_)) => "codec",
+        Err(CompressError::Tensor(_)) => "tensor",
+        Err(CompressError::WrongFormat(_)) => "wrong_format",
+        Err(CompressError::Unsupported(_)) => "unsupported",
+    }
+}
+
+/// The raw epsilon as requested (`Abs`/`Rel` both carry one); resolving a
+/// relative bound would mean scanning the field, which telemetry must not do.
+fn bound_epsilon(bound: ErrorBound) -> f64 {
+    match bound {
+        ErrorBound::Abs(e) | ErrorBound::Rel(e) => e,
+    }
+}
+
+/// Finish one instrumented compress call: metrics + flight record.
+fn record_compress<T: Scalar>(
+    scope: Option<qip_telemetry::CallScope>,
+    name: &str,
+    field: &Field<T>,
+    bound: ErrorBound,
+    started: std::time::Instant,
+    result: Result<usize, &CompressError>,
+) {
+    let duration_ns = started.elapsed().as_nanos() as u64;
+    let status = result.map(|_| ());
+    qip_telemetry::record_call(
+        scope,
+        qip_telemetry::CallReport {
+            op: "compress",
+            compressor: name,
+            dims: field.shape().dims(),
+            dtype: std::any::type_name::<T>(),
+            error_bound: bound_epsilon(bound),
+            raw_bytes: (field.len() * T::BYTES) as u64,
+            stream_bytes: result.unwrap_or(0) as u64,
+            duration_ns,
+            outcome_kind: outcome_kind(&status),
+            outcome: match result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => e.to_string(),
+            },
+        },
+    );
+}
+
+/// Finish one instrumented decompress call. The error bound is whatever the
+/// stream encodes, so the record carries 0 there; dims come from the decoded
+/// field (empty when the stream was rejected).
+fn record_decompress<T: Scalar>(
+    scope: Option<qip_telemetry::CallScope>,
+    name: &str,
+    stream_bytes: usize,
+    started: std::time::Instant,
+    result: Result<&Field<T>, &CompressError>,
+) {
+    let duration_ns = started.elapsed().as_nanos() as u64;
+    let status = result.map(|_| ());
+    let dims: Vec<usize> = result.map(|f| f.shape().dims().to_vec()).unwrap_or_default();
+    qip_telemetry::record_call(
+        scope,
+        qip_telemetry::CallReport {
+            op: "decompress",
+            compressor: name,
+            dims: &dims,
+            dtype: std::any::type_name::<T>(),
+            error_bound: 0.0,
+            raw_bytes: result.map(|f| f.len() * T::BYTES).unwrap_or(0) as u64,
+            stream_bytes: stream_bytes as u64,
+            duration_ns,
+            outcome_kind: outcome_kind(&status),
+            outcome: match result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => e.to_string(),
+            },
+        },
+    );
+}
+
 impl<T: Scalar> Compressor<T> for AnyCompressor {
     fn name(&self) -> String {
         self.as_dyn::<T>().name()
@@ -148,12 +232,28 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
         let _t = qip_trace::span_with(|| format!("compress[{}]", Compressor::<T>::name(self)));
-        self.as_dyn::<T>().compress(field, bound)
+        if !qip_telemetry::active() {
+            return self.as_dyn::<T>().compress(field, bound);
+        }
+        let scope = qip_telemetry::CallScope::begin();
+        let started = std::time::Instant::now();
+        let result = self.as_dyn::<T>().compress(field, bound);
+        let name = Compressor::<T>::name(self);
+        record_compress(scope, &name, field, bound, started, result.as_ref().map(Vec::len));
+        result
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
         let _t = qip_trace::span_with(|| format!("decompress[{}]", Compressor::<T>::name(self)));
-        self.as_dyn::<T>().decompress(bytes)
+        if !qip_telemetry::active() {
+            return self.as_dyn::<T>().decompress(bytes);
+        }
+        let scope = qip_telemetry::CallScope::begin();
+        let started = std::time::Instant::now();
+        let result = self.as_dyn::<T>().decompress(bytes);
+        let name = Compressor::<T>::name(self);
+        record_decompress(scope, &name, bytes.len(), started, result.as_ref());
+        result
     }
 
     fn compress_into(
@@ -164,7 +264,15 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
         out: &mut Vec<u8>,
     ) -> Result<(), CompressError> {
         let _t = qip_trace::span_with(|| format!("compress[{}]", Compressor::<T>::name(self)));
-        self.as_dyn::<T>().compress_into(field, bound, ctx, out)
+        if !qip_telemetry::active() {
+            return self.as_dyn::<T>().compress_into(field, bound, ctx, out);
+        }
+        let scope = qip_telemetry::CallScope::begin();
+        let started = std::time::Instant::now();
+        let result = self.as_dyn::<T>().compress_into(field, bound, ctx, out);
+        let name = Compressor::<T>::name(self);
+        record_compress(scope, &name, field, bound, started, result.as_ref().map(|()| out.len()));
+        result
     }
 
     fn decompress_into(
@@ -173,7 +281,15 @@ impl<T: Scalar> Compressor<T> for AnyCompressor {
         ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
         let _t = qip_trace::span_with(|| format!("decompress[{}]", Compressor::<T>::name(self)));
-        self.as_dyn::<T>().decompress_into(bytes, ctx)
+        if !qip_telemetry::active() {
+            return self.as_dyn::<T>().decompress_into(bytes, ctx);
+        }
+        let scope = qip_telemetry::CallScope::begin();
+        let started = std::time::Instant::now();
+        let result = self.as_dyn::<T>().decompress_into(bytes, ctx);
+        let name = Compressor::<T>::name(self);
+        record_decompress(scope, &name, bytes.len(), started, result.as_ref());
+        result
     }
 }
 

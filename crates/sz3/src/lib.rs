@@ -136,6 +136,7 @@ impl Sz3 {
         // counters of the pipeline actually chosen.
         let _t = qip_trace::span("select_pipeline");
         let _p = qip_trace::pause();
+        let _pt = qip_telemetry::pause();
         // Central block of up to 32 per axis.
         let origin: Vec<usize> =
             dims.iter().map(|&d| d.saturating_sub(d.min(32)) / 2).collect();
@@ -190,13 +191,14 @@ impl Default for Sz3 {
 
 /// Count which predictor pipeline the trial selection picked.
 fn trace_pipeline_choice(p: Pipeline) {
-    qip_trace::counter(
-        match p {
-            Pipeline::Interpolation => "sz3.pipeline.interpolation",
-            Pipeline::Lorenzo => "sz3.pipeline.lorenzo",
-        },
-        1,
-    );
+    let name = match p {
+        Pipeline::Interpolation => "interpolation",
+        Pipeline::Lorenzo => "lorenzo",
+    };
+    qip_trace::counter_owned(format!("sz3.pipeline.{name}"), 1);
+    if qip_telemetry::active() {
+        qip_telemetry::counter_add("qip.sz3.pipeline", &[("pipeline", name)], 1);
+    }
 }
 
 impl<T: Scalar> Compressor<T> for Sz3 {

@@ -1,0 +1,385 @@
+//! Exporters: Prometheus text exposition format and a JSON snapshot.
+//!
+//! Both render a [`Snapshot`], so a hub can be exported repeatedly and
+//! concurrently with ongoing recording. Histograms are exposed as Prometheus
+//! *summary* families (pre-computed quantiles travel with the series, which
+//! is what the log-linear histogram gives us without shipping raw buckets);
+//! the exact maximum rides along as a companion `<name>_max` gauge.
+//!
+//! [`check_prometheus_text`] is a small strict validator for the exposition
+//! format — used by the unit tests and CI to pin that what we emit actually
+//! parses, not just that it looks plausible.
+
+use crate::hist::HistSummary;
+use crate::hub::{MetricKey, MetricsHub, Snapshot};
+
+/// Map an internal dot-separated metric name onto the Prometheus name
+/// alphabet `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label *value* per the exposition format: backslash, double
+/// quote, and line feed must be escaped; everything else is literal.
+fn prom_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set (optionally with an extra label appended), `{}`-free
+/// when empty.
+fn prom_labels(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, prom_escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the hub's current state in Prometheus text exposition format.
+pub fn prometheus_text(hub: &MetricsHub) -> String {
+    prometheus_text_from(&hub.snapshot())
+}
+
+/// Render a previously-taken snapshot in Prometheus text exposition format.
+pub fn prometheus_text_from(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut type_line = |out: &mut String, family: &str, kind: &str| {
+        if family != last_family {
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            last_family = family.to_string();
+        }
+    };
+
+    for (key, value) in &snap.counters {
+        let family = prom_name(&key.name);
+        type_line(&mut out, &family, "counter");
+        out.push_str(&format!("{family}{} {value}\n", prom_labels(key, None)));
+    }
+    for (key, value) in &snap.gauges {
+        let family = prom_name(&key.name);
+        type_line(&mut out, &family, "gauge");
+        out.push_str(&format!("{family}{} {}\n", prom_labels(key, None), fmt_f64(*value)));
+    }
+    for (key, s) in &snap.hists {
+        let family = prom_name(&key.name);
+        type_line(&mut out, &family, "summary");
+        for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+            out.push_str(&format!(
+                "{family}{} {v}\n",
+                prom_labels(key, Some(("quantile", q)))
+            ));
+        }
+        out.push_str(&format!("{family}_sum{} {}\n", prom_labels(key, None), s.sum));
+        out.push_str(&format!("{family}_count{} {}\n", prom_labels(key, None), s.count));
+    }
+    // Companion gauges for the exact maxima (a summary has no max sample).
+    let mut last_family = String::new();
+    for (key, s) in &snap.hists {
+        let family = format!("{}_max", prom_name(&key.name));
+        if family != last_family {
+            out.push_str(&format!("# TYPE {family} gauge\n"));
+            last_family = family.clone();
+        }
+        out.push_str(&format!("{family}{} {}\n", prom_labels(key, None), s.max));
+    }
+    out
+}
+
+/// Strict line-level validator for the Prometheus text exposition format.
+///
+/// Checks: metric and label names use the legal alphabet, label values are
+/// properly quoted/escaped, sample values parse as floats, and every sample
+/// belongs to a family announced by a preceding `# TYPE` line (accounting
+/// for `_sum`/`_count` on summaries). Returns the first violation.
+pub fn check_prometheus_text(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words.next().unwrap_or("");
+                    let kind = words.next().unwrap_or("");
+                    if !valid_name(name) {
+                        return err("bad family name in TYPE");
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                        return err("bad family kind in TYPE");
+                    }
+                    if types.contains_key(name) {
+                        return err("duplicate TYPE for family");
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                Some("HELP") => {}
+                _ => return err("unknown comment directive"),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return err("bad metric name");
+        }
+        let mut rest = &line[name_end..];
+        if let Some(body) = rest.strip_prefix('{') {
+            let close = body.rfind('}').ok_or_else(|| format!("line {}: unclosed labels", lineno + 1))?;
+            let labels = &body[..close];
+            rest = &body[close + 1..];
+            // Walk `key="value",...` respecting escapes inside values.
+            let mut chars = labels.chars().peekable();
+            loop {
+                let mut key = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                    chars.next();
+                }
+                if !valid_name(&key) {
+                    return err("bad label name");
+                }
+                if chars.next() != Some('=') || chars.next() != Some('"') {
+                    return err("label value must be quoted");
+                }
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('\\') | Some('"') | Some('n') => {}
+                            _ => return err("bad escape in label value"),
+                        },
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\n' => return err("raw newline in label value"),
+                        _ => {}
+                    }
+                }
+                if !closed {
+                    return err("unterminated label value");
+                }
+                match chars.next() {
+                    None => break,
+                    Some(',') => continue,
+                    _ => return err("expected ',' or end of labels"),
+                }
+            }
+        }
+        let value = rest.trim_start();
+        let value = value.split(' ').next().unwrap_or(""); // optional timestamp after
+        let ok = matches!(value, "NaN" | "+Inf" | "-Inf") || value.parse::<f64>().is_ok();
+        if !ok {
+            return err("sample value is not a float");
+        }
+        // Family membership: exact, or summary's _sum/_count companions.
+        let family_ok = types.contains_key(name)
+            || [("_sum", "summary"), ("_count", "summary")].iter().any(|(suf, kind)| {
+                name.strip_suffix(suf)
+                    .is_some_and(|base| types.get(base).map(String::as_str) == Some(kind))
+            });
+        if !family_ok {
+            return err("sample before its # TYPE line");
+        }
+    }
+    Ok(())
+}
+
+#[derive(serde::Serialize)]
+struct LabelOut {
+    key: String,
+    value: String,
+}
+
+#[derive(serde::Serialize)]
+struct CounterOut {
+    name: String,
+    labels: Vec<LabelOut>,
+    value: u64,
+}
+
+#[derive(serde::Serialize)]
+struct GaugeOut {
+    name: String,
+    labels: Vec<LabelOut>,
+    value: f64,
+}
+
+#[derive(serde::Serialize)]
+struct HistOut {
+    name: String,
+    labels: Vec<LabelOut>,
+    summary: HistSummary,
+}
+
+#[derive(serde::Serialize)]
+struct SnapshotOut {
+    counters: Vec<CounterOut>,
+    gauges: Vec<GaugeOut>,
+    histograms: Vec<HistOut>,
+}
+
+fn labels_out(key: &MetricKey) -> Vec<LabelOut> {
+    key.labels
+        .iter()
+        .map(|(k, v)| LabelOut { key: k.clone(), value: v.clone() })
+        .collect()
+}
+
+/// Render the hub's current state as a JSON object
+/// (`{"counters":[...],"gauges":[...],"histograms":[...]}`).
+pub fn json_snapshot(hub: &MetricsHub) -> String {
+    let snap = hub.snapshot();
+    let out = SnapshotOut {
+        counters: snap
+            .counters
+            .iter()
+            .map(|(k, v)| CounterOut { name: k.name.clone(), labels: labels_out(k), value: *v })
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .map(|(k, v)| GaugeOut { name: k.name.clone(), labels: labels_out(k), value: *v })
+            .collect(),
+        histograms: snap
+            .hists
+            .iter()
+            .map(|(k, s)| HistOut { name: k.name.clone(), labels: labels_out(k), summary: *s })
+            .collect(),
+    };
+    serde_json::to_string(&out).expect("snapshot is always serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hub() -> MetricsHub {
+        let hub = MetricsHub::new();
+        hub.counter_add("qip.compress.calls", &[("compressor", "SZ3+QP")], 3);
+        hub.counter_add("qip.compress.calls", &[("compressor", "ZFP")], 1);
+        hub.gauge_set("qoz.alpha", &[("compressor", "QoZ")], 1.75);
+        for v in [100u64, 200, 300, 4000] {
+            hub.observe("qip.compress.duration_ns", &[("compressor", "SZ3+QP")], v);
+        }
+        hub
+    }
+
+    #[test]
+    fn prometheus_output_is_valid_and_complete() {
+        let hub = sample_hub();
+        let text = prometheus_text(&hub);
+        check_prometheus_text(&text).unwrap();
+        assert!(text.contains("# TYPE qip_compress_calls counter"));
+        assert!(text.contains("qip_compress_calls{compressor=\"SZ3+QP\"} 3"));
+        assert!(text.contains("# TYPE qip_compress_duration_ns summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("qip_compress_duration_ns_count{compressor=\"SZ3+QP\"} 4"));
+        assert!(text.contains("qip_compress_duration_ns_sum{compressor=\"SZ3+QP\"} 4600"));
+        assert!(text.contains("# TYPE qip_compress_duration_ns_max gauge"));
+        // TYPE appears once per family even with several label sets.
+        assert_eq!(text.matches("# TYPE qip_compress_calls counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let hub = MetricsHub::new();
+        hub.counter_add("c", &[("path", "a\\b\"c\nd")], 1);
+        let text = prometheus_text(&hub);
+        check_prometheus_text(&text).unwrap();
+        assert!(text.contains(r#"path="a\\b\"c\nd""#), "got: {text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(check_prometheus_text("no_type_line 1\n").is_err());
+        assert!(check_prometheus_text("# TYPE x counter\nx{bad name=\"v\"} 1\n").is_err());
+        assert!(check_prometheus_text("# TYPE x counter\nx{a=\"v} 1\n").is_err());
+        assert!(check_prometheus_text("# TYPE x counter\nx abc\n").is_err());
+        assert!(check_prometheus_text("# TYPE x counter\n# TYPE x counter\n").is_err());
+        assert!(check_prometheus_text("# TYPE x counter\nx{a=\"v\"} 1\n").is_ok());
+        assert!(check_prometheus_text("# TYPE x summary\nx_count 4\n").is_ok());
+        // _sum/_count only piggyback on summaries, not counters.
+        assert!(check_prometheus_text("# TYPE x counter\nx_count 4\n").is_err());
+    }
+
+    #[test]
+    fn gauge_non_finite_values_render_as_prometheus_tokens() {
+        let hub = MetricsHub::new();
+        hub.gauge_set("g", &[], f64::INFINITY);
+        let text = prometheus_text(&hub);
+        check_prometheus_text(&text).unwrap();
+        assert!(text.contains("g +Inf"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let hub = sample_hub();
+        let json = json_snapshot(&hub);
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"qip.compress.calls\""));
+        assert!(json.contains("\"key\":\"compressor\",\"value\":\"SZ3+QP\""));
+        assert!(json.contains("\"histograms\":[{"));
+        assert!(json.contains("\"p99\""));
+    }
+}

@@ -1,0 +1,330 @@
+//! Lock-free log-linear histogram (HDR-style) over `u64` observations.
+//!
+//! The value range is covered by buckets whose width grows with magnitude:
+//! values below [`SUB_BUCKETS`] get an exact bucket each, larger values share
+//! [`SUB_BUCKETS`] buckets per power of two. Quantile estimates therefore
+//! carry a bounded *relative* error of at most `1 / SUB_BUCKETS` (~3.1%),
+//! independent of the value range — the usual latency-histogram trade.
+//!
+//! Everything is atomic: `record` is wait-free (one `fetch_add` plus a
+//! `fetch_max`), concurrent recorders never lose counts, and [`Histogram::merge`]
+//! is associative and commutative, so per-thread histograms can be combined
+//! in any order with an identical result (pinned by the tests below).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per power of two; also the linear-range size. Power of two.
+pub const SUB_BUCKETS: usize = 32;
+/// log2(SUB_BUCKETS).
+const SUB_SHIFT: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total bucket count: the linear range plus SUB_BUCKETS per exponent from
+/// SUB_SHIFT to 63 inclusive.
+const N_BUCKETS: usize = SUB_BUCKETS * (64 - SUB_SHIFT as usize + 1);
+
+/// Bucket index for a value (total order, contiguous from 0).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_SHIFT
+    let sub = (v >> (exp - SUB_SHIFT)) as usize - SUB_BUCKETS;
+    (exp - SUB_SHIFT + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// Midpoint of the bucket's value range (the quantile estimate we report).
+fn bucket_mid(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let exp = (index / SUB_BUCKETS) as u32 - 1 + SUB_SHIFT;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let low = (SUB_BUCKETS as u64 + sub) << (exp - SUB_SHIFT);
+    let width = 1u64 << (exp - SUB_SHIFT);
+    low + width / 2
+}
+
+/// A mergeable, thread-safe log-linear histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Wait-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations (exact, not bucketed).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Returns the midpoint of the
+    /// bucket containing the target rank — relative error is bounded by
+    /// `1/SUB_BUCKETS`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        if q >= 1.0 {
+            return Some(self.max()); // p100 is tracked exactly
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Never report beyond the exact max.
+                return Some(bucket_mid(i).min(self.max()));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Add every bucket of `other` into `self`. Associative and commutative:
+    /// any merge tree over the same set of histograms yields identical state.
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            if v != 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// The fixed summary exported everywhere: count, sum, p50/p90/p99, max.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            max: self.max(),
+        }
+    }
+
+    /// Raw bucket counts (test/diagnostic use).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Snapshot of a histogram's exported statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(i == last || i == last + 1, "v={v}: index {i} after {last}");
+            last = i;
+        }
+        // Extremes map inside the table.
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn bucket_mid_lies_in_its_own_bucket() {
+        for v in [0u64, 1, 31, 32, 33, 1000, 123_456, u64::MAX / 3] {
+            let i = bucket_index(v);
+            assert_eq!(bucket_index(bucket_mid(i)), i, "v={v}");
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_range() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 5, 17, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 58);
+        assert_eq!(h.max(), 31);
+        // Values < SUB_BUCKETS are exact.
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(31));
+    }
+
+    /// Uniform distribution: every quantile estimate must sit within the
+    /// log-linear relative error bound of the true quantile.
+    #[test]
+    fn quantile_accuracy_uniform() {
+        let h = Histogram::new();
+        let n = 100_000u64;
+        for v in 1..=n {
+            h.record(v);
+        }
+        for (q, truth) in [(0.50, 50_000.0), (0.90, 90_000.0), (0.99, 99_000.0)] {
+            let est = h.quantile(q).unwrap() as f64;
+            let rel = (est - truth).abs() / truth;
+            let bound = 1.0 / SUB_BUCKETS as f64 + 1e-9;
+            assert!(rel <= bound, "q={q}: est {est} vs {truth} (rel {rel:.4} > {bound:.4})");
+        }
+        assert_eq!(h.max(), n);
+        assert_eq!(h.quantile(1.0), Some(n));
+    }
+
+    /// Exponentially spread observations (the latency shape): the estimate
+    /// must stay within the relative bound across decades.
+    #[test]
+    fn quantile_accuracy_exponential_decades() {
+        let h = Histogram::new();
+        // 10 observations per decade over 1e0..1e8.
+        let mut values = Vec::new();
+        for exp in 0..8 {
+            for k in 1..=10u64 {
+                let v = 10u64.pow(exp) * k;
+                values.push(v);
+                h.record(v);
+            }
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let truth = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)] as f64;
+            let est = h.quantile(q).unwrap() as f64;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "q={q}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_across_threads() {
+        // 8 threads record disjoint ranges into their own histograms; merging
+        // in two different orders (and shapes) must agree bucket-for-bucket.
+        let parts: Vec<Histogram> = (0..8)
+            .map(|t| {
+                let h = Histogram::new();
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        for v in 0..5_000u64 {
+                            h.record(v * 17 + t * 1_000_003);
+                        }
+                    });
+                });
+                h
+            })
+            .collect();
+
+        // Left fold.
+        let a = Histogram::new();
+        for p in &parts {
+            a.merge(p);
+        }
+        // Pairwise tree, reversed order.
+        let b = Histogram::new();
+        let pairs: Vec<Histogram> = parts
+            .chunks(2)
+            .rev()
+            .map(|c| {
+                let m = Histogram::new();
+                for p in c.iter().rev() {
+                    m.merge(p);
+                }
+                m
+            })
+            .collect();
+        for m in &pairs {
+            b.merge(m);
+        }
+
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.bucket_counts(), b.bucket_counts());
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v + t);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn empty_histogram_summary() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+}

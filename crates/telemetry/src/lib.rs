@@ -1,0 +1,424 @@
+//! Always-on production telemetry for the QIP pipeline.
+//!
+//! `qip-telemetry` is the *production* counterpart to the development-time
+//! [`qip-trace`](../qip_trace/index.html) profiler. Where qip-trace is
+//! compile-gated (`--features trace`) and collects span trees for a single
+//! diagnostic session, this crate is always compiled in and designed to stay
+//! attached for the lifetime of a serving process:
+//!
+//! * [`hist::Histogram`] — lock-free log-linear (HDR-style) latency
+//!   histograms with bounded-relative-error p50/p90/p99 and exact max,
+//!   mergeable across threads and processes.
+//! * [`hub::MetricsHub`] — the named registry of counters, gauges, and
+//!   histograms a process attaches via [`attach`].
+//! * [`recorder::FlightRecorder`] — a bounded ring of per-call structured
+//!   records (compressor, dims, error bound, achieved ratio, per-level QP
+//!   accept rates, duration, outcome) dumpable as JSONL for incident triage.
+//! * [`export`] — Prometheus text exposition and JSON snapshot renderers.
+//! * [`flame`] — converts a qip-trace `TraceReport` into collapsed-stack
+//!   (folded) format for flamegraph tooling.
+//!
+//! # Dormant-cost contract
+//!
+//! Mirroring qip-trace: when no hub is attached, every instrumentation entry
+//! point returns after **one relaxed atomic load** ([`active`]). No
+//! formatting, no allocation, no locks. Instrumentation only ever *observes*
+//! the pipeline — compressed streams are byte-identical with telemetry on or
+//! off (pinned by the `trace_equivalence` integration test).
+
+pub mod export;
+pub mod flame;
+pub mod hist;
+pub mod hub;
+pub mod recorder;
+
+pub use hist::{HistSummary, Histogram};
+pub use hub::{MetricKey, MetricsHub, Snapshot};
+pub use recorder::{FlightRecord, FlightRecorder, LevelRate};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fast dormant check; set strictly after/cleared strictly before `HUB`.
+static ATTACHED: AtomicBool = AtomicBool::new(false);
+/// The attached hub. A mutex (not a OnceLock) so tests can attach/detach.
+static HUB: Mutex<Option<Arc<MetricsHub>>> = Mutex::new(None);
+
+thread_local! {
+    /// Nested [`pause`] guards on this thread (trial tuners).
+    static PAUSE_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Open [`CallScope`] on this thread (0 or 1; nested calls don't reopen).
+    static CALL_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Values reported via [`call_value`] inside the open scope.
+    static CALL_VALUES: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True when a hub is attached and telemetry is not paused on this thread.
+/// When dormant this is a single relaxed atomic load (the `&&` never
+/// evaluates its right side), which is the entire hot-path cost.
+#[inline]
+pub fn active() -> bool {
+    ATTACHED.load(Ordering::Relaxed) && PAUSE_DEPTH.with(|d| d.get()) == 0
+}
+
+/// Attach `hub` as the process-wide metrics sink, replacing any previous one.
+pub fn attach(hub: Arc<MetricsHub>) {
+    *HUB.lock().unwrap() = Some(hub);
+    ATTACHED.store(true, Ordering::SeqCst);
+}
+
+/// Detach and return the current hub, if any. Instrumentation goes dormant.
+pub fn detach() -> Option<Arc<MetricsHub>> {
+    ATTACHED.store(false, Ordering::SeqCst);
+    HUB.lock().unwrap().take()
+}
+
+/// Run `f` against the attached hub; no-op when dormant.
+pub fn with_hub<F: FnOnce(&MetricsHub)>(f: F) {
+    if !active() {
+        return;
+    }
+    let guard = HUB.lock().unwrap();
+    if let Some(hub) = guard.as_ref() {
+        let hub = Arc::clone(hub);
+        drop(guard); // don't hold the slot lock while touching metric maps
+        f(&hub);
+    }
+}
+
+/// Suppress telemetry on this thread until the guard drops. Used by trial
+/// tuners (QoZ/HPEZ alpha-beta search) so speculative compressions don't
+/// pollute production counters, mirroring `qip_trace::pause`.
+pub fn pause() -> PauseGuard {
+    PAUSE_DEPTH.with(|d| d.set(d.get() + 1));
+    PauseGuard { _priv: () }
+}
+
+/// RAII guard from [`pause`]; re-enables telemetry for this thread on drop.
+pub struct PauseGuard {
+    _priv: (),
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        PAUSE_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Add `delta` to a counter series on the attached hub; no-op when dormant.
+#[inline]
+pub fn counter_add(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !active() {
+        return;
+    }
+    with_hub(|hub| hub.counter_add(name, labels, delta));
+}
+
+/// Set a gauge series on the attached hub; no-op when dormant.
+#[inline]
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !active() {
+        return;
+    }
+    with_hub(|hub| hub.gauge_set(name, labels, value));
+}
+
+/// Record a histogram observation on the attached hub; no-op when dormant.
+#[inline]
+pub fn observe(name: &str, labels: &[(&str, &str)], value: u64) {
+    if !active() {
+        return;
+    }
+    with_hub(|hub| hub.observe(name, labels, value));
+}
+
+/// Report a named value from inside an instrumented call (e.g. the engine's
+/// per-level `qp.accept_rate.l3`). Last write per name wins, so trial runs
+/// that precede the real compression within one call are overwritten by it.
+/// No-op when dormant or when no [`CallScope`] is open on this thread.
+pub fn call_value(name: &str, value: f64) {
+    if !active() || CALL_DEPTH.with(|d| d.get()) == 0 {
+        return;
+    }
+    CALL_VALUES.with(|vals| {
+        let mut vals = vals.borrow_mut();
+        match vals.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = value,
+            None => vals.push((name.to_string(), value)),
+        }
+    });
+}
+
+/// Open per-call collection scope (see [`CallScope::begin`]).
+pub struct CallScope {
+    _priv: (),
+}
+
+impl CallScope {
+    /// Open a scope on this thread. Returns `None` when telemetry is dormant
+    /// or a scope is already open (nested compressor calls report into the
+    /// outermost one), so each top-level call yields exactly one record.
+    pub fn begin() -> Option<CallScope> {
+        if !active() || CALL_DEPTH.with(|d| d.get()) != 0 {
+            return None;
+        }
+        CALL_DEPTH.with(|d| d.set(1));
+        CALL_VALUES.with(|v| v.borrow_mut().clear());
+        Some(CallScope { _priv: () })
+    }
+
+    /// Close the scope and drain the values reported inside it.
+    pub fn finish(self) -> Vec<(String, f64)> {
+        CALL_VALUES.with(|v| std::mem::take(&mut *v.borrow_mut()))
+        // Drop impl resets the depth.
+    }
+}
+
+impl Drop for CallScope {
+    fn drop(&mut self) {
+        CALL_DEPTH.with(|d| d.set(0));
+    }
+}
+
+/// Everything an instrumented entry point knows about one finished call.
+pub struct CallReport<'a> {
+    /// `"compress"` or `"decompress"`.
+    pub op: &'a str,
+    /// Registry compressor name (`"SZ3+QP"`, …).
+    pub compressor: &'a str,
+    /// Field dimensions.
+    pub dims: &'a [usize],
+    /// Scalar type name (`"f32"` / `"f64"`).
+    pub dtype: &'a str,
+    /// Requested absolute error bound.
+    pub error_bound: f64,
+    /// Uncompressed payload size in bytes.
+    pub raw_bytes: u64,
+    /// Compressed stream size in bytes (0 when the call failed).
+    pub stream_bytes: u64,
+    /// Wall time of the call in nanoseconds.
+    pub duration_ns: u64,
+    /// Low-cardinality outcome class for counter labels: `"ok"`,
+    /// `"corrupt"`, or `"error"`.
+    pub outcome_kind: &'a str,
+    /// Full outcome text for the flight record (`"ok"` or error rendering).
+    pub outcome: String,
+}
+
+/// Record one finished call: updates the hub's histograms/counters and
+/// appends a flight record, harvesting per-level QP accept rates from the
+/// scope's [`call_value`]s. The scope comes from [`CallScope::begin`] at the
+/// start of the call; pass `None` if none was opened (then only a detached
+/// record would be meaningless, so this is a no-op when dormant).
+pub fn record_call(scope: Option<CallScope>, report: CallReport<'_>) {
+    let Some(scope) = scope else { return };
+    let values = scope.finish();
+    if !active() {
+        return; // hub detached mid-call
+    }
+    let comp = report.compressor;
+    let labels = [("compressor", comp)];
+    let cr = if report.stream_bytes > 0 {
+        report.raw_bytes as f64 / report.stream_bytes as f64
+    } else {
+        0.0
+    };
+    let n_values: u64 = report.dims.iter().map(|&d| d as u64).product();
+    let bitrate = if report.stream_bytes > 0 && n_values > 0 {
+        report.stream_bytes as f64 * 8.0 / n_values as f64
+    } else {
+        0.0
+    };
+
+    let mut qp_accept_rates = Vec::new();
+    with_hub(|hub| {
+        hub.observe(&format!("qip.{}.duration_ns", report.op), &labels, report.duration_ns);
+        hub.counter_add(
+            &format!("qip.{}.calls", report.op),
+            &[("compressor", comp), ("outcome", report.outcome_kind)],
+            1,
+        );
+        hub.counter_add(&format!("qip.{}.bytes.raw", report.op), &labels, report.raw_bytes);
+        hub.counter_add(&format!("qip.{}.bytes.stream", report.op), &labels, report.stream_bytes);
+        if cr > 0.0 {
+            // CR as a fixed-point histogram (x100) so quantiles are exportable.
+            hub.observe(&format!("qip.{}.cr_x100", report.op), &labels, (cr * 100.0) as u64);
+        }
+        for (name, value) in &values {
+            if let Some(level) = name.strip_prefix("qp.accept_rate.l").and_then(|s| s.parse().ok())
+            {
+                qp_accept_rates.push(LevelRate { level, rate: *value });
+                hub.gauge_set(
+                    "qip.qp.accept_rate",
+                    &[("compressor", comp), ("level", &format!("l{level}"))],
+                    *value,
+                );
+            } else {
+                hub.gauge_set(&format!("qip.call.{name}"), &labels, *value);
+            }
+        }
+        qp_accept_rates.sort_by_key(|r| r.level);
+        hub.recorder.push(FlightRecord {
+            seq: 0,
+            op: report.op.to_string(),
+            compressor: comp.to_string(),
+            dims: report.dims.iter().map(|&d| d as u64).collect(),
+            dtype: report.dtype.to_string(),
+            error_bound: report.error_bound,
+            raw_bytes: report.raw_bytes,
+            stream_bytes: report.stream_bytes,
+            cr,
+            bitrate_bits_per_value: bitrate,
+            duration_ns: report.duration_ns,
+            outcome: report.outcome.clone(),
+            qp_accept_rates: std::mem::take(&mut qp_accept_rates),
+        });
+    });
+}
+
+/// Append a failure-only flight record (no metrics side effects beyond an
+/// error counter). Used by the fault-injection harness to log decode
+/// rejections it observes outside the registry entry points.
+pub fn record_fault(compressor: &str, op: &str, outcome: &str) {
+    if !active() {
+        return;
+    }
+    with_hub(|hub| {
+        hub.counter_add("qip.fault.records", &[("compressor", compressor), ("op", op)], 1);
+        hub.recorder.push(FlightRecord {
+            seq: 0,
+            op: op.to_string(),
+            compressor: compressor.to_string(),
+            dims: Vec::new(),
+            dtype: String::new(),
+            error_bound: 0.0,
+            raw_bytes: 0,
+            stream_bytes: 0,
+            cr: 0.0,
+            bitrate_bits_per_value: 0.0,
+            duration_ns: 0,
+            outcome: outcome.to_string(),
+            qp_accept_rates: Vec::new(),
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The attach/detach slot is process-global, so tests touching it share
+    // one lock to stay independent of test-thread interleaving.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn dormant_functions_are_noops() {
+        let _t = TEST_LOCK.lock().unwrap();
+        detach();
+        assert!(!active());
+        counter_add("c", &[], 1);
+        gauge_set("g", &[], 1.0);
+        observe("h", &[], 1);
+        call_value("v", 1.0);
+        assert!(CallScope::begin().is_none());
+        record_fault("X", "decompress", "corrupt");
+    }
+
+    #[test]
+    fn attach_records_detach_stops() {
+        let _t = TEST_LOCK.lock().unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        attach(Arc::clone(&hub));
+        assert!(active());
+        counter_add("c", &[], 2);
+        observe("h", &[], 7);
+        let detached = detach().unwrap();
+        assert!(Arc::ptr_eq(&detached, &hub));
+        counter_add("c", &[], 100); // dormant: must not land
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters[0].1, 2);
+        assert_eq!(snap.hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn pause_suppresses_on_this_thread() {
+        let _t = TEST_LOCK.lock().unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        attach(Arc::clone(&hub));
+        {
+            let _p = pause();
+            assert!(!active());
+            counter_add("c", &[], 1);
+            let _p2 = pause(); // nesting
+        }
+        assert!(active());
+        counter_add("c", &[], 1);
+        detach();
+        assert_eq!(hub.snapshot().counters[0].1, 1);
+    }
+
+    #[test]
+    fn call_scope_collects_last_write_wins_and_feeds_record() {
+        let _t = TEST_LOCK.lock().unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        attach(Arc::clone(&hub));
+        let scope = CallScope::begin();
+        assert!(scope.is_some());
+        assert!(CallScope::begin().is_none()); // no nested scopes
+        call_value("qp.accept_rate.l2", 0.5); // trial run…
+        call_value("qp.accept_rate.l2", 0.9); // …overwritten by the real one
+        call_value("qp.accept_rate.l1", 0.8);
+        record_call(
+            scope,
+            CallReport {
+                op: "compress",
+                compressor: "SZ3+QP",
+                dims: &[16, 16, 16],
+                dtype: "f32",
+                error_bound: 1e-3,
+                raw_bytes: 16384,
+                stream_bytes: 4096,
+                duration_ns: 1000,
+                outcome_kind: "ok",
+                outcome: "ok".into(),
+            },
+        );
+        detach();
+        let records = hub.recorder.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.cr, 4.0);
+        assert_eq!(r.bitrate_bits_per_value, 8.0);
+        assert_eq!(
+            r.qp_accept_rates,
+            vec![LevelRate { level: 1, rate: 0.8 }, LevelRate { level: 2, rate: 0.9 }]
+        );
+        let snap = hub.snapshot();
+        let names: Vec<&str> = snap.hists.iter().map(|(k, _)| k.name.as_str()).collect();
+        assert!(names.contains(&"qip.compress.duration_ns"));
+        assert!(names.contains(&"qip.compress.cr_x100"));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(k, v)| k.name == "qip.qp.accept_rate"
+                && k.labels.contains(&("level".into(), "l2".into()))
+                && *v == 0.9));
+        // A fresh scope starts clean.
+        let scope = CallScope::begin();
+        assert!(scope.is_none()); // dormant after detach
+    }
+
+    #[test]
+    fn fault_records_land_in_recorder() {
+        let _t = TEST_LOCK.lock().unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        attach(Arc::clone(&hub));
+        record_fault("MGARD", "decompress", "corrupt: bad magic");
+        detach();
+        let recs = hub.recorder.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].outcome, "corrupt: bad magic");
+        assert_eq!(hub.snapshot().counters[0].1, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Flight recorder: a bounded ring buffer of per-call structured records.
+//!
+//! Every compress/decompress call through an instrumented entry point appends
+//! one [`FlightRecord`] — enough context to triage a production incident
+//! post-hoc (which compressor, what shape, what bound, what came out, how
+//! long it took, and whether it failed). The buffer is bounded: once full,
+//! the oldest record is dropped, so memory stays constant under any traffic.
+//! `seq` is monotonically increasing across the process, so dropped records
+//! are detectable as gaps.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity (records kept before the oldest is evicted).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Per-level QP acceptance rate harvested from the engine's `SinkStats`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct LevelRate {
+    /// Interpolation level the rate belongs to.
+    pub level: u32,
+    /// Fraction of points whose predicted quantization index was accepted.
+    pub rate: f64,
+}
+
+/// One structured record per compress/decompress call.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (process-wide; gaps mean evicted records).
+    pub seq: u64,
+    /// `"compress"` or `"decompress"` (`_into` variants share the name).
+    pub op: String,
+    /// Compressor name as reported by the registry (`"SZ3+QP"`, …).
+    pub compressor: String,
+    /// Field dimensions.
+    pub dims: Vec<u64>,
+    /// Scalar type (`"f32"` / `"f64"`).
+    pub dtype: String,
+    /// Requested error bound (absolute, as passed to the call).
+    pub error_bound: f64,
+    /// Uncompressed payload size in bytes.
+    pub raw_bytes: u64,
+    /// Compressed stream size in bytes (0 when the call failed).
+    pub stream_bytes: u64,
+    /// Achieved compression ratio `raw_bytes / stream_bytes` (0 on failure).
+    pub cr: f64,
+    /// Achieved bitrate in bits per value (0 on failure).
+    pub bitrate_bits_per_value: f64,
+    /// Wall time of the call in nanoseconds.
+    pub duration_ns: u64,
+    /// `"ok"` or the error rendering (e.g. `"corrupt: truncated header"`).
+    pub outcome: String,
+    /// Per-level QP accept rates observed during the call (compress only;
+    /// empty for compressors without QP gating).
+    pub qp_accept_rates: Vec<LevelRate>,
+}
+
+/// Bounded, thread-safe ring buffer of [`FlightRecord`]s.
+pub struct FlightRecorder {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightRecord>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` records (min 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full. The recorder assigns
+    /// `seq`; the caller's value is overwritten.
+    pub fn push(&self, mut record: FlightRecord) {
+        record.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Total records ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the current contents, oldest first.
+    pub fn records(&self) -> Vec<FlightRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Render the current contents as JSON Lines (one record per line,
+    /// oldest first, trailing newline when non-empty).
+    pub fn dump_jsonl(&self) -> String {
+        use serde::Serialize;
+        let mut out = String::new();
+        for r in self.ring.lock().unwrap().iter() {
+            r.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(compressor: &str) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            op: "compress".into(),
+            compressor: compressor.into(),
+            dims: vec![8, 8, 8],
+            dtype: "f32".into(),
+            error_bound: 1e-3,
+            raw_bytes: 2048,
+            stream_bytes: 512,
+            cr: 4.0,
+            bitrate_bits_per_value: 8.0,
+            duration_ns: 12_345,
+            outcome: "ok".into(),
+            qp_accept_rates: vec![LevelRate { level: 1, rate: 0.75 }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let r = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            r.push(rec(&format!("c{i}")));
+        }
+        assert_eq!(r.total_pushed(), 5);
+        let held = r.records();
+        assert_eq!(held.len(), 3);
+        // Oldest two evicted; seq shows the gap.
+        assert_eq!(held[0].seq, 2);
+        assert_eq!(held[2].seq, 4);
+        assert_eq!(held[0].compressor, "c2");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let r = FlightRecorder::with_capacity(8);
+        r.push(rec("SZ3"));
+        r.push(rec("SZ3+QP"));
+        let dump = r.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"compressor\":\"SZ3+QP\""));
+        assert!(lines[0].contains("\"dims\":[8,8,8]"));
+        assert!(lines[0].contains("\"qp_accept_rates\":[{\"level\":1,\"rate\":0.75}]"));
+    }
+
+    #[test]
+    fn concurrent_pushes_assign_unique_seq() {
+        let r = FlightRecorder::with_capacity(1024);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        r.push(rec("x"));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.total_pushed(), 800);
+        let mut seqs: Vec<u64> = r.records().iter().map(|x| x.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800);
+    }
+}

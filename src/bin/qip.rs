@@ -63,30 +63,95 @@ fn detect(bytes: &[u8]) -> Option<&'static str> {
     }
 }
 
-/// Run `f` inside a trace session when `--trace FILE` or `--stats` was given:
-/// the span/counter report is written to `FILE` as JSON and/or rendered to
-/// stderr. Without either option `f` runs untraced (and with the `trace`
-/// feature not compiled in, tracing costs nothing at all).
-fn with_cli_trace<R>(
-    trace_path: Option<&String>,
+/// Observability outputs requested on the command line.
+struct CliObs<'a> {
+    /// `--trace FILE`: span/counter report as JSON (needs the trace feature).
+    trace_path: Option<&'a String>,
+    /// `--flame FILE`: the same report as collapsed stacks for flamegraph
+    /// tooling (needs the trace feature).
+    flame_path: Option<&'a String>,
+    /// `--stats`: render the report to stderr.
     stats: bool,
-    f: impl FnOnce() -> Result<R, String>,
-) -> Result<R, String> {
-    if trace_path.is_none() && !stats {
-        return f();
+    /// `--metrics-out FILE`: telemetry JSON snapshot (always available).
+    metrics_out: Option<&'a String>,
+    /// `--prom FILE`: telemetry in Prometheus text exposition format.
+    prom_path: Option<&'a String>,
+    /// `--flight FILE`: flight-recorder dump as JSON Lines.
+    flight_path: Option<&'a String>,
+}
+
+impl<'a> CliObs<'a> {
+    fn from_cli(opts: &'a HashMap<String, String>, flags: &[String]) -> CliObs<'a> {
+        CliObs {
+            trace_path: opts.get("trace"),
+            flame_path: opts.get("flame"),
+            stats: flags.iter().any(|f| f == "stats"),
+            metrics_out: opts.get("metrics-out"),
+            prom_path: opts.get("prom"),
+            flight_path: opts.get("flight"),
+        }
     }
-    if !qip_trace::compiled() {
-        eprintln!(
-            "warning: --trace/--stats need the `trace` cargo feature; \
-             rebuild with `cargo build --release --features trace` (report will be empty)"
-        );
+
+    fn wants_trace(&self) -> bool {
+        self.trace_path.is_some() || self.flame_path.is_some() || self.stats
     }
-    let (result, report) = qip_trace::with_session(f);
-    if let Some(path) = trace_path {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+
+    fn wants_telemetry(&self) -> bool {
+        self.metrics_out.is_some() || self.prom_path.is_some() || self.flight_path.is_some()
     }
-    if stats {
-        eprintln!("{}", report.render());
+}
+
+/// Run `f` with whatever observability the flags ask for: a qip-trace session
+/// (`--trace`/`--flame`/`--stats`, compile-gated) and/or an attached
+/// qip-telemetry hub (`--metrics-out`/`--prom`/`--flight`, always available).
+/// Without any of those options `f` runs bare and pays only the dormant
+/// relaxed-load checks.
+fn with_cli_obs<R>(obs: CliObs, f: impl FnOnce() -> Result<R, String>) -> Result<R, String> {
+    let hub = if obs.wants_telemetry() {
+        let hub = std::sync::Arc::new(qip::telemetry::MetricsHub::new());
+        qip::telemetry::attach(std::sync::Arc::clone(&hub));
+        Some(hub)
+    } else {
+        None
+    };
+
+    let result = if obs.wants_trace() {
+        if !qip_trace::compiled() {
+            eprintln!(
+                "warning: --trace/--flame/--stats need the `trace` cargo feature; \
+                 rebuild with `cargo build --release --features trace` (report will be empty)"
+            );
+        }
+        let (result, report) = qip_trace::with_session(f);
+        if let Some(path) = obs.trace_path {
+            std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = obs.flame_path {
+            std::fs::write(path, qip::telemetry::flame::collapsed_stacks(&report))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if obs.stats {
+            eprintln!("{}", report.render());
+        }
+        result
+    } else {
+        f()
+    };
+
+    if let Some(hub) = hub {
+        qip::telemetry::detach();
+        if let Some(path) = obs.metrics_out {
+            std::fs::write(path, qip::telemetry::export::json_snapshot(&hub))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = obs.prom_path {
+            std::fs::write(path, qip::telemetry::export::prometheus_text(&hub))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = obs.flight_path {
+            std::fs::write(path, hub.recorder.dump_jsonl())
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
     }
     result
 }
@@ -133,7 +198,7 @@ fn run() -> Result<(), String> {
 
             let comp = compressor_by_name(method, qp)?;
             let (bytes, name, n) =
-                with_cli_trace(opts.get("trace"), flags.iter().any(|f| f == "stats"), || {
+                with_cli_obs(CliObs::from_cli(&opts, &flags), || {
                     if is_f64 {
                         let field = Field::<f64>::from_le_bytes(shape, &raw)
                             .map_err(|e| format!("{input}: {e}"))?;
@@ -169,7 +234,7 @@ fn run() -> Result<(), String> {
             }
             let comp = compressor_by_name(method, false)?;
             let out =
-                with_cli_trace(opts.get("trace"), flags.iter().any(|f| f == "stats"), || {
+                with_cli_obs(CliObs::from_cli(&opts, &flags), || {
                     if is_f64 {
                         let field: Field<f64> =
                             comp.decompress(&bytes).map_err(|e| e.to_string())?;
@@ -224,11 +289,17 @@ fn run() -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  \
-     qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64] [--trace T.json] [--stats]\n  \
-     qip decompress -i IN -o OUT [--f64] [--trace T.json] [--stats]\n  \
+     qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64] [OBSERVABILITY]\n  \
+     qip decompress -i IN -o OUT [--f64] [OBSERVABILITY]\n  \
      qip info       -i IN\n  \
      qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n\n\
-     --trace/--stats need the `trace` cargo feature (`cargo build --release --features trace`)."
+     OBSERVABILITY (compress/decompress):\n  \
+     --metrics-out M.json   telemetry snapshot (counters, gauges, latency histograms) as JSON\n  \
+     --prom M.prom          the same snapshot in Prometheus text exposition format\n  \
+     --flight F.jsonl       flight-recorder dump, one JSON record per compress/decompress call\n  \
+     --trace T.json         span/counter report as JSON (needs the `trace` cargo feature)\n  \
+     --flame F.folded       span tree as collapsed stacks for flamegraph tools (needs `trace`)\n  \
+     --stats                render the span report to stderr (needs `trace`)"
         .into()
 }
 

@@ -31,6 +31,7 @@ pub use qip_quant as quant;
 pub use qip_registry as registry;
 pub use qip_sperr as sperr;
 pub use qip_sz3 as sz3;
+pub use qip_telemetry as telemetry;
 pub use qip_tensor as tensor;
 pub use qip_transfer as transfer;
 pub use qip_tthresh as tthresh;
