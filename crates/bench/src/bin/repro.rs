@@ -34,7 +34,15 @@
 //!   table4     comparison with ZFP/TTHRESH/SPERR
 //!   fig18      end-to-end parallel transfer
 //!   ablate     ablation studies (DESIGN.md §8)
-//!   all        everything above in order
+//!   serve      fault-tolerance benchmark of the qip-serve TCP service:
+//!              closed-loop p50/p99 latency + RPS for several registry
+//!              compressors, an open-loop overload phase proving bounded
+//!              queues and typed SERVER_BUSY shedding, and a seeded chaos
+//!              run (corrupt frames → typed errors/clean closes, zero
+//!              hangs). Writes BENCH_serve.json, appends BENCH_history.jsonl,
+//!              exits 1 when any robustness gate fails
+//!   all        everything above in order (failures are aggregated; the exit
+//!              code is nonzero if any gated experiment failed)
 //! ```
 //!
 //! `--scale N` divides every paper dimension by N (default 4); `--full` is
@@ -65,7 +73,7 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|all> \
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|all> \
          [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--bless]"
     );
     std::process::exit(2);
@@ -175,7 +183,17 @@ fn main() {
         "table4" => experiments::sota::run(&opts),
         "fig18" => experiments::transfer::run(&opts),
         "ablate" => experiments::ablate::run(&opts),
+        "serve" => {
+            if let Err(msg) = experiments::serve::run(&opts) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
         "all" => {
+            // Gated experiments append to `failures` instead of exiting on
+            // the spot, so one bad gate never masks the others — but the
+            // process still exits nonzero at the end if anything failed.
+            let mut failures: Vec<String> = Vec::new();
             print_table1();
             experiments::characterize::table2(&opts);
             experiments::characterize::fig3(&opts);
@@ -186,18 +204,34 @@ fn main() {
             experiments::config_explore::fig9(&opts);
             rd_all();
             experiments::speed::run(&opts);
-            experiments::throughput::run(&opts);
-            if let Err(msg) = experiments::monitor::run(&opts, None) {
-                eprintln!("{msg}");
-                std::process::exit(1);
+            let throughput_records = experiments::throughput::run(&opts);
+            if let Some(b) = &baseline {
+                if let Err(msg) =
+                    experiments::throughput::compare_baseline(&throughput_records, b, 0.05)
+                {
+                    failures.push(format!("throughput: {msg}"));
+                }
+            }
+            if let Err(msg) = experiments::monitor::run(&opts, gate) {
+                failures.push(format!("monitor: {msg}"));
             }
             experiments::profile::run(&opts);
             if !experiments::conformance::run(&opts, false) {
-                std::process::exit(1);
+                failures.push("conformance: suite reported failures (see log above)".into());
             }
             experiments::sota::run(&opts);
             experiments::transfer::run(&opts);
             experiments::ablate::run(&opts);
+            if let Err(msg) = experiments::serve::run(&opts) {
+                failures.push(format!("serve: {msg}"));
+            }
+            if !failures.is_empty() {
+                eprintln!("repro all: {} gated experiment(s) failed:", failures.len());
+                for f in &failures {
+                    eprintln!("  - {f}");
+                }
+                std::process::exit(1);
+            }
         }
         _ => usage(),
     }

@@ -139,11 +139,7 @@ pub fn table2(opts: &Opts) {
     for base in AnyCompressor::base_four(QpConfig::off()) {
         let name = Compressor::<f32>::name(&base);
         let (eb, rec) = find_eb_for_psnr(&base, "SegSalt", 0, &field, 75.0, 0.8);
-        let qp = AnyCompressor::by_name(
-            name.trim_end_matches("+QP"),
-            QpConfig::best_fit(),
-        )
-        .expect("known name");
+        let qp = AnyCompressor::by_name(&format!("{name}+QP")).expect("known name");
         let rec_qp = run_once(&qp, "SegSalt", 0, &field, eb);
         rows.push(vec![
             name.clone(),
@@ -244,7 +240,7 @@ pub fn fig5(opts: &Opts) {
         let (eb, _) = find_eb_for_psnr(&base, "SegSalt", 0, &field, 75.0, 1.2);
         let plain: QuantCapture =
             base.quant_capture(&field, ErrorBound::Rel(eb)).expect("base").expect("capture");
-        let with = AnyCompressor::by_name(&name, QpConfig::best_fit()).expect("name");
+        let with = AnyCompressor::by_name(&format!("{name}+QP")).expect("name");
         let qp: QuantCapture =
             with.quant_capture(&field, ErrorBound::Rel(eb)).expect("base").expect("capture");
         for (ri, region) in geo.regions.iter().enumerate() {

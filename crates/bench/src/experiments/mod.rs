@@ -7,6 +7,7 @@ pub mod conformance;
 pub mod monitor;
 pub mod profile;
 pub mod rd;
+pub mod serve;
 pub mod sota;
 pub mod speed;
 pub mod throughput;

@@ -268,7 +268,7 @@ fn write_artifacts(
     // step builds with `--features trace`); otherwise the file records why
     // it is empty, in comment-free folded format (a single sentinel frame).
     let field = Dataset::SegSalt.generate_f32(0, &Dataset::SegSalt.scaled_dims(opts.scale.max(8)));
-    let comp = AnyCompressor::by_name("sz3", qip_core::QpConfig::best_fit()).expect("sz3 exists");
+    let comp = AnyCompressor::by_name("sz3+qp").expect("sz3 exists");
     let (_, report) = qip_trace::with_session(|| {
         comp.compress(&field, ErrorBound::Rel(REL_EB)).expect("compress failed")
     });

@@ -27,7 +27,7 @@ pub fn run_dataset(ds: Dataset, opts: &Opts) {
             let field = ds.generate_f64(field_idx, &dims);
             for base in AnyCompressor::base_four(QpConfig::off()) {
                 let name = Compressor::<f64>::name(&base);
-                let with = AnyCompressor::by_name(&name, QpConfig::best_fit()).unwrap();
+                let with = AnyCompressor::by_name(&format!("{name}+QP")).unwrap();
                 for &eb in &EB_SWEEP {
                     records.push(run_once(&base, ds.name(), field_idx, &field, eb));
                     records.push(run_once(&with, ds.name(), field_idx, &field, eb));
@@ -37,7 +37,7 @@ pub fn run_dataset(ds: Dataset, opts: &Opts) {
             let field = ds.generate_f32(field_idx, &dims);
             for base in AnyCompressor::base_four(QpConfig::off()) {
                 let name = Compressor::<f32>::name(&base);
-                let with = AnyCompressor::by_name(&name, QpConfig::best_fit()).unwrap();
+                let with = AnyCompressor::by_name(&format!("{name}+QP")).unwrap();
                 for &eb in &EB_SWEEP {
                     records.push(run_once(&base, ds.name(), field_idx, &field, eb));
                     records.push(run_once(&with, ds.name(), field_idx, &field, eb));

@@ -9,15 +9,15 @@ use super::Opts;
 use crate::registry::AnyCompressor;
 use crate::report::{fmt, print_table, write_jsonl};
 use crate::runner::{run_once, RunRecord};
-use qip_core::{Compressor, QpConfig};
+use qip_core::Compressor;
 use qip_data::Dataset;
 
 /// Table IV's compressor rows, in paper order.
 fn rows() -> Vec<AnyCompressor> {
     let mut out = Vec::new();
     for base in ["MGARD", "SZ3", "QoZ", "HPEZ"] {
-        out.push(AnyCompressor::by_name(base, QpConfig::off()).unwrap());
-        out.push(AnyCompressor::by_name(base, QpConfig::best_fit()).unwrap());
+        out.push(AnyCompressor::by_name(base).unwrap());
+        out.push(AnyCompressor::by_name(&format!("{base}+QP")).unwrap());
     }
     out.extend(AnyCompressor::comparators());
     out

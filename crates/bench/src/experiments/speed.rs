@@ -21,7 +21,7 @@ pub fn run(opts: &Opts) {
         let field = ds.generate_f32(0, &dims);
         for base in AnyCompressor::base_four(QpConfig::off()) {
             let name = Compressor::<f32>::name(&base);
-            let with = AnyCompressor::by_name(&name, QpConfig::best_fit()).unwrap();
+            let with = AnyCompressor::by_name(&format!("{name}+QP")).unwrap();
             for &eb in &EB_SPEED {
                 records.push(run_once(&base, ds.name(), 0, &field, eb));
                 records.push(run_once(&with, ds.name(), 0, &field, eb));

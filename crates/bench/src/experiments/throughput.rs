@@ -228,11 +228,16 @@ fn load_baseline(baseline_path: &std::path::Path) -> Result<Vec<crate::jsonx::Js
     if looks_jsonl {
         let runs = crate::jsonx::parse_lines(&text)
             .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
-        let last = runs.last().ok_or_else(|| format!("{}: empty history", baseline_path.display()))?;
-        let records = last
-            .get("records")
-            .and_then(|r| r.as_arr())
-            .ok_or_else(|| format!("{}: newest history entry has no records array", baseline_path.display()))?;
+        // The history file is shared with other experiments (`repro serve`
+        // appends `"serve"`-keyed lines); the baseline is the newest line
+        // that actually carries a throughput records array.
+        let records = runs
+            .iter()
+            .rev()
+            .find_map(|run| run.get("records").and_then(|r| r.as_arr()))
+            .ok_or_else(|| {
+                format!("{}: no history entry has a records array", baseline_path.display())
+            })?;
         Ok(records.to_vec())
     } else {
         let doc = crate::jsonx::parse(&text)
@@ -400,5 +405,17 @@ mod tests {
         assert!(compare_baseline(&[fake_record(97.0)], &path, 0.05).is_ok());
         let err = compare_baseline(&[fake_record(60.0)], &path, 0.05).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
+        // A newer serve-keyed line (no records array) must not become the
+        // baseline — the gate keeps comparing against the newest throughput
+        // entry.
+        {
+            use std::io::Write;
+            let mut f =
+                std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"ts_unix\":1,\"scale\":32,\"serve\":{\"chaos\":{\"hangs\":0}}}\n")
+                .unwrap();
+        }
+        assert!(compare_baseline(&[fake_record(97.0)], &path, 0.05).is_ok());
+        assert!(compare_baseline(&[fake_record(60.0)], &path, 0.05).is_err());
     }
 }

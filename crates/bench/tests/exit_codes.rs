@@ -1,0 +1,43 @@
+//! Exit-code contract of the `repro` binary: gate failures must surface as a
+//! nonzero process exit (CI keys off the code, not the log), usage errors as
+//! exit 2, and clean runs as exit 0.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let status = repro().arg("no-such-command").status().unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn missing_option_value_exits_2() {
+    let status = repro().args(["throughput", "--scale"]).status().unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn table1_exits_0() {
+    let status = repro().arg("table1").status().unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn failed_gate_exits_1() {
+    // Scale 32 keeps the throughput grid tiny; the unreadable baseline makes
+    // the gate fail AFTER the measurement, so this exercises the propagation
+    // path rather than argument validation.
+    let out = std::env::temp_dir().join("qip_exit_code_test");
+    let status = repro()
+        .args(["throughput", "--scale", "32", "--fields", "1"])
+        .arg("--out")
+        .arg(&out)
+        .args(["--baseline", "/nonexistent/qip-baseline.json"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}

@@ -249,8 +249,8 @@ mod tests {
         // The full 11×256 grid runs in `repro conformance`; two compressors
         // at 24 cases keep the unit cycle fast while exercising the whole
         // draw/check/minimize machinery.
-        for key in ["sz3", "zfp"] {
-            let comp = AnyCompressor::by_name(key, qip_core::QpConfig::best_fit()).unwrap();
+        for key in ["sz3+qp", "zfp"] {
+            let comp = AnyCompressor::by_name(key).unwrap();
             let stats = contract_suite(&comp, 24, 0xC0DE_5EED);
             assert!(stats.violations.is_empty(), "{key}: {:?}", stats.violations);
             assert!(stats.worst_ratio <= 1.0 + 1e-9, "{key}: ratio {}", stats.worst_ratio);
@@ -265,7 +265,7 @@ mod tests {
         // a compressor-rejecting dtype is not available either) — instead
         // verify the minimizer's fixed point on a passing case is the
         // original dims (no shrink happens when nothing fails).
-        let comp = AnyCompressor::by_name("sz3", qip_core::QpConfig::off()).unwrap();
+        let comp = AnyCompressor::by_name("sz3").unwrap();
         let case = draw_case(3);
         if !still_fails(&comp, &case, 3, &case.dims) {
             let dims = case.dims.clone();

@@ -223,7 +223,7 @@ mod tests {
     fn one_compressor_paths_agree() {
         // The full grid runs in the conformance suite / repro experiment;
         // here one representative compressor keeps the unit cycle fast.
-        let comp = AnyCompressor::by_name("sz3", qip_core::QpConfig::best_fit()).unwrap();
+        let comp = AnyCompressor::by_name("sz3+qp").unwrap();
         let mut ctx = CompressCtx::new();
         let mut out = Vec::new();
         for family in FieldFamily::ALL {
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn one_inner_thread_sweep_is_invariant() {
-        let comp = AnyCompressor::by_name("qoz", qip_core::QpConfig::best_fit()).unwrap();
+        let comp = AnyCompressor::by_name("qoz+qp").unwrap();
         let f = thread_sweep_one(comp);
         assert!(f.is_empty(), "{f:?}");
     }

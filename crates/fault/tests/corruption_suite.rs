@@ -198,7 +198,7 @@ fn telemetry_flight_recorder_captures_rejections() {
     // hub via the registry entry point and can be annotated with the fault's
     // repro seed via `record_rejection` — the production triage path.
     let field = qip_data::Dataset::SegSalt.generate_f32(1, &[12, 10, 8]);
-    let comp = AnyCompressor::by_name("sz3", QpConfig::best_fit()).unwrap();
+    let comp = AnyCompressor::by_name("sz3+qp").unwrap();
     let name = Compressor::<f32>::name(&comp);
     let stream = comp.compress(&field, ErrorBound::Abs(1e-3)).expect("compress");
     let hub = std::sync::Arc::new(qip_telemetry::MetricsHub::new());

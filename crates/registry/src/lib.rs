@@ -53,9 +53,11 @@ impl AnyCompressor {
         ]
     }
 
-    /// One compressor by paper name (case-insensitive), with QP config.
-    /// The transform-based comparators ignore the QP configuration.
-    pub fn by_name(name: &str, qp: QpConfig) -> Option<AnyCompressor> {
+    /// One compressor by base name (case-insensitive), with an explicit QP
+    /// config. The transform-based comparators ignore the QP configuration.
+    /// Callers that speak canonical registry names (`"SZ3+QP"`) should use
+    /// [`AnyCompressor::by_name`] instead.
+    pub fn by_base_name(name: &str, qp: QpConfig) -> Option<AnyCompressor> {
         Some(match name.to_ascii_lowercase().as_str() {
             "mgard" => AnyCompressor::Mgard(Mgard::new().with_qp(qp)),
             "sz3" => AnyCompressor::Sz3(Sz3::new().with_qp(qp)),
@@ -66,6 +68,30 @@ impl AnyCompressor {
             "tthresh" => AnyCompressor::Tthresh(Tthresh::new()),
             _ => return None,
         })
+    }
+
+    /// One compressor by canonical registry name (case-insensitive): the
+    /// eleven names [`AnyCompressor::registry`] reports — `"MGARD"`, `"SZ3"`,
+    /// `"QoZ"`, `"HPEZ"`, their `"+QP"` variants, `"ZFP"`, `"TTHRESH"`,
+    /// `"SPERR"`. A `+QP` suffix selects [`QpConfig::best_fit`]; without it
+    /// QP is off. `+QP` on a transform-based comparator is rejected (`None`)
+    /// rather than silently ignored, so a name round-trips exactly:
+    /// `by_name(n).unwrap().name() == n` for every registry entry.
+    pub fn by_name(name: &str) -> Option<AnyCompressor> {
+        let lower = name.to_ascii_lowercase();
+        let (base, qp) = match lower.strip_suffix("+qp") {
+            Some(base) => (base, QpConfig::best_fit()),
+            None => (lower.as_str(), QpConfig::off()),
+        };
+        let comp = AnyCompressor::by_base_name(base, qp)?;
+        if matches!(
+            comp,
+            AnyCompressor::Zfp(_) | AnyCompressor::Sperr(_) | AnyCompressor::Tthresh(_)
+        ) && lower.ends_with("+qp")
+        {
+            return None; // comparators have no QP mode; don't lie about it
+        }
+        Some(comp)
     }
 
     /// The full evaluation registry: the base four with QP off, the base four
@@ -326,10 +352,33 @@ mod tests {
     }
 
     #[test]
-    fn by_name_lookup() {
-        assert!(AnyCompressor::by_name("sz3", QpConfig::off()).is_some());
-        assert!(AnyCompressor::by_name("SPERR", QpConfig::off()).is_some());
-        assert!(AnyCompressor::by_name("nope", QpConfig::off()).is_none());
+    fn by_base_name_lookup() {
+        assert!(AnyCompressor::by_base_name("sz3", QpConfig::off()).is_some());
+        assert!(AnyCompressor::by_base_name("SPERR", QpConfig::off()).is_some());
+        assert!(AnyCompressor::by_base_name("nope", QpConfig::off()).is_none());
+    }
+
+    #[test]
+    fn canonical_by_name_round_trips_every_registry_entry() {
+        for c in AnyCompressor::registry() {
+            let name = Compressor::<f32>::name(&c);
+            let looked = AnyCompressor::by_name(&name)
+                .unwrap_or_else(|| panic!("by_name missed canonical '{name}'"));
+            assert_eq!(Compressor::<f32>::name(&looked), name);
+            // Case-insensitive: the lowercase spelling resolves identically.
+            let lower = AnyCompressor::by_name(&name.to_ascii_lowercase()).unwrap();
+            assert_eq!(Compressor::<f32>::name(&lower), name);
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_qp_on_comparators_and_unknowns() {
+        assert!(AnyCompressor::by_name("zfp+qp").is_none());
+        assert!(AnyCompressor::by_name("TTHRESH+QP").is_none());
+        assert!(AnyCompressor::by_name("sperr+qp").is_none());
+        assert!(AnyCompressor::by_name("nope").is_none());
+        assert!(AnyCompressor::by_name("").is_none());
+        assert!(AnyCompressor::by_name("+qp").is_none());
     }
 
     #[test]

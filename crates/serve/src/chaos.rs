@@ -1,0 +1,285 @@
+//! Chaos client: replay seeded frame corruptions against a live server and
+//! classify how it responds.
+//!
+//! The contract under test: **every** malformed, truncated, oversized, or
+//! slow-trickled frame is answered with a typed error response or the
+//! connection closes cleanly — never a hang (the client's patience window is
+//! the detector), and never a server-side panic (asserted by the caller via
+//! [`crate::ServeStats::panics`] / liveness pings after the storm).
+//!
+//! Corruption is deterministic: case `i` derives everything from
+//! `XorShift64::new(seed + i)`, so a failing case replays from its number
+//! alone.
+
+use crate::wire::{self, Op, Request, WireBound};
+use qip_fault::XorShift64;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// The ways a frame gets mangled. One is picked per case, round-robin, so a
+/// 500-case run covers every kind ~100 times (slow-loris is rate-limited —
+/// each such case costs a server read-timeout — and its unused turns fall
+/// through to bit flips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the framed bytes at a random point and half-close.
+    Truncate,
+    /// Flip 1–8 random bits anywhere in the framed bytes.
+    BitFlip,
+    /// Declare a frame length far above the server's cap.
+    OversizeDeclared,
+    /// Declare a correct length, send part of the body, then disconnect.
+    MidFrameDisconnect,
+    /// Trickle the frame a byte at a time, slower than the server's read
+    /// timeout, then abandon it.
+    SlowLoris,
+}
+
+impl Corruption {
+    /// Human-readable kind label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corruption::Truncate => "truncate",
+            Corruption::BitFlip => "bitflip",
+            Corruption::OversizeDeclared => "oversize_declared",
+            Corruption::MidFrameDisconnect => "mid_frame_disconnect",
+            Corruption::SlowLoris => "slow_loris",
+        }
+    }
+}
+
+/// How one chaos case ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The server answered a typed (non-OK) response.
+    TypedError,
+    /// The server answered OK — possible when the corruption left the frame
+    /// valid (e.g. a bit flip undone by another) or cut at a frame boundary.
+    Ok,
+    /// The server closed the connection without a response (clean EOF).
+    CleanClose,
+    /// Nothing happened within the patience window — a hang. Always a bug.
+    Hang,
+    /// The connection failed before the case could run (e.g. refused).
+    ConnectFailed,
+}
+
+/// Chaos run parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of corruption cases to replay.
+    pub cases: usize,
+    /// Base seed; case `i` uses `seed + i`.
+    pub seed: u64,
+    /// How long the client waits for a response/close before declaring a
+    /// hang. Must exceed the server's read timeout for slow-loris cases.
+    pub patience: Duration,
+    /// Maximum slow-loris cases (each one costs a server read-timeout wait).
+    pub max_slow_loris: usize,
+    /// Cap for response frames read back.
+    pub max_frame: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            cases: 500,
+            seed: 0xC4A5_0000,
+            patience: Duration::from_secs(10),
+            max_slow_loris: 8,
+            max_frame: 64 << 20,
+        }
+    }
+}
+
+/// Aggregated chaos results.
+#[derive(Debug, Default, Clone)]
+pub struct ChaosReport {
+    /// Cases run.
+    pub cases: usize,
+    /// Typed error responses received.
+    pub typed_errors: usize,
+    /// OK responses (corruption happened to leave a valid frame).
+    pub ok: usize,
+    /// Clean connection closes without a response.
+    pub clean_closes: usize,
+    /// Hangs (client patience expired). Any nonzero value is a failure.
+    pub hangs: usize,
+    /// Connections that could not even be established.
+    pub connect_failures: usize,
+    /// First few failing cases, as `(case index, corruption kind)`.
+    pub failing_cases: Vec<(usize, &'static str)>,
+}
+
+impl ChaosReport {
+    /// The pass criterion: every case either got a typed answer or a clean
+    /// close, and every connection was accepted.
+    pub fn all_handled(&self) -> bool {
+        self.hangs == 0 && self.connect_failures == 0 && self.cases > 0
+    }
+}
+
+/// A well-formed frame to corrupt: varies op and sizes by seed so the
+/// corruption lands in different field regions across cases.
+fn baseline_frame(rng: &mut XorShift64) -> Vec<u8> {
+    let op = match rng.below(3) {
+        0 => Op::Ping,
+        1 => {
+            let n = 16 + rng.below(64) as usize;
+            Op::Decompress {
+                dtype_bits: 32,
+                payload: (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect(),
+            }
+        }
+        _ => {
+            let dx = 4 + rng.below(8) as u32;
+            let dy = 4 + rng.below(8) as u32;
+            let payload: Vec<u8> = (0..(dx * dy) as usize)
+                .flat_map(|i| ((i as f32) * 0.25).sin().to_le_bytes())
+                .collect();
+            Op::Compress {
+                compressor: "SZ3".into(),
+                dtype_bits: 32,
+                dims: vec![dx, dy],
+                bound: WireBound::Abs(1e-3),
+                payload,
+            }
+        }
+    };
+    let body = wire::encode_request(&Request { id: rng.next_u64(), deadline_ms: 1000, op });
+    let mut framed = Vec::with_capacity(body.len() + 4);
+    framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// After writing the corrupted bytes, wait for the server's verdict.
+fn await_verdict(mut stream: TcpStream, cfg: &ChaosConfig) -> Outcome {
+    let _ = stream.set_read_timeout(Some(cfg.patience));
+    match wire::read_frame(&mut stream, cfg.max_frame) {
+        Ok(body) => match wire::decode_response(&body, cfg.max_frame) {
+            Ok(resp) if resp.status == wire::Status::Ok => Outcome::Ok,
+            Ok(_) => Outcome::TypedError,
+            // A garbled response would be a server bug; surface as a hang so
+            // the run fails loudly.
+            Err(_) => Outcome::Hang,
+        },
+        Err(wire::ReadFrameError::Eof) => Outcome::CleanClose,
+        Err(wire::ReadFrameError::Io(_)) => Outcome::CleanClose, // reset mid-close
+        Err(_) => Outcome::Hang,
+    }
+}
+
+fn run_case(addr: SocketAddr, kind: Corruption, case_seed: u64, cfg: &ChaosConfig) -> Outcome {
+    let mut rng = XorShift64::new(case_seed);
+    let frame = baseline_frame(&mut rng);
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, cfg.patience) else {
+        return Outcome::ConnectFailed;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(cfg.patience));
+
+    match kind {
+        Corruption::Truncate => {
+            // Cut anywhere, including inside the 4-byte prefix.
+            let cut = 1 + rng.below(frame.len() - 1);
+            if stream.write_all(&frame[..cut]).is_err() {
+                return Outcome::CleanClose;
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            await_verdict(stream, cfg)
+        }
+        Corruption::BitFlip => {
+            let mut bad = frame;
+            // Flip bits in the body only: prefix flips reduce to truncate /
+            // oversize, which have their own kinds.
+            for _ in 0..1 + rng.below(8) {
+                let at = 4 + rng.below(bad.len() - 4);
+                bad[at] ^= 1 << rng.below(8);
+            }
+            if stream.write_all(&bad).is_err() {
+                return Outcome::CleanClose;
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            await_verdict(stream, cfg)
+        }
+        Corruption::OversizeDeclared => {
+            let declared =
+                (cfg.max_frame as u64 + 1 + rng.below(1 << 30) as u64).min(u32::MAX as u64);
+            let mut bad = (declared as u32).to_le_bytes().to_vec();
+            // A little body so the server sees bytes after the hostile prefix.
+            bad.extend_from_slice(&frame[4..frame.len().min(64)]);
+            if stream.write_all(&bad).is_err() {
+                return Outcome::CleanClose;
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            await_verdict(stream, cfg)
+        }
+        Corruption::MidFrameDisconnect => {
+            // Correct prefix, partial body, abrupt full shutdown.
+            let body_sent = rng.below(frame.len() - 4);
+            if stream.write_all(&frame[..4 + body_sent]).is_err() {
+                return Outcome::CleanClose;
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            // The server must close its side; it cannot answer a half-frame.
+            Outcome::CleanClose
+        }
+        Corruption::SlowLoris => {
+            // Trickle a few bytes with pauses, then stall past the server's
+            // read timeout without ever completing the frame.
+            let trickle = frame.len().min(12);
+            for &b in &frame[..trickle] {
+                if stream.write_all(&[b]).is_err() {
+                    return Outcome::CleanClose;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Do NOT shutdown: the point is to leave the server waiting.
+            await_verdict(stream, cfg)
+        }
+    }
+}
+
+/// Replay `cfg.cases` seeded corruptions against `addr`.
+pub fn run(addr: SocketAddr, cfg: &ChaosConfig) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    let mut slow_loris_used = 0usize;
+    for i in 0..cfg.cases {
+        let mut kind = match i % 5 {
+            0 => Corruption::Truncate,
+            1 => Corruption::BitFlip,
+            2 => Corruption::OversizeDeclared,
+            3 => Corruption::MidFrameDisconnect,
+            _ => Corruption::SlowLoris,
+        };
+        if kind == Corruption::SlowLoris {
+            if slow_loris_used >= cfg.max_slow_loris {
+                kind = Corruption::BitFlip;
+            } else {
+                slow_loris_used += 1;
+            }
+        }
+        let outcome = run_case(addr, kind, cfg.seed.wrapping_add(i as u64), cfg);
+        report.cases += 1;
+        match outcome {
+            Outcome::TypedError => report.typed_errors += 1,
+            Outcome::Ok => report.ok += 1,
+            Outcome::CleanClose => report.clean_closes += 1,
+            Outcome::Hang => {
+                report.hangs += 1;
+                if report.failing_cases.len() < 16 {
+                    report.failing_cases.push((i, kind.name()));
+                }
+            }
+            Outcome::ConnectFailed => {
+                report.connect_failures += 1;
+                if report.failing_cases.len() < 16 {
+                    report.failing_cases.push((i, kind.name()));
+                }
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,911 @@
+//! The threaded TCP server: accept loop, bounded per-worker queues,
+//! deadline enforcement, panic isolation, and graceful drain.
+//!
+//! # Thread topology
+//!
+//! ```text
+//! accept thread ──> per-connection reader thread ──┬─> worker queue 0 ─> worker 0
+//!                       │ (parses frames,          ├─> worker queue 1 ─> worker 1
+//!                       │  sheds on full queues)   └─> …
+//!                       └─> per-connection writer thread <── responses (mpsc)
+//! ```
+//!
+//! Every request is answered by a typed response or the connection closes
+//! cleanly; nothing blocks forever (socket read/write timeouts bound every
+//! I/O wait) and a panic inside a compressor call is caught per-request, so a
+//! poisoned input can never take a worker down.
+
+use crate::wire::{self, Op, OpKind, ReadFrameError, Request, Response, Status};
+use qip_core::{CompressCtx, CompressError, Compressor};
+use qip_registry::AnyCompressor;
+use qip_tensor::{Field, Shape};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults favor robustness over peak throughput;
+/// see `docs/serving.md` for guidance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (each owns one [`CompressCtx`] and one bounded queue).
+    pub workers: usize,
+    /// Per-worker queue capacity. A request that finds every queue full is
+    /// shed with [`Status::ServerBusy`] instead of waiting.
+    pub queue_depth: usize,
+    /// Maximum simultaneously-open client connections; excess connections
+    /// receive a `SERVER_BUSY` response and are closed immediately.
+    pub max_conns: usize,
+    /// Hard cap on a frame body (and therefore on any request payload).
+    pub max_frame_bytes: usize,
+    /// Deadline applied when a request carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Upper bound a client may request; larger asks are clamped to this.
+    pub max_deadline: Duration,
+    /// Socket read timeout: bounds both idle keep-alive connections and
+    /// slow-loris writers (a peer trickling a frame is cut off here).
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+            queue_depth: 64,
+            max_conns: 256,
+            max_frame_bytes: 64 << 20,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Always-on server counters (plain atomics; mirrored into qip-telemetry when
+/// a metrics hub is attached). Exposed through [`ServerHandle::stats`] so
+/// tests and load generators can assert on behavior without a hub.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted and served.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused at the connection cap.
+    pub conns_refused: AtomicU64,
+    /// Frames that parsed into a request.
+    pub requests: AtomicU64,
+    /// Requests answered with `OK`.
+    pub ok: AtomicU64,
+    /// Requests shed with `SERVER_BUSY` (all queues full).
+    pub shed: AtomicU64,
+    /// Requests successfully enqueued to a worker (lets harnesses confirm
+    /// work is in flight before triggering a drain).
+    pub dispatched: AtomicU64,
+    /// Requests answered `DEADLINE_EXCEEDED` (at dequeue or mid-pipeline).
+    pub deadline_miss: AtomicU64,
+    /// Panics caught and converted to `INTERNAL` responses.
+    pub panics: AtomicU64,
+    /// Typed compressor failures (`FAILED` responses).
+    pub failed: AtomicU64,
+    /// Unparseable frames answered `BAD_FRAME`/`TOO_LARGE`.
+    pub bad_frames: AtomicU64,
+    /// High-water mark of any single worker queue.
+    pub max_queue_depth: AtomicU64,
+    /// Connections currently open.
+    pub open_conns: AtomicUsize,
+}
+
+impl ServeStats {
+    fn bump_max_queue(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    req: Request,
+    resp_tx: mpsc::Sender<Vec<u8>>,
+    received: Instant,
+    deadline: Instant,
+}
+
+/// Why a push was refused.
+enum PushRefused {
+    /// The queue is at capacity: shed with `SERVER_BUSY`.
+    Full(Job),
+    /// The server is draining: refuse with `SHUTTING_DOWN`.
+    Draining(Job),
+}
+
+/// Bounded MPSC queue with condvar wakeups; `try_push` never blocks (the
+/// load-shedding contract: a full queue is an immediate `SERVER_BUSY`, not
+/// an unbounded backlog).
+struct WorkQueue {
+    inner: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl WorkQueue {
+    fn new(cap: usize) -> Self {
+        WorkQueue { inner: Mutex::new(VecDeque::with_capacity(cap)), ready: Condvar::new(), cap }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Enqueue unless full or draining. Returns the new depth on success.
+    ///
+    /// The drain check happens *under the queue mutex* — the same mutex
+    /// [`WorkQueue::pop`] holds when it decides to exit — so a job can never
+    /// be enqueued after the workers have already observed "draining and
+    /// empty" and left: either the push lands first (and the exiting worker
+    /// still sees a non-empty queue), or the drain flag is visible to the
+    /// push and the job is refused.
+    fn try_push(&self, job: Job, drain: &AtomicBool) -> Result<usize, PushRefused> {
+        let mut q = self.inner.lock().unwrap();
+        if drain.load(Ordering::SeqCst) {
+            return Err(PushRefused::Draining(job));
+        }
+        if q.len() >= self.cap {
+            return Err(PushRefused::Full(job));
+        }
+        q.push_back(job);
+        let depth = q.len();
+        drop(q);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop; returns `None` once `drain` is set and the queue is
+    /// empty (the graceful-shutdown exit condition — queued work finishes).
+    fn pop(&self, drain: &AtomicBool) -> Option<Job> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if drain.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(q, Duration::from_millis(50)).unwrap();
+            q = guard;
+        }
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    config: ServeConfig,
+    stats: Arc<ServeStats>,
+    queues: Vec<Arc<WorkQueue>>,
+    draining: AtomicBool,
+    rr: AtomicUsize,
+}
+
+impl Shared {
+    /// Mirror a finished request into telemetry (no-op when dormant) and the
+    /// always-on stats.
+    fn record_response(&self, op: OpKind, status: Status, received: Instant) {
+        match status {
+            Status::Ok => {
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Status::ServerBusy => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                qip_telemetry::counter_add("qip.serve.shed", &[("op", op.name())], 1);
+            }
+            Status::DeadlineExceeded => {
+                self.stats.deadline_miss.fetch_add(1, Ordering::Relaxed);
+                qip_telemetry::counter_add("qip.serve.deadline_miss", &[("op", op.name())], 1);
+            }
+            Status::Internal => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                qip_telemetry::counter_add("qip.serve.panics", &[("op", op.name())], 1);
+            }
+            Status::Failed => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Status::BadFrame | Status::TooLarge | Status::BadRequest
+            | Status::UnknownCompressor => {
+                self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            Status::ShuttingDown => {}
+        }
+        qip_telemetry::counter_add(
+            "qip.serve.requests",
+            &[("op", op.name()), ("status", status.name())],
+            1,
+        );
+        qip_telemetry::observe(
+            "qip.serve.request_ns",
+            &[("op", op.name())],
+            received.elapsed().as_nanos() as u64,
+        );
+    }
+
+    /// Export the live queue depths as gauges (called around scrapes).
+    fn publish_queue_depths(&self) {
+        if !qip_telemetry::active() {
+            return;
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            qip_telemetry::gauge_set(
+                "qip.serve.queue_depth",
+                &[("worker", &format!("w{i}"))],
+                q.len() as f64,
+            );
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::join`] leaves detached threads running; always join (or
+/// [`ServerHandle::shutdown`] + join) in orderly shutdown paths.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return a handle.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::default());
+        let queues: Vec<Arc<WorkQueue>> =
+            (0..config.workers.max(1)).map(|_| Arc::new(WorkQueue::new(config.queue_depth.max(1)))).collect();
+        let shared = Arc::new(Shared {
+            config,
+            stats: Arc::clone(&stats),
+            queues,
+            draining: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        });
+
+        let mut worker_joins = Vec::new();
+        for (i, q) in shared.queues.iter().enumerate() {
+            let q = Arc::clone(q);
+            let sh = Arc::clone(&shared);
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("qip-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&sh, &q))?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_join = std::thread::Builder::new()
+            .name("qip-serve-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        Ok(ServerHandle { addr, shared, accept_join: Some(accept_join), worker_joins })
+    }
+}
+
+/// Handle to a running server: address, live stats, shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<std::thread::JoinHandle<()>>,
+    worker_joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The always-on counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Current depth of every worker queue.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// Begin graceful drain: stop accepting new connections (the listener is
+    /// closed before this returns, so fresh connects are refused by the OS),
+    /// stop reading new requests on open connections, and let every queued
+    /// and in-flight request finish. Returns once the listener is closed;
+    /// call [`ServerHandle::join`] to wait for the drain to complete.
+    pub fn shutdown(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection so it observes the
+        // flag and drops the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        for q in &self.shared.queues {
+            q.wake_all();
+        }
+    }
+
+    /// Drain and wait for every worker and connection to finish. Implies
+    /// [`ServerHandle::shutdown`] if not already called.
+    pub fn join(mut self) -> Arc<ServeStats> {
+        self.shutdown();
+        for j in self.worker_joins.drain(..) {
+            let _ = j.join();
+        }
+        // Connection threads are detached; they exit once their sockets
+        // close or time out. Wait (bounded) for them to wind down so tests
+        // observing `open_conns == 0` are deterministic.
+        let patience = Instant::now() + self.shared.config.read_timeout + Duration::from_secs(5);
+        while self.shared.stats.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < patience
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Arc::clone(&self.shared.stats)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break; // drop the listener: new connections now get ECONNREFUSED
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let open = shared.stats.open_conns.load(Ordering::SeqCst);
+        if open >= shared.config.max_conns {
+            shared.stats.conns_refused.fetch_add(1, Ordering::Relaxed);
+            refuse_connection(stream, shared);
+            continue;
+        }
+        shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.open_conns.fetch_add(1, Ordering::SeqCst);
+        let sh = Arc::clone(shared);
+        let res = std::thread::Builder::new()
+            .name("qip-serve-conn".into())
+            .spawn(move || {
+                connection_loop(stream, &sh);
+                sh.stats.open_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        if res.is_err() {
+            shared.stats.open_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Over the connection cap: answer with a typed `SERVER_BUSY` and close.
+fn refuse_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let resp = Response {
+        id: 0,
+        status: Status::ServerBusy,
+        payload: b"connection cap reached".to_vec(),
+    };
+    let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reader side of one connection. Parses frames, answers cheap ops inline,
+/// dispatches compress/decompress to the worker pool, sheds on full queues.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = &shared.config;
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut read_half = stream;
+
+    // All responses for this connection funnel through one writer thread, so
+    // frames never interleave even when several workers answer concurrently.
+    let (resp_tx, resp_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("qip-serve-writer".into())
+        .spawn(move || writer_loop(write_half, resp_rx));
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let body = match wire::read_frame(&mut read_half, cfg.max_frame_bytes) {
+            Ok(b) => b,
+            Err(ReadFrameError::Eof) | Err(ReadFrameError::Timeout) => break,
+            Err(ReadFrameError::TooLarge(n)) => {
+                // The declared length is hostile; answer and cut the
+                // connection (we cannot resync the stream past it).
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let resp = Response {
+                    id: 0,
+                    status: Status::TooLarge,
+                    payload: format!(
+                        "declared frame length {n} exceeds cap {}",
+                        cfg.max_frame_bytes
+                    )
+                    .into_bytes(),
+                };
+                let _ = resp_tx.send(wire::encode_response(&resp));
+                break;
+            }
+            Err(ReadFrameError::Io(_)) => break, // mid-frame disconnect
+        };
+        let received = Instant::now();
+        let req = match wire::decode_request(&body, cfg.max_frame_bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let status = match e {
+                    wire::WireError::TooLarge(_) => Status::TooLarge,
+                    _ => Status::BadFrame,
+                };
+                shared.record_response(OpKind::Ping, status, received);
+                let resp =
+                    Response { id: 0, status, payload: e.to_string().into_bytes() };
+                let _ = resp_tx.send(wire::encode_response(&resp));
+                break; // framing may be out of sync; close after the reply
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        let op = req.op.kind();
+        match op {
+            // Cheap control ops are answered inline — they must keep working
+            // even when every worker queue is saturated.
+            OpKind::Ping => {
+                shared.record_response(op, Status::Ok, received);
+                let resp = Response { id: req.id, status: Status::Ok, payload: Vec::new() };
+                if resp_tx.send(wire::encode_response(&resp)).is_err() {
+                    break;
+                }
+            }
+            OpKind::Metrics => {
+                shared.publish_queue_depths();
+                let mut text = None;
+                qip_telemetry::with_hub(|hub| {
+                    text = Some(qip_telemetry::export::prometheus_text(hub));
+                });
+                let payload = text
+                    .unwrap_or_else(|| "# no telemetry hub attached\n".to_string())
+                    .into_bytes();
+                shared.record_response(op, Status::Ok, received);
+                let resp = Response { id: req.id, status: Status::Ok, payload };
+                if resp_tx.send(wire::encode_response(&resp)).is_err() {
+                    break;
+                }
+            }
+            OpKind::Compress | OpKind::Decompress => {
+                let deadline_req = if req.deadline_ms == 0 {
+                    shared.config.default_deadline
+                } else {
+                    Duration::from_millis(req.deadline_ms as u64)
+                };
+                let deadline = received + deadline_req.min(shared.config.max_deadline);
+                let id = req.id;
+                let job = Job { req, resp_tx: resp_tx.clone(), received, deadline };
+                if let Err(refused) = dispatch(shared, job) {
+                    // Shed: the request is not executed (the job drops here).
+                    let (status, reason): (Status, &[u8]) = match refused {
+                        PushRefused::Full(_) => {
+                            (Status::ServerBusy, b"all worker queues full")
+                        }
+                        PushRefused::Draining(_) => {
+                            (Status::ShuttingDown, b"server is draining")
+                        }
+                    };
+                    shared.record_response(op, status, received);
+                    let resp = Response { id, status, payload: reason.to_vec() };
+                    if resp_tx.send(wire::encode_response(&resp)).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Half-close: stop reading, let queued responses flush, then the writer
+    // exits once every outstanding job has answered (all senders dropped).
+    drop(resp_tx);
+    let _ = writer.join();
+}
+
+/// Place a job on the least-loaded worker queue (round-robin tiebreak).
+/// Fails only when every queue is at capacity (`Full` → `SERVER_BUSY`) or
+/// the server is draining (`Draining` → `SHUTTING_DOWN`).
+fn dispatch(shared: &Arc<Shared>, mut job: Job) -> Result<(), PushRefused> {
+    let n = shared.queues.len();
+    let start = shared.rr.fetch_add(1, Ordering::Relaxed) % n;
+    // Pick the shortest queue scanning from a rotating start point.
+    let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+    order.sort_by_key(|&i| shared.queues[i].len());
+    for i in order {
+        match shared.queues[i].try_push(job, &shared.draining) {
+            Ok(depth) => {
+                shared.stats.dispatched.fetch_add(1, Ordering::SeqCst);
+                shared.stats.bump_max_queue(depth);
+                qip_telemetry::gauge_set(
+                    "qip.serve.queue_depth",
+                    &[("worker", &format!("w{i}"))],
+                    shared.queues[i].len() as f64,
+                );
+                return Ok(());
+            }
+            // Draining is terminal: every queue will refuse the same way.
+            Err(PushRefused::Draining(j)) => return Err(PushRefused::Draining(j)),
+            Err(PushRefused::Full(j)) => job = j,
+        }
+    }
+    Err(PushRefused::Full(job))
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+    while let Ok(frame) = rx.recv() {
+        if wire::write_frame(&mut stream, &frame).is_err() {
+            // Peer is gone or stuck past the write timeout; drain the channel
+            // so job senders never block, then hang up.
+            while rx.recv().is_ok() {}
+            break;
+        }
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One worker: owns a reusable [`CompressCtx`]; pops jobs until drain.
+fn worker_loop(shared: &Arc<Shared>, queue: &Arc<WorkQueue>) {
+    let mut ctx = CompressCtx::new();
+    while let Some(job) = queue.pop(&shared.draining) {
+        let op = job.req.op.kind();
+        let received = job.received;
+        let resp = execute(shared, job, &mut ctx);
+        shared.record_response(op, resp.1, received);
+        let _ = resp.0.send(wire::encode_response(&Response {
+            id: resp.2,
+            status: resp.1,
+            payload: resp.3,
+        }));
+    }
+}
+
+/// Deadline checkpoints between pipeline stages.
+struct DeadlineToken {
+    deadline: Instant,
+}
+
+impl DeadlineToken {
+    fn check(&self, stage: &'static str) -> Result<(), (Status, Vec<u8>)> {
+        if Instant::now() > self.deadline {
+            Err((
+                Status::DeadlineExceeded,
+                format!("deadline expired before stage '{stage}'").into_bytes(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+type Finished = (mpsc::Sender<Vec<u8>>, Status, u64, Vec<u8>);
+
+/// Run one job on this worker. Never panics outward: the compressor call is
+/// wrapped in `catch_unwind` and a caught panic resets the worker's ctx (its
+/// scratch state is untrusted after an unwind) and answers `INTERNAL`.
+fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
+    let Job { req, resp_tx, received: _, deadline } = job;
+    let token = DeadlineToken { deadline };
+    let id = req.id;
+
+    // Deadline check at dequeue: a request that waited out its budget in the
+    // queue is answered without burning CPU on it.
+    if let Err((status, payload)) = token.check("dequeue") {
+        return (resp_tx, status, id, payload);
+    }
+
+    let (status, payload) = match req.op {
+        Op::Compress { compressor, dtype_bits, dims, bound, payload } => run_compress(
+            shared,
+            &token,
+            ctx,
+            &compressor,
+            dtype_bits,
+            &dims,
+            bound,
+            &payload,
+        ),
+        Op::Decompress { dtype_bits, payload } => {
+            run_decompress(shared, &token, ctx, dtype_bits, &payload)
+        }
+        // Ping/Metrics are handled inline by the connection thread.
+        Op::Ping | Op::Metrics => (Status::Ok, Vec::new()),
+    };
+    (resp_tx, status, id, payload)
+}
+
+fn compress_error_response(e: &CompressError) -> (Status, Vec<u8>) {
+    (Status::Failed, e.to_string().into_bytes())
+}
+
+/// `catch_unwind` with the panic payload rendered; resets `ctx` after a
+/// caught panic since its pooled buffers may be mid-mutation.
+fn isolate<R>(
+    shared: &Arc<Shared>,
+    ctx: &mut CompressCtx,
+    f: impl FnOnce(&mut CompressCtx) -> R,
+) -> Result<R, (Status, Vec<u8>)> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx))) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            *ctx = CompressCtx::new();
+            let _ = shared; // stats recorded by the caller via record_response
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err((Status::Internal, format!("isolated panic: {msg}").into_bytes()))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_compress(
+    shared: &Arc<Shared>,
+    token: &DeadlineToken,
+    ctx: &mut CompressCtx,
+    compressor: &str,
+    dtype_bits: u8,
+    dims: &[u32],
+    bound: crate::wire::WireBound,
+    payload: &[u8],
+) -> (Status, Vec<u8>) {
+    let Some(comp) = AnyCompressor::by_name(compressor) else {
+        return (
+            Status::UnknownCompressor,
+            format!("no registry compressor named '{compressor}'").into_bytes(),
+        );
+    };
+    if dims.iter().any(|&d| d == 0) {
+        return (Status::BadRequest, b"every axis must be nonzero".to_vec());
+    }
+    let dims_us: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+    let mut elems: u64 = 1;
+    for &d in dims {
+        elems = match elems.checked_mul(d as u64) {
+            Some(v) => v,
+            None => return (Status::BadRequest, b"dims product overflows".to_vec()),
+        };
+    }
+    let bytes_per = (dtype_bits / 8) as u64;
+    let expected = elems.saturating_mul(bytes_per);
+    if expected != payload.len() as u64 {
+        return (
+            Status::BadRequest,
+            format!("payload is {} bytes but dims x dtype need {expected}", payload.len())
+                .into_bytes(),
+        );
+    }
+    let b = bound.to_bound();
+    match b {
+        qip_core::ErrorBound::Abs(v) | qip_core::ErrorBound::Rel(v) => {
+            if !(v.is_finite() && v > 0.0) {
+                return (Status::BadRequest, b"error bound must be positive and finite".to_vec());
+            }
+        }
+    }
+    if let Err(e) = token.check("parse") {
+        return e;
+    }
+
+    // Stage: payload bytes -> Field. (from_le_bytes validates length again.)
+    let shape = Shape::new(&dims_us);
+    let result: Result<Vec<u8>, (Status, Vec<u8>)> = if dtype_bits == 32 {
+        let field = match Field::<f32>::from_le_bytes(shape, payload) {
+            Ok(f) => f,
+            Err(e) => return (Status::BadRequest, e.to_string().into_bytes()),
+        };
+        if let Err(e) = token.check("compress") {
+            return e;
+        }
+        isolate(shared, ctx, |ctx| {
+            let mut out = Vec::new();
+            comp.compress_into(&field, b, ctx, &mut out).map(|()| out)
+        })
+        .and_then(|r| r.map_err(|e| compress_error_response(&e)))
+    } else {
+        let field = match Field::<f64>::from_le_bytes(shape, payload) {
+            Ok(f) => f,
+            Err(e) => return (Status::BadRequest, e.to_string().into_bytes()),
+        };
+        if let Err(e) = token.check("compress") {
+            return e;
+        }
+        isolate(shared, ctx, |ctx| {
+            let mut out = Vec::new();
+            comp.compress_into(&field, b, ctx, &mut out).map(|()| out)
+        })
+        .and_then(|r| r.map_err(|e| compress_error_response(&e)))
+    };
+    let stream = match result {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    if let Err(e) = token.check("respond") {
+        return e;
+    }
+    (Status::Ok, stream)
+}
+
+fn run_decompress(
+    shared: &Arc<Shared>,
+    token: &DeadlineToken,
+    ctx: &mut CompressCtx,
+    dtype_bits: u8,
+    payload: &[u8],
+) -> (Status, Vec<u8>) {
+    // The stream names its compressor in its magic byte; the registry entry
+    // is resolved the same way the CLI does it.
+    let Some(name) = detect_stream(payload) else {
+        return (Status::BadRequest, b"unrecognized stream magic".to_vec());
+    };
+    let Some(comp) = AnyCompressor::by_name(name) else {
+        return (
+            Status::BadRequest,
+            format!("stream magic maps to unserveable compressor '{name}'").into_bytes(),
+        );
+    };
+    if let Err(e) = token.check("decompress") {
+        return e;
+    }
+    let result: Result<Vec<u8>, CompressError> = if dtype_bits == 32 {
+        match isolate(shared, ctx, |ctx| {
+            Compressor::<f32>::decompress_into(&comp, payload, ctx)
+        }) {
+            Ok(r) => r.map(|f| f.to_le_bytes()),
+            Err(e) => return e,
+        }
+    } else {
+        match isolate(shared, ctx, |ctx| {
+            Compressor::<f64>::decompress_into(&comp, payload, ctx)
+        }) {
+            Ok(r) => r.map(|f| f.to_le_bytes()),
+            Err(e) => return e,
+        }
+    };
+    let out = match result {
+        Ok(o) => o,
+        Err(e) => return compress_error_response(&e),
+    };
+    if out.len() > shared.config.max_frame_bytes {
+        return (
+            Status::TooLarge,
+            format!(
+                "decompressed output ({} bytes) exceeds the frame cap ({})",
+                out.len(),
+                shared.config.max_frame_bytes
+            )
+            .into_bytes(),
+        );
+    }
+    if let Err(e) = token.check("respond") {
+        return e;
+    }
+    (Status::Ok, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            config: ServeConfig::default(),
+            stats: Arc::new(ServeStats::default()),
+            queues: vec![Arc::new(WorkQueue::new(4))],
+            draining: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        })
+    }
+
+    #[test]
+    fn isolate_converts_panics_to_internal_and_resets_ctx() {
+        let shared = test_shared();
+        let mut ctx = CompressCtx::new();
+        let r = isolate(&shared, &mut ctx, |_| panic!("boom {}", 42));
+        match r {
+            Err((Status::Internal, payload)) => {
+                let text = String::from_utf8_lossy(&payload);
+                assert!(text.contains("boom 42"), "{text}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The worker (and its ctx) keep working after the unwind.
+        let r = isolate(&shared, &mut ctx, |_| 7u32);
+        assert_eq!(r.unwrap(), 7);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity_and_drains() {
+        let q = WorkQueue::new(2);
+        let drain = AtomicBool::new(false);
+        let (tx, _rx) = mpsc::channel();
+        let job = |id| Job {
+            req: Request { id, deadline_ms: 0, op: crate::wire::Op::Ping },
+            resp_tx: tx.clone(),
+            received: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(1),
+        };
+        assert_eq!(q.try_push(job(1), &drain).map_err(|_| "full").unwrap(), 1);
+        assert_eq!(q.try_push(job(2), &drain).map_err(|_| "full").unwrap(), 2);
+        match q.try_push(job(3), &drain) {
+            Err(PushRefused::Full(_)) => {}
+            _ => panic!("third push must shed as Full"),
+        }
+        // Drain: new pushes are refused, queued jobs still come out, then
+        // pop returns None.
+        drain.store(true, Ordering::SeqCst);
+        match q.try_push(job(4), &drain) {
+            Err(PushRefused::Draining(_)) => {}
+            _ => panic!("push during drain must be refused as Draining"),
+        }
+        assert_eq!(q.pop(&drain).unwrap().req.id, 1);
+        assert_eq!(q.pop(&drain).unwrap().req.id, 2);
+        assert!(q.pop(&drain).is_none());
+    }
+
+    #[test]
+    fn expired_deadline_token_reports_the_stage() {
+        let token = DeadlineToken { deadline: Instant::now() - Duration::from_millis(1) };
+        let (status, payload) = token.check("compress").unwrap_err();
+        assert_eq!(status, Status::DeadlineExceeded);
+        assert!(String::from_utf8_lossy(&payload).contains("compress"));
+        let ok = DeadlineToken { deadline: Instant::now() + Duration::from_secs(5) };
+        assert!(ok.check("compress").is_ok());
+    }
+
+    #[test]
+    fn stream_magic_detection_covers_the_registry() {
+        for (magic, name) in
+            [(0x20u8, "sz3"), (0x30, "qoz"), (0x40, "hpez"), (0x50, "mgard"), (0x60, "zfp"),
+             (0x70, "sperr"), (0x80, "tthresh")]
+        {
+            assert_eq!(detect_stream(&[magic, 0, 0]), Some(name));
+            assert!(qip_registry::AnyCompressor::by_name(name).is_some(), "{name}");
+        }
+        assert_eq!(detect_stream(&[0xFF]), None);
+        assert_eq!(detect_stream(&[]), None);
+    }
+}
+
+/// Map a stream's leading magic byte to the base compressor that owns it.
+/// (Decompression always routes through the QP-off registry entry; the QP
+/// configuration is read from the stream itself, so `"SZ3"` decodes `SZ3+QP`
+/// streams too.)
+fn detect_stream(bytes: &[u8]) -> Option<&'static str> {
+    match bytes.first()? {
+        0x20 => Some("sz3"),
+        0x30 => Some("qoz"),
+        0x40 => Some("hpez"),
+        0x50 => Some("mgard"),
+        0x60 => Some("zfp"),
+        0x70 => Some("sperr"),
+        0x80 => Some("tthresh"),
+        _ => None,
+    }
+}

@@ -1,0 +1,686 @@
+//! The `qip-serve` wire protocol: length-prefixed, CRC32-sealed binary frames.
+//!
+//! Every frame travels as a 4-byte little-endian length prefix followed by
+//! that many *sealed* body bytes. The body reuses the workspace's stream
+//! integrity trailer ([`qip_core::integrity`]): `payload || crc32(payload)
+//! (4 bytes LE) || 0xC4 0x51`. A frame that fails the CRC check — one flipped
+//! bit anywhere — is rejected before any field of it is parsed, exactly like
+//! a compressed stream would be.
+//!
+//! The byte-level layout is specified in `docs/FORMAT.md` ("Service frame")
+//! and `docs/serving.md`; this module is the single encoder/decoder both the
+//! server and the client use, so the two can never drift apart.
+//!
+//! Parsing is fully bounds-checked and allocation is capped by the frame
+//! length limit the transport enforces *before* the body is read; a malformed
+//! frame yields a typed [`WireError`], never a panic.
+
+use qip_core::integrity;
+
+/// First body byte of a request frame.
+pub const REQUEST_MAGIC: u8 = 0xA5;
+/// First body byte of a response frame.
+pub const RESPONSE_MAGIC: u8 = 0xA6;
+/// Protocol version this build speaks (bumped on any layout change).
+pub const WIRE_VERSION: u8 = 1;
+/// Longest accepted compressor name on the wire.
+pub const MAX_NAME_LEN: usize = 64;
+/// Most dimensions a served field may have (matches the pipeline's limit).
+pub const MAX_NDIM: usize = 4;
+
+/// Operations a request can ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Compress a raw little-endian field carried in the payload.
+    Compress,
+    /// Decompress a compressed stream carried in the payload.
+    Decompress,
+    /// Liveness probe; empty payload both ways.
+    Ping,
+    /// Fetch the server's metrics as Prometheus text exposition format.
+    Metrics,
+}
+
+impl OpKind {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            OpKind::Compress => 1,
+            OpKind::Decompress => 2,
+            OpKind::Ping => 3,
+            OpKind::Metrics => 4,
+        }
+    }
+
+    /// Inverse of [`OpKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => OpKind::Compress,
+            2 => OpKind::Decompress,
+            3 => OpKind::Ping,
+            4 => OpKind::Metrics,
+            _ => return None,
+        })
+    }
+
+    /// Low-cardinality label for metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Compress => "compress",
+            OpKind::Decompress => "decompress",
+            OpKind::Ping => "ping",
+            OpKind::Metrics => "metrics",
+        }
+    }
+}
+
+/// Typed response status codes. Everything except [`Status::Ok`] carries a
+/// human-readable reason in the response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success; payload is the operation's result.
+    Ok,
+    /// The frame itself was unparseable (bad CRC, bad magic, truncated
+    /// fields, inconsistent declared lengths). The connection closes after
+    /// this response, since framing may be out of sync.
+    BadFrame,
+    /// The frame parsed but the request is semantically invalid (zero axis,
+    /// payload size does not match dims × dtype, bad bound value).
+    BadRequest,
+    /// No registry compressor has the requested canonical name.
+    UnknownCompressor,
+    /// Load shed: every worker queue is full, or the connection cap is hit.
+    /// The request was not executed; retry with backoff.
+    ServerBusy,
+    /// The per-request deadline expired before or during execution.
+    DeadlineExceeded,
+    /// The operation panicked; the panic was isolated to this request and
+    /// the worker survived.
+    Internal,
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+    /// Declared frame or payload length exceeds the server's configured cap.
+    TooLarge,
+    /// The compressor itself returned a typed error (e.g. `Corrupt` for a
+    /// damaged stream handed to decompress).
+    Failed,
+}
+
+impl Status {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::BadFrame => 1,
+            Status::BadRequest => 2,
+            Status::UnknownCompressor => 3,
+            Status::ServerBusy => 4,
+            Status::DeadlineExceeded => 5,
+            Status::Internal => 6,
+            Status::ShuttingDown => 7,
+            Status::TooLarge => 8,
+            Status::Failed => 9,
+        }
+    }
+
+    /// Inverse of [`Status::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Status::Ok,
+            1 => Status::BadFrame,
+            2 => Status::BadRequest,
+            3 => Status::UnknownCompressor,
+            4 => Status::ServerBusy,
+            5 => Status::DeadlineExceeded,
+            6 => Status::Internal,
+            7 => Status::ShuttingDown,
+            8 => Status::TooLarge,
+            9 => Status::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case name (`SERVER_BUSY`, …), as used in docs and
+    /// metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadFrame => "BAD_FRAME",
+            Status::BadRequest => "BAD_REQUEST",
+            Status::UnknownCompressor => "UNKNOWN_COMPRESSOR",
+            Status::ServerBusy => "SERVER_BUSY",
+            Status::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            Status::Internal => "INTERNAL",
+            Status::ShuttingDown => "SHUTTING_DOWN",
+            Status::TooLarge => "TOO_LARGE",
+            Status::Failed => "FAILED",
+        }
+    }
+}
+
+/// Error bound as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireBound {
+    /// Absolute bound.
+    Abs(f64),
+    /// Value-range-relative bound.
+    Rel(f64),
+}
+
+impl WireBound {
+    fn tag(self) -> u8 {
+        match self {
+            WireBound::Abs(_) => 0,
+            WireBound::Rel(_) => 1,
+        }
+    }
+
+    fn value(self) -> f64 {
+        match self {
+            WireBound::Abs(v) | WireBound::Rel(v) => v,
+        }
+    }
+
+    /// Convert to the pipeline's bound type.
+    pub fn to_bound(self) -> qip_core::ErrorBound {
+        match self {
+            WireBound::Abs(v) => qip_core::ErrorBound::Abs(v),
+            WireBound::Rel(v) => qip_core::ErrorBound::Rel(v),
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id echoed back in the response.
+    pub id: u64,
+    /// Relative deadline in milliseconds; 0 means "use the server default".
+    pub deadline_ms: u32,
+    /// The operation and its operands.
+    pub op: Op,
+}
+
+/// Operation payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Compress `payload` (raw little-endian scalars) as `dims` of
+    /// `dtype_bits`-wide values with `compressor` under `bound`.
+    Compress {
+        /// Canonical registry compressor name (`"SZ3+QP"`, …).
+        compressor: String,
+        /// 32 or 64.
+        dtype_bits: u8,
+        /// Field dimensions (1–4 axes, each nonzero).
+        dims: Vec<u32>,
+        /// Requested error bound.
+        bound: WireBound,
+        /// Raw field bytes, little-endian, row-major.
+        payload: Vec<u8>,
+    },
+    /// Decompress `payload` (a sealed compressed stream).
+    Decompress {
+        /// 32 or 64 — the scalar type the caller expects back.
+        dtype_bits: u8,
+        /// The compressed stream.
+        payload: Vec<u8>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Metrics scrape.
+    Metrics,
+}
+
+impl Op {
+    /// The operation kind tag for this op.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Compress { .. } => OpKind::Compress,
+            Op::Decompress { .. } => OpKind::Decompress,
+            Op::Ping => OpKind::Ping,
+            Op::Metrics => OpKind::Metrics,
+        }
+    }
+}
+
+/// A parsed response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Result bytes on `Ok`; a human-readable reason otherwise.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// The error payload as text (lossy) — for rendering typed failures.
+    pub fn reason(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+/// Typed frame-parsing failures. The server maps every variant to a
+/// [`Status::BadFrame`] (or [`Status::TooLarge`]) response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// CRC trailer missing or mismatched.
+    Integrity(&'static str),
+    /// A structural field is out of range or inconsistent.
+    Malformed(&'static str),
+    /// A declared length exceeds the configured cap.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Integrity(m) => write!(f, "frame integrity: {m}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::TooLarge(m) => write!(f, "frame too large: {m}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.push_u64(bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+trait Put {
+    fn push_u32(&mut self, v: u32);
+    fn push_u64(&mut self, v: u64);
+}
+
+impl Put for Vec<u8> {
+    fn push_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn push_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encode a request as a sealed frame body (no transport length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(REQUEST_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push_u64(req.id);
+    out.push(req.op.kind().tag());
+    out.push_u32(req.deadline_ms);
+    match &req.op {
+        Op::Compress { compressor, dtype_bits, dims, bound, payload } => {
+            out.push(compressor.len().min(255) as u8);
+            out.extend_from_slice(compressor.as_bytes());
+            out.push(*dtype_bits);
+            out.push(dims.len() as u8);
+            for &d in dims {
+                out.push_u32(d);
+            }
+            out.push(bound.tag());
+            out.extend_from_slice(&bound.value().to_le_bytes());
+            put_bytes(&mut out, payload);
+        }
+        Op::Decompress { dtype_bits, payload } => {
+            out.push(*dtype_bits);
+            put_bytes(&mut out, payload);
+        }
+        Op::Ping | Op::Metrics => {}
+    }
+    integrity::seal(out)
+}
+
+/// Encode a response as a sealed frame body (no transport length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(RESPONSE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push_u64(resp.id);
+    out.push(resp.status.tag());
+    put_bytes(&mut out, &resp.payload);
+    integrity::seal(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Malformed(what))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Read a declared-length byte block; the declaration must fit the remaining
+/// body exactly where noted and never exceed `cap`.
+fn get_bytes(c: &mut Cursor, cap: usize, what: &'static str) -> Result<Vec<u8>, WireError> {
+    let n = c.u64(what)?;
+    if n > cap as u64 {
+        return Err(WireError::TooLarge(what));
+    }
+    Ok(c.take(n as usize, what)?.to_vec())
+}
+
+/// Decode a sealed request frame body. `max_payload` caps the declared
+/// payload length (normally the transport frame cap, which the body already
+/// fits inside — the check here catches bodies whose *declared* length
+/// disagrees with what actually arrived).
+pub fn decode_request(body: &[u8], max_payload: usize) -> Result<Request, WireError> {
+    let payload =
+        integrity::check(body).map_err(|_| WireError::Integrity("bad CRC or missing trailer"))?;
+    let mut c = Cursor::new(payload);
+    if c.u8("magic")? != REQUEST_MAGIC {
+        return Err(WireError::Malformed("not a request frame"));
+    }
+    if c.u8("version")? != WIRE_VERSION {
+        return Err(WireError::Malformed("unsupported wire version"));
+    }
+    let id = c.u64("request id")?;
+    let op_tag = c.u8("op")?;
+    let deadline_ms = c.u32("deadline")?;
+    let op = match OpKind::from_tag(op_tag).ok_or(WireError::Malformed("unknown op tag"))? {
+        OpKind::Compress => {
+            let name_len = c.u8("name length")? as usize;
+            if name_len == 0 || name_len > MAX_NAME_LEN {
+                return Err(WireError::Malformed("compressor name length"));
+            }
+            let name_bytes = c.take(name_len, "compressor name")?;
+            let compressor = std::str::from_utf8(name_bytes)
+                .map_err(|_| WireError::Malformed("compressor name not UTF-8"))?
+                .to_string();
+            let dtype_bits = c.u8("dtype bits")?;
+            if dtype_bits != 32 && dtype_bits != 64 {
+                return Err(WireError::Malformed("dtype bits must be 32 or 64"));
+            }
+            let ndim = c.u8("ndim")? as usize;
+            if ndim == 0 || ndim > MAX_NDIM {
+                return Err(WireError::Malformed("ndim out of range"));
+            }
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                dims.push(c.u32("dim")?);
+            }
+            let bound_tag = c.u8("bound kind")?;
+            let value = c.f64("bound value")?;
+            let bound = match bound_tag {
+                0 => WireBound::Abs(value),
+                1 => WireBound::Rel(value),
+                _ => return Err(WireError::Malformed("unknown bound kind")),
+            };
+            let payload = get_bytes(&mut c, max_payload, "compress payload")?;
+            Op::Compress { compressor, dtype_bits, dims, bound, payload }
+        }
+        OpKind::Decompress => {
+            let dtype_bits = c.u8("dtype bits")?;
+            if dtype_bits != 32 && dtype_bits != 64 {
+                return Err(WireError::Malformed("dtype bits must be 32 or 64"));
+            }
+            let payload = get_bytes(&mut c, max_payload, "decompress payload")?;
+            Op::Decompress { dtype_bits, payload }
+        }
+        OpKind::Ping => Op::Ping,
+        OpKind::Metrics => Op::Metrics,
+    };
+    if !c.finished() {
+        return Err(WireError::Malformed("trailing bytes after request"));
+    }
+    Ok(Request { id, deadline_ms, op })
+}
+
+/// Decode a sealed response frame body.
+pub fn decode_response(body: &[u8], max_payload: usize) -> Result<Response, WireError> {
+    let payload =
+        integrity::check(body).map_err(|_| WireError::Integrity("bad CRC or missing trailer"))?;
+    let mut c = Cursor::new(payload);
+    if c.u8("magic")? != RESPONSE_MAGIC {
+        return Err(WireError::Malformed("not a response frame"));
+    }
+    if c.u8("version")? != WIRE_VERSION {
+        return Err(WireError::Malformed("unsupported wire version"));
+    }
+    let id = c.u64("request id")?;
+    let status =
+        Status::from_tag(c.u8("status")?).ok_or(WireError::Malformed("unknown status tag"))?;
+    let payload = get_bytes(&mut c, max_payload, "response payload")?;
+    if !c.finished() {
+        return Err(WireError::Malformed("trailing bytes after response"));
+    }
+    Ok(Response { id, status, payload })
+}
+
+// ---------------------------------------------------------------------------
+// Transport: 4-byte LE length prefix around a sealed body
+// ---------------------------------------------------------------------------
+
+/// Errors from reading one length-prefixed frame off a socket.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// Peer closed the connection cleanly at a frame boundary.
+    Eof,
+    /// The declared frame length exceeds the configured cap. The declared
+    /// size is carried so the server can answer `TOO_LARGE` before closing.
+    TooLarge(u64),
+    /// The socket read timed out (idle connection or slow-loris peer).
+    Timeout,
+    /// Peer disconnected mid-frame or another I/O failure.
+    Io(std::io::Error),
+}
+
+fn classify_io(e: std::io::Error, mid_frame: bool) -> ReadFrameError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadFrameError::Timeout,
+        std::io::ErrorKind::UnexpectedEof if !mid_frame => ReadFrameError::Eof,
+        _ => ReadFrameError::Io(e),
+    }
+}
+
+/// Read one frame: the 4-byte length prefix, then that many body bytes.
+/// Rejects declared lengths above `max_len` *before* allocating.
+pub fn read_frame(r: &mut impl std::io::Read, max_len: usize) -> Result<Vec<u8>, ReadFrameError> {
+    let mut prefix = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut prefix) {
+        return Err(classify_io(e, false));
+    }
+    let len = u32::from_le_bytes(prefix) as u64;
+    if len > max_len as u64 {
+        return Err(ReadFrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    if let Err(e) = r.read_exact(&mut body) {
+        return Err(classify_io(e, true));
+    }
+    Ok(body)
+}
+
+/// Write one frame: length prefix then the sealed body.
+pub fn write_frame(w: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too long"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_compress() -> Request {
+        Request {
+            id: 42,
+            deadline_ms: 250,
+            op: Op::Compress {
+                compressor: "SZ3+QP".into(),
+                dtype_bits: 32,
+                dims: vec![16, 8, 4],
+                bound: WireBound::Rel(1e-3),
+                payload: (0u16..16 * 8 * 4 * 2).flat_map(|v| v.to_le_bytes()).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            sample_compress(),
+            Request {
+                id: u64::MAX,
+                deadline_ms: 0,
+                op: Op::Decompress { dtype_bits: 64, payload: vec![1, 2, 3] },
+            },
+            Request { id: 0, deadline_ms: 7, op: Op::Ping },
+            Request { id: 1, deadline_ms: 7, op: Op::Metrics },
+        ] {
+            let body = encode_request(&req);
+            let back = decode_request(&body, 1 << 20).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response { id: 9, status: Status::Ok, payload: vec![5; 100] },
+            Response { id: 9, status: Status::ServerBusy, payload: b"queue full".to_vec() },
+        ] {
+            let body = encode_response(&resp);
+            assert_eq!(decode_response(&body, 1 << 20).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let body = encode_request(&Request { id: 3, deadline_ms: 0, op: Op::Ping });
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut bad = body.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_request(&bad, 1 << 20).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let body = encode_request(&sample_compress());
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut], 1 << 20).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn resealed_oversized_payload_declaration_is_typed() {
+        // Tamper the declared payload length inside the body, then reseal the
+        // CRC so the frame reaches the structural parser.
+        let req = sample_compress();
+        let sealed = encode_request(&req);
+        let mut body = integrity::check(&sealed).unwrap().to_vec();
+        let n = body.len();
+        // The payload length field is the 8 bytes right before the payload.
+        let payload_len = match &req.op {
+            Op::Compress { payload, .. } => payload.len(),
+            _ => unreachable!(),
+        };
+        let len_at = n - payload_len - 8;
+        body[len_at..len_at + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        let resealed = integrity::seal(body);
+        match decode_request(&resealed, 1 << 20) {
+            Err(WireError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_and_op_tags_roundtrip() {
+        for s in [
+            Status::Ok,
+            Status::BadFrame,
+            Status::BadRequest,
+            Status::UnknownCompressor,
+            Status::ServerBusy,
+            Status::DeadlineExceeded,
+            Status::Internal,
+            Status::ShuttingDown,
+            Status::TooLarge,
+            Status::Failed,
+        ] {
+            assert_eq!(Status::from_tag(s.tag()), Some(s));
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(Status::from_tag(200), None);
+        for k in [OpKind::Compress, OpKind::Decompress, OpKind::Ping, OpKind::Metrics] {
+            assert_eq!(OpKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(OpKind::from_tag(0), None);
+    }
+
+    #[test]
+    fn frame_transport_roundtrip_and_cap() {
+        let body = encode_request(&Request { id: 1, deadline_ms: 0, op: Op::Ping });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), body);
+
+        // Oversized declared length is rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0; 8]);
+        let mut r = &huge[..];
+        match read_frame(&mut r, 1 << 20) {
+            Err(ReadFrameError::TooLarge(n)) => assert_eq!(n, u32::MAX as u64),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+
+        // Clean EOF at a frame boundary vs mid-frame disconnect.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty, 1024), Err(ReadFrameError::Eof)));
+        let mut partial: &[u8] = &buf[..6];
+        assert!(matches!(read_frame(&mut partial, 1 << 20), Err(ReadFrameError::Io(_))));
+    }
+}

@@ -1,0 +1,70 @@
+//! Acceptance criterion: ≥500 seeded malformed/truncated/slow-client frames
+//! against a live server → 100% typed error responses or clean closes, zero
+//! hangs, zero panics escaping isolation. Run in CI by the serve-smoke job
+//! (job timeout doubles as the hang detector).
+
+use qip_serve::chaos::{self, ChaosConfig};
+use qip_serve::wire::Status;
+use qip_serve::{Client, ServeConfig, Server};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[test]
+fn five_hundred_corrupt_frames_never_hang_or_panic() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        // Short read timeout so the slow-loris cases resolve quickly; the
+        // client's patience (below) comfortably exceeds it.
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let max_frame = cfg.max_frame_bytes;
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr();
+
+    let report = chaos::run(
+        addr,
+        &ChaosConfig {
+            cases: 500,
+            seed: 0xC4A5_0001,
+            patience: Duration::from_secs(10),
+            max_slow_loris: 8,
+            max_frame,
+        },
+    );
+
+    assert_eq!(report.cases, 500);
+    assert!(
+        report.all_handled(),
+        "chaos run failed: hangs={} connect_failures={} failing={:?}",
+        report.hangs,
+        report.connect_failures,
+        report.failing_cases
+    );
+    // Every case is accounted for by a typed answer, a clean close, or a
+    // corruption that happened to leave the frame valid.
+    assert_eq!(
+        report.typed_errors + report.clean_closes + report.ok,
+        report.cases,
+        "{report:?}"
+    );
+    // The corruption kinds guarantee plenty of both typed answers (bit
+    // flips, oversize declarations) and clean closes (truncations).
+    assert!(report.typed_errors >= 100, "{report:?}");
+    assert!(report.clean_closes >= 100, "{report:?}");
+
+    // The server is still alive and serving after the storm.
+    let mut probe = Client::connect(addr, Duration::from_secs(5), max_frame).unwrap();
+    assert_eq!(probe.ping().unwrap().status, Status::Ok);
+    let payload: Vec<u8> = (0..1024u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+    let resp = probe
+        .compress("SZ3", 32, &[1024], qip_serve::wire::WireBound::Abs(1e-3), payload, 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    drop(probe);
+
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(Ordering::SeqCst), 0, "panic escaped isolation");
+}

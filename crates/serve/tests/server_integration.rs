@@ -1,0 +1,321 @@
+//! End-to-end tests against a live in-process server: byte-identity with the
+//! offline registry, typed error behavior, load shedding, deadlines, and
+//! graceful drain.
+
+use qip_core::{Compressor, ErrorBound};
+use qip_registry::AnyCompressor;
+use qip_serve::wire::{Status, WireBound};
+use qip_serve::{Client, ServeConfig, Server};
+use qip_tensor::Field;
+use std::time::Duration;
+
+const MAX_FRAME: usize = 64 << 20;
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    }
+}
+
+fn client_for(handle: &qip_serve::ServerHandle) -> Client {
+    Client::connect(handle.addr(), Duration::from_secs(10), MAX_FRAME).unwrap()
+}
+
+/// Acceptance criterion: server responses match offline `AnyCompressor`
+/// output bit-for-bit, across compressors and field families (reusing the
+/// conformance oracles' field generator).
+#[test]
+fn served_bytes_are_identical_to_offline() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut client = client_for(&handle);
+
+    let dims = [20usize, 18, 16];
+    let wire_dims: Vec<u32> = dims.iter().map(|&d| d as u32).collect();
+    for name in ["SZ3+QP", "QoZ", "ZFP", "HPEZ+QP"] {
+        for family in [
+            qip_conformance::FieldFamily::Smooth,
+            qip_conformance::FieldFamily::Banded,
+        ] {
+            let field: Field<f32> = qip_conformance::synth(family, 7, &dims);
+            let offline = AnyCompressor::by_name(name)
+                .unwrap()
+                .compress(&field, ErrorBound::Abs(1e-3))
+                .unwrap();
+
+            let resp = client
+                .compress(name, 32, &wire_dims, WireBound::Abs(1e-3), field.to_le_bytes(), 0)
+                .unwrap();
+            assert_eq!(resp.status, Status::Ok, "{name}/{family:?}: {}", resp.reason());
+            assert_eq!(resp.payload, offline, "{name}/{family:?}: served stream differs");
+
+            // And back: served decompression matches offline decompression.
+            let offline_field: Field<f32> =
+                AnyCompressor::by_name(name).unwrap().decompress(&offline).unwrap();
+            let resp = client.decompress(32, resp.payload, 0).unwrap();
+            assert_eq!(resp.status, Status::Ok, "{name}/{family:?}: {}", resp.reason());
+            assert_eq!(
+                resp.payload,
+                offline_field.to_le_bytes(),
+                "{name}/{family:?}: served field differs"
+            );
+        }
+    }
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+#[test]
+fn f64_round_trip_through_server() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut client = client_for(&handle);
+    let dims = [12usize, 12, 12];
+    let field: Field<f64> = qip_conformance::synth(qip_conformance::FieldFamily::Turbulent, 3, &dims);
+    let resp = client
+        .compress("MGARD", 64, &[12, 12, 12], WireBound::Rel(1e-4), field.to_le_bytes(), 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    let offline = AnyCompressor::by_name("MGARD")
+        .unwrap()
+        .compress(&field, ErrorBound::Rel(1e-4))
+        .unwrap();
+    assert_eq!(resp.payload, offline);
+    let back = client.decompress(64, resp.payload, 0).unwrap();
+    assert_eq!(back.status, Status::Ok);
+    let restored: Field<f64> =
+        AnyCompressor::by_name("MGARD").unwrap().decompress(&offline).unwrap();
+    assert_eq!(back.payload, restored.to_le_bytes());
+    handle.join();
+}
+
+#[test]
+fn typed_errors_for_bad_requests() {
+    let handle = Server::start(quick_config()).unwrap();
+
+    // Unknown compressor name.
+    let mut c = client_for(&handle);
+    let payload: Vec<u8> = (0..16u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+    let resp = c.compress("nope", 32, &[16], WireBound::Abs(1e-3), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::UnknownCompressor, "{}", resp.reason());
+
+    // QP suffix on a comparator is rejected, not silently ignored.
+    let resp = c.compress("ZFP+QP", 32, &[16], WireBound::Abs(1e-3), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::UnknownCompressor);
+
+    // Payload size disagrees with dims × dtype.
+    let resp = c.compress("SZ3", 32, &[17], WireBound::Abs(1e-3), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest, "{}", resp.reason());
+
+    // Zero axis.
+    let resp = c.compress("SZ3", 32, &[0, 16], WireBound::Abs(1e-3), vec![], 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+
+    // Non-finite / non-positive bound.
+    let resp = c.compress("SZ3", 32, &[16], WireBound::Abs(0.0), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+    let resp =
+        c.compress("SZ3", 32, &[16], WireBound::Abs(f64::NAN), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+
+    // Garbage handed to decompress → typed FAILED (compressor-level error)
+    // or BAD_REQUEST (unknown magic), never a hang or panic.
+    let resp = c.decompress(32, vec![0x20, 1, 2, 3], 0).unwrap();
+    assert!(
+        matches!(resp.status, Status::Failed | Status::BadRequest),
+        "got {:?}",
+        resp.status
+    );
+    let resp = c.decompress(32, vec![0xFF; 64], 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+
+    // Ping still answers after all of the above on the same connection.
+    let resp = c.ping().unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// Load-shed acceptance: with tiny queues and slow work, an open-loop burst
+/// gets `SERVER_BUSY` answers instead of unbounded queueing, and the queue
+/// depth never exceeds its configured bound.
+#[test]
+fn overload_sheds_with_server_busy() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..quick_config()
+    };
+    let queue_bound = cfg.queue_depth as u64;
+    let handle = Server::start(cfg).unwrap();
+
+    // Each connection fires one slow-ish compress; with 1 worker and queue
+    // depth 2, a burst of 10 concurrent requests must shed most of them.
+    let dims = [40usize, 40, 40];
+    let field: Field<f32> = qip_conformance::synth(qip_conformance::FieldFamily::Turbulent, 1, &dims);
+    let payload = field.to_le_bytes();
+    let addr = handle.addr();
+    let joins: Vec<_> = (0..10)
+        .map(|_| {
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(120), MAX_FRAME).unwrap();
+                c.compress("SZ3", 32, &[40, 40, 40], WireBound::Abs(1e-3), payload, 0)
+                    .unwrap()
+                    .status
+            })
+        })
+        .collect();
+    let statuses: Vec<Status> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let ok = statuses.iter().filter(|s| **s == Status::Ok).count();
+    let busy = statuses.iter().filter(|s| **s == Status::ServerBusy).count();
+    assert_eq!(ok + busy, statuses.len(), "unexpected statuses: {statuses:?}");
+    assert!(busy >= 1, "no request was shed: {statuses:?}");
+    assert!(ok >= 1, "no request succeeded: {statuses:?}");
+
+    let stats = handle.join();
+    assert!(
+        stats.max_queue_depth.load(std::sync::atomic::Ordering::SeqCst) <= queue_bound,
+        "queue depth exceeded its bound"
+    );
+    assert_eq!(stats.shed.load(std::sync::atomic::Ordering::SeqCst), busy as u64);
+}
+
+/// A request whose deadline expires while it waits behind slow work is
+/// answered `DEADLINE_EXCEEDED` at dequeue, not executed.
+#[test]
+fn queued_past_deadline_is_answered_deadline_exceeded() {
+    let cfg = ServeConfig { workers: 1, queue_depth: 8, ..quick_config() };
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker with slow work.
+    let dims = [40usize, 40, 40];
+    let field: Field<f32> = qip_conformance::synth(qip_conformance::FieldFamily::Turbulent, 2, &dims);
+    let slow_payload = field.to_le_bytes();
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, Duration::from_secs(120), MAX_FRAME).unwrap();
+        c.compress("HPEZ+QP", 32, &[40, 40, 40], WireBound::Abs(1e-4), slow_payload, 0)
+            .unwrap()
+            .status
+    });
+    // Wait until the blocker is actually enqueued so it owns the worker
+    // before the short-deadline request goes out.
+    let stats = handle.stats();
+    let wait_deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while stats.dispatched.load(std::sync::atomic::Ordering::SeqCst) < 1 {
+        assert!(std::time::Instant::now() < wait_deadline, "blocker never reached the queue");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // 1 ms deadline: by the time the worker frees up, it has long expired.
+    let mut c = client_for(&handle);
+    let tiny: Vec<u8> = (0..64u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+    let resp = c.compress("SZ3", 32, &[64], WireBound::Abs(1e-3), tiny, 1).unwrap();
+    assert_eq!(resp.status, Status::DeadlineExceeded, "{}", resp.reason());
+
+    assert_eq!(blocker.join().unwrap(), Status::Ok);
+    let stats = handle.join();
+    assert!(stats.deadline_miss.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+}
+
+/// Satellite: graceful shutdown. N in-flight requests all complete with valid
+/// responses while new connections are refused.
+#[test]
+fn graceful_shutdown_finishes_in_flight_and_refuses_new() {
+    let cfg = ServeConfig { workers: 4, queue_depth: 8, ..quick_config() };
+    let handle = Server::start(cfg).unwrap();
+    let addr = handle.addr();
+
+    let n = 4;
+    let dims = [24usize, 24, 24];
+    let field: Field<f32> = qip_conformance::synth(qip_conformance::FieldFamily::Smooth, 5, &dims);
+    let payload = field.to_le_bytes();
+    let offline = AnyCompressor::by_name("QoZ")
+        .unwrap()
+        .compress(&field, ErrorBound::Abs(1e-3))
+        .unwrap();
+    let joins: Vec<_> = (0..n)
+        .map(|_| {
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(60), MAX_FRAME).unwrap();
+                c.compress("QoZ", 32, &[24, 24, 24], WireBound::Abs(1e-3), payload, 0).unwrap()
+            })
+        })
+        .collect();
+
+    // Wait until every request is genuinely in flight (enqueued to a
+    // worker), then start draining.
+    let stats = handle.stats();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while stats.dispatched.load(std::sync::atomic::Ordering::SeqCst) < n as u64 {
+        assert!(std::time::Instant::now() < deadline, "requests never reached the queues");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut handle = handle;
+    handle.shutdown();
+
+    // New connections are refused: the listener is closed.
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2));
+    assert!(refused.is_err(), "connection accepted during drain");
+
+    // Every in-flight request completed with a correct, byte-identical body.
+    for j in joins {
+        let resp = j.join().unwrap();
+        assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+        assert_eq!(resp.payload, offline, "drained response differs from offline bytes");
+    }
+    let stats = handle.join();
+    assert_eq!(stats.ok.load(std::sync::atomic::Ordering::SeqCst), n as u64);
+    assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// The connection cap sheds whole connections with a typed response.
+#[test]
+fn connection_cap_refuses_with_typed_busy() {
+    let cfg = ServeConfig { max_conns: 1, ..quick_config() };
+    let handle = Server::start(cfg).unwrap();
+
+    let mut keeper = client_for(&handle);
+    assert_eq!(keeper.ping().unwrap().status, Status::Ok);
+
+    // Second connection: the server pushes a SERVER_BUSY response and closes
+    // without waiting for a request, so read it straight off the socket.
+    let mut second =
+        std::net::TcpStream::connect_timeout(&handle.addr(), Duration::from_secs(5)).unwrap();
+    second.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let body = qip_serve::wire::read_frame(&mut second, MAX_FRAME).unwrap();
+    let resp = qip_serve::wire::decode_response(&body, MAX_FRAME).unwrap();
+    assert_eq!(resp.status, Status::ServerBusy, "{}", resp.reason());
+    drop(second);
+
+    // The first connection still works.
+    assert_eq!(keeper.ping().unwrap().status, Status::Ok);
+    drop(keeper);
+    let stats = handle.join();
+    assert!(stats.conns_refused.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+}
+
+/// Metrics op returns valid Prometheus text when a hub is attached.
+#[test]
+fn metrics_op_exports_serve_counters() {
+    let hub = std::sync::Arc::new(qip_telemetry::MetricsHub::new());
+    qip_telemetry::attach(std::sync::Arc::clone(&hub));
+    let handle = Server::start(quick_config()).unwrap();
+    let mut c = client_for(&handle);
+    let payload: Vec<u8> = (0..256u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+    let resp = c.compress("SZ3", 32, &[256], WireBound::Abs(1e-3), payload, 0).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let resp = c.metrics().unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    let text = resp.reason();
+    qip_telemetry::detach();
+    assert!(text.contains("qip_serve_requests"), "missing serve counters:\n{text}");
+    qip_telemetry::export::check_prometheus_text(&text).unwrap();
+    qip_telemetry::export::check_serve_families(&text).unwrap();
+    handle.join();
+}

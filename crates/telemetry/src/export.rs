@@ -245,6 +245,52 @@ pub fn check_prometheus_text(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The metric families `qip-serve` records, as exported Prometheus names.
+/// `qip.serve.requests` and `qip.serve.shed` et al. are counters;
+/// `qip.serve.queue_depth` is a gauge; `qip.serve.request_ns` is a latency
+/// histogram (exported as a summary). A scrape of a serving process is
+/// expected to carry at least the `requests` family.
+pub const SERVE_COUNTER_FAMILIES: [&str; 4] = [
+    "qip_serve_requests",
+    "qip_serve_shed",
+    "qip_serve_deadline_miss",
+    "qip_serve_panics",
+];
+
+/// Validate a scrape from a serving process: the text must be well-formed
+/// ([`check_prometheus_text`]), must carry the `qip_serve_requests` counter,
+/// and every serve family that does appear must be announced with the
+/// expected type (`counter` for the shed/deadline/panic counters, `gauge`
+/// for queue depth, `summary` for the latency histogram).
+pub fn check_serve_families(text: &str) -> Result<(), String> {
+    check_prometheus_text(text)?;
+    let type_of = |family: &str| -> Option<String> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("# TYPE {family} ")).map(str::to_string))
+    };
+    if type_of("qip_serve_requests").is_none() {
+        return Err("scrape has no qip_serve_requests family".to_string());
+    }
+    for family in SERVE_COUNTER_FAMILIES {
+        if let Some(kind) = type_of(family) {
+            if kind != "counter" {
+                return Err(format!("{family} announced as {kind}, expected counter"));
+            }
+        }
+    }
+    if let Some(kind) = type_of("qip_serve_queue_depth") {
+        if kind != "gauge" {
+            return Err(format!("qip_serve_queue_depth announced as {kind}, expected gauge"));
+        }
+    }
+    if let Some(kind) = type_of("qip_serve_request_ns") {
+        if kind != "summary" {
+            return Err(format!("qip_serve_request_ns announced as {kind}, expected summary"));
+        }
+    }
+    Ok(())
+}
+
 #[derive(serde::Serialize)]
 struct LabelOut {
     key: String,
@@ -361,6 +407,40 @@ mod tests {
         assert!(check_prometheus_text("# TYPE x summary\nx_count 4\n").is_ok());
         // _sum/_count only piggyback on summaries, not counters.
         assert!(check_prometheus_text("# TYPE x counter\nx_count 4\n").is_err());
+    }
+
+    #[test]
+    fn serve_families_render_and_validate() {
+        let hub = MetricsHub::new();
+        hub.counter_add("qip.serve.requests", &[("op", "compress"), ("status", "OK")], 5);
+        hub.counter_add("qip.serve.requests", &[("op", "compress"), ("status", "SERVER_BUSY")], 2);
+        hub.counter_add("qip.serve.shed", &[("op", "compress")], 2);
+        hub.counter_add("qip.serve.deadline_miss", &[("op", "decompress")], 1);
+        hub.counter_add("qip.serve.panics", &[("op", "compress")], 1);
+        hub.gauge_set("qip.serve.queue_depth", &[("worker", "w0")], 3.0);
+        for v in [10_000u64, 20_000, 1_000_000] {
+            hub.observe("qip.serve.request_ns", &[("op", "compress")], v);
+        }
+        let text = prometheus_text(&hub);
+        check_serve_families(&text).unwrap();
+        assert!(text.contains("qip_serve_requests{op=\"compress\",status=\"SERVER_BUSY\"} 2"));
+        assert!(text.contains("# TYPE qip_serve_queue_depth gauge"));
+        assert!(text.contains("# TYPE qip_serve_request_ns summary"));
+    }
+
+    #[test]
+    fn serve_family_check_rejects_wrong_shapes() {
+        // Missing the requests family entirely.
+        let hub = MetricsHub::new();
+        hub.counter_add("qip.other", &[], 1);
+        assert!(check_serve_families(&prometheus_text(&hub)).is_err());
+        // Family present under the wrong type.
+        let wrong = "# TYPE qip_serve_requests gauge\nqip_serve_requests 1\n\
+                     # TYPE qip_serve_shed gauge\nqip_serve_shed 0\n";
+        assert!(check_serve_families(wrong).is_err());
+        // Requests present as a proper counter passes even with others absent.
+        let ok = "# TYPE qip_serve_requests counter\nqip_serve_requests{op=\"ping\"} 1\n";
+        check_serve_families(ok).unwrap();
     }
 
     #[test]

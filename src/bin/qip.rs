@@ -5,6 +5,7 @@
 //! qip decompress -i data.qip -o restored.f32 [--f64]
 //! qip info       -i data.qip
 //! qip gen        --dataset miranda -d 64x96x96 [--field 0] -o data.f32
+//! qip serve      [--listen 127.0.0.1:9314] [--workers N] [--queue N] [--duration-s S]
 //! ```
 //!
 //! Raw files are little-endian f32 (or f64 with `--f64`), row-major, matching
@@ -44,8 +45,9 @@ fn parse_eb(s: &str) -> Result<ErrorBound, String> {
 /// `Compressor<f32>` and `Compressor<f64>`, so the registry lookup replaces
 /// the two per-type tables this binary used to carry.
 fn compressor_by_name(name: &str, qp: bool) -> Result<AnyCompressor, String> {
-    let cfg = if qp { QpConfig::best_fit() } else { QpConfig::off() };
-    AnyCompressor::by_name(name, cfg).ok_or_else(|| format!("unknown compressor '{name}'"))
+    let canonical = if qp { format!("{name}+qp") } else { name.to_string() };
+    AnyCompressor::by_name(&canonical)
+        .ok_or_else(|| format!("unknown compressor '{canonical}' (--qp only applies to the interpolation-based four)"))
 }
 
 /// Map a stream's leading magic byte to its compressor name.
@@ -283,6 +285,79 @@ fn run() -> Result<(), String> {
             eprintln!("{dataset} field {field_idx} {dims:?}: {} bytes", out.len());
             Ok(())
         }
+        "serve" => {
+            let parse_num = |k: &str, default: usize| -> Result<usize, String> {
+                match opts.get(k) {
+                    Some(v) => v.parse().map_err(|e| format!("bad --{k} '{v}': {e}")),
+                    None => Ok(default),
+                }
+            };
+            let defaults = qip::serve::ServeConfig::default();
+            let config = qip::serve::ServeConfig {
+                addr: opts
+                    .get("listen")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:9314".into()),
+                workers: parse_num("workers", defaults.workers)?,
+                queue_depth: parse_num("queue", defaults.queue_depth)?,
+                max_conns: parse_num("max-conns", defaults.max_conns)?,
+                default_deadline: std::time::Duration::from_millis(
+                    parse_num("deadline-ms", defaults.default_deadline.as_millis() as usize)?
+                        as u64,
+                ),
+                ..defaults
+            };
+            let duration_s = match opts.get("duration-s") {
+                Some(v) => {
+                    Some(v.parse::<u64>().map_err(|e| format!("bad --duration-s '{v}': {e}"))?)
+                }
+                None => None,
+            };
+
+            // Attach a metrics hub so the wire `metrics` op serves real data
+            // (queue depth, shed/deadline/panic counters, latency histograms).
+            let hub = std::sync::Arc::new(qip::telemetry::MetricsHub::new());
+            qip::telemetry::attach(std::sync::Arc::clone(&hub));
+
+            let handle =
+                qip::serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+            eprintln!(
+                "qip-serve listening on {} ({} workers, queue depth {})",
+                handle.addr(),
+                parse_num("workers", defaults.workers)?,
+                parse_num("queue", defaults.queue_depth)?,
+            );
+            match duration_s {
+                Some(secs) => {
+                    // Timed run: serve for the window, then drain gracefully
+                    // (in-flight requests finish, new connections refused).
+                    std::thread::sleep(std::time::Duration::from_secs(secs));
+                    eprintln!("qip-serve: draining after {secs}s");
+                    let stats = handle.join();
+                    use std::sync::atomic::Ordering;
+                    eprintln!(
+                        "qip-serve: {} requests ({} ok, {} shed, {} deadline misses, {} panics isolated), {} connections",
+                        stats.requests.load(Ordering::SeqCst),
+                        stats.ok.load(Ordering::SeqCst),
+                        stats.shed.load(Ordering::SeqCst),
+                        stats.deadline_miss.load(Ordering::SeqCst),
+                        stats.panics.load(Ordering::SeqCst),
+                        stats.conns_accepted.load(Ordering::SeqCst),
+                    );
+                    if let Some(path) = opts.get("prom") {
+                        std::fs::write(path, qip::telemetry::export::prometheus_text(&hub))
+                            .map_err(|e| format!("write {path}: {e}"))?;
+                    }
+                    Ok(())
+                }
+                None => {
+                    // Run until killed; the handle keeps the server alive.
+                    loop {
+                        std::thread::park();
+                    }
+                }
+            }
+        }
         _ => Err(usage()),
     }
 }
@@ -292,7 +367,9 @@ fn usage() -> String {
      qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64] [OBSERVABILITY]\n  \
      qip decompress -i IN -o OUT [--f64] [OBSERVABILITY]\n  \
      qip info       -i IN\n  \
-     qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n\n\
+     qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n  \
+     qip serve      [--listen ADDR] [--workers N] [--queue N] [--max-conns N] [--deadline-ms MS]\n                 \
+     [--duration-s S] [--prom M.prom]   (see docs/serving.md; FORMAT.md for the wire protocol)\n\n\
      OBSERVABILITY (compress/decompress):\n  \
      --metrics-out M.json   telemetry snapshot (counters, gauges, latency histograms) as JSON\n  \
      --prom M.prom          the same snapshot in Prometheus text exposition format\n  \

@@ -29,6 +29,7 @@ pub use qip_predict as predict;
 pub use qip_qoz as qoz;
 pub use qip_quant as quant;
 pub use qip_registry as registry;
+pub use qip_serve as serve;
 pub use qip_sperr as sperr;
 pub use qip_sz3 as sz3;
 pub use qip_telemetry as telemetry;
