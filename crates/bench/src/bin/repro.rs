@@ -73,7 +73,7 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|all> \
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|tiles|all> \
          [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--bless]"
     );
     std::process::exit(2);
@@ -189,6 +189,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "tiles" => {
+            if let Err(msg) = experiments::tiles::run(&opts) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
         "all" => {
             // Gated experiments append to `failures` instead of exiting on
             // the spot, so one bad gate never masks the others — but the
@@ -224,6 +230,9 @@ fn main() {
             experiments::ablate::run(&opts);
             if let Err(msg) = experiments::serve::run(&opts) {
                 failures.push(format!("serve: {msg}"));
+            }
+            if let Err(msg) = experiments::tiles::run(&opts) {
+                failures.push(format!("tiles: {msg}"));
             }
             if !failures.is_empty() {
                 eprintln!("repro all: {} gated experiment(s) failed:", failures.len());

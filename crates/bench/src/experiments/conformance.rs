@@ -6,13 +6,17 @@
 //!    plus the block-parallel thread sweep at 1/2/8 workers;
 //! 3. **Error-bound contract** — ≥256 seeded cases per compressor, with
 //!    minimized counterexamples written to `conformance_counterexamples.txt`
-//!    for CI artifact upload.
+//!    for CI artifact upload;
+//! 4. **Tiled container** — the committed tiled golden containers
+//!    (`tiled_manifest.tsv`, blessed alongside the flat fixtures) plus the
+//!    region oracle: seeded random regions where `read_region` must be
+//!    byte-identical to slicing the full decode.
 //!
 //! Results land in `BENCH_conformance.json`; [`run`] returns `false` when any
 //! pillar found a failure so `repro` can exit nonzero.
 
 use super::Opts;
-use qip_conformance::{contract, differential, golden};
+use qip_conformance::{contract, differential, golden, tiles};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -72,6 +76,44 @@ pub fn run(opts: &Opts, bless: bool) -> bool {
     for f in &golden_findings {
         eprintln!("[golden] {f}");
     }
+
+    // Pillar 4 (golden half): tiled containers share the fixture directory
+    // and the bless flag, so one `--bless` refreshes both manifests.
+    let tiled_findings = if bless {
+        match tiles::bless(&dir) {
+            Ok(entries) => {
+                eprintln!(
+                    "[blessed {} tiled container fixtures into {}]",
+                    entries.len(),
+                    dir.display()
+                );
+                Vec::new()
+            }
+            Err(e) => {
+                eprintln!("[tiled bless failed: {e}]");
+                return false;
+            }
+        }
+    } else {
+        tiles::verify(&dir)
+    };
+    for f in &tiled_findings {
+        eprintln!("[tiled] {f}");
+    }
+
+    // Pillar 4 (differential half): the region oracle.
+    let region_divs = tiles::region_oracle_suite(tiles::REGION_CASES, 0x7153_0000);
+    for d in &region_divs {
+        eprintln!("[region] {d}");
+    }
+    eprintln!(
+        "[tiled: {} fixtures {}, region oracle {} cases/cell over {} compressors: {} divergence(s)]",
+        tiles::tiled_specs().len(),
+        if bless { "blessed" } else { "verified" },
+        tiles::REGION_CASES,
+        tiles::TILED_COMPRESSORS.len(),
+        region_divs.len()
+    );
 
     // Pillar 2: differential oracles.
     let path_divs = differential::path_identity_suite();
@@ -152,16 +194,19 @@ pub fn run(opts: &Opts, bless: bool) -> bool {
     }
 
     let pass = golden_findings.is_empty() && path_divs.is_empty() && sweep_divs.is_empty()
+        && tiled_findings.is_empty() && region_divs.is_empty()
         && records.iter().all(|r| r.contract_violations == 0);
     if pass {
         eprintln!("[conformance: all pillars green]");
     } else {
         eprintln!(
-            "[conformance FAILED: {} golden, {} path, {} sweep, {} contract]",
+            "[conformance FAILED: {} golden, {} path, {} sweep, {} contract, {} tiled, {} region]",
             golden_findings.len(),
             path_divs.len(),
             sweep_divs.len(),
-            records.iter().map(|r| r.contract_violations).sum::<usize>()
+            records.iter().map(|r| r.contract_violations).sum::<usize>(),
+            tiled_findings.len(),
+            region_divs.len()
         );
     }
     pass

@@ -11,6 +11,7 @@ pub mod serve;
 pub mod sota;
 pub mod speed;
 pub mod throughput;
+pub mod tiles;
 pub mod transfer;
 
 use std::path::PathBuf;

@@ -148,7 +148,7 @@ fn closed_loop(
 
     for name in CLOSED_LOOP_COMPRESSORS {
         let offline = AnyCompressor::by_name(name)
-            .ok_or_else(|| format!("closed loop: unknown compressor {name}"))?;
+            .map_err(|e| format!("closed loop: {e}"))?;
         let field =
             qip_tensor::Field::<f32>::from_le_bytes(qip_tensor::Shape::new(&dims), &payload)
                 .map_err(|e| format!("closed loop: field decode failed: {e:?}"))?;

@@ -162,14 +162,14 @@ fn decode_checksum(comp: &AnyCompressor, dtype: &str, bytes: &[u8]) -> Result<u3
 
 const MANIFEST: &str = "manifest.tsv";
 
-fn manifest_line(e: &GoldenEntry) -> String {
+pub(crate) fn manifest_line(e: &GoldenEntry) -> String {
     format!(
         "{}\t{}\t{:08x}\t{:08x}",
         e.name, e.stream_len, e.stream_crc32, e.decomp_crc32
     )
 }
 
-fn parse_manifest(text: &str) -> Result<Vec<GoldenEntry>, String> {
+pub(crate) fn parse_manifest(text: &str) -> Result<Vec<GoldenEntry>, String> {
     let mut entries = Vec::new();
     for (ln, line) in text.lines().enumerate() {
         if line.is_empty() || line.starts_with('#') {

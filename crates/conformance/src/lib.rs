@@ -15,6 +15,11 @@
 //! - [`contract`] — a seeded random suite asserting the paper's reversibility
 //!   contract pointwise (`|d − d'| ≤ ε`) for every registry compressor, with
 //!   greedy counterexample minimization and stage-trace replay on failure.
+//! - [`tiles`] — the same pinning and differential treatment for the tiled
+//!   container format: committed golden containers (separate
+//!   `tiled_manifest.tsv`) plus the region oracle asserting that
+//!   `read_region` over seeded random regions is byte-identical to slicing
+//!   the full decode.
 //!
 //! Synthetic inputs come from [`fields`], whose generators are arithmetic-only
 //! so fixtures are bit-reproducible across platforms.
@@ -25,8 +30,10 @@ pub mod contract;
 pub mod differential;
 pub mod fields;
 pub mod golden;
+pub mod tiles;
 
 pub use contract::{contract_suite, ContractStats, Violation};
 pub use differential::{path_identity_suite, thread_sweep_suite, Divergence, SWEEP_THREADS};
 pub use fields::{synth, FieldFamily};
 pub use golden::{bless, default_dir, vector_specs, verify, GoldenFinding, VectorSpec, GOLDEN_BOUND};
+pub use tiles::{region_oracle_suite, tiled_specs, RegionDivergence, TiledSpec, REGION_CASES};

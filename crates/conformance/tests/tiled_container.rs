@@ -1,0 +1,59 @@
+//! The committed tiled golden containers must match what today's container
+//! encoder and decoder produce, and random-access region reads must be
+//! byte-identical to slicing the full decode. A golden failure means the
+//! container layout changed — either fix the regression or, for an
+//! intentional format change, rerun
+//! `cargo run --release -p qip-bench --bin repro -- conformance --bless`
+//! and commit the refreshed fixtures with the change that caused them.
+
+use qip_conformance::tiles;
+
+#[test]
+fn committed_tiled_fixtures_match_current_container_codec() {
+    let dir = qip_conformance::golden::default_dir();
+    let findings = tiles::verify(&dir);
+    assert!(
+        findings.is_empty(),
+        "{} tiled golden finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn tiled_blessing_is_deterministic() {
+    let base =
+        std::env::temp_dir().join(format!("qip-tiled-det-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    let ea = tiles::bless(&a).expect("bless a");
+    let eb = tiles::bless(&b).expect("bless b");
+    assert_eq!(ea.len(), eb.len());
+    for (x, y) in ea.iter().zip(&eb) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.stream_crc32, y.stream_crc32, "{}", x.name);
+        assert_eq!(x.decomp_crc32, y.decomp_crc32, "{}", x.name);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn region_reads_match_full_decode_across_the_grid() {
+    // Satellite property: seeded random valid regions, read_region output
+    // byte-identical to slicing the full decompression, across five registry
+    // compressors × {f32, f64} × 1-D/2-D/3-D shapes.
+    let findings = tiles::region_oracle_suite(tiles::REGION_CASES, 0x7153_0000);
+    assert!(
+        findings.is_empty(),
+        "{} region divergence(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

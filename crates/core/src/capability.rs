@@ -1,0 +1,43 @@
+//! Optional compressor capabilities beyond the whole-field round-trip.
+//!
+//! [`Compressor`](crate::Compressor) models the lowest common denominator:
+//! one field in, one opaque stream out. Some backends can do more — MGARD can
+//! reconstruct a coarse approximation without decoding the finer detail
+//! levels, and the tiled container can decode just the tiles a region of
+//! interest touches. Those extras live here as *capability traits*, so
+//! callers discover them by downcast (e.g.
+//! `AnyCompressor::as_progressive::<f32>()`) instead of special-casing
+//! compressor names.
+
+use crate::CompressError;
+use qip_tensor::{Field, Region, Scalar};
+
+/// Coarse-first, refine-later decoding.
+///
+/// Implementors can reconstruct a reduced-resolution approximation of the
+/// original field from a full-fidelity stream, cheaper than a full decode.
+pub trait ProgressiveDecompress<T: Scalar> {
+    /// Reconstruct only down to hierarchy level `stop_level`, returning the
+    /// coarse approximation on the stride-`2^stop_level` lattice (the
+    /// decimated field of dims `ceil(d / 2^stop_level)` per axis).
+    ///
+    /// `stop_level = 0` must reproduce the full-resolution decompression
+    /// exactly.
+    fn decompress_reduced(
+        &self,
+        bytes: &[u8],
+        stop_level: usize,
+    ) -> Result<Field<T>, CompressError>;
+}
+
+/// Random-access decoding of a rectangular region of interest.
+///
+/// Implementors can decode `region` from a stream without reconstructing the
+/// whole field — the contract is that the result is **byte-identical** to
+/// slicing the full decompression at the same coordinates, while touching
+/// only the parts of the stream the region intersects.
+pub trait RegionDecompress<T: Scalar> {
+    /// Decode exactly `region` (validated against the stream's dims) from
+    /// `bytes`. The returned field has shape `region.extent()`.
+    fn read_region(&self, bytes: &[u8], region: &Region) -> Result<Field<T>, CompressError>;
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod bound;
+pub mod capability;
 pub mod compressor;
 pub mod ctx;
 pub mod header;
@@ -33,6 +34,7 @@ pub mod integrity;
 pub mod qp;
 
 pub use bound::{ErrorBound, ResolvedBound};
+pub use capability::{ProgressiveDecompress, RegionDecompress};
 pub use compressor::{try_with_capacity, try_zeroed_vec, CompressError, Compressor};
 pub use ctx::CompressCtx;
 pub use header::StreamHeader;

@@ -243,3 +243,191 @@ fn truncation_at_every_prefix_errors() {
         }
     }
 }
+
+/// Seeded corruptions per inner compressor in the tiled-container sweeps
+/// (sized like the block-parallel ones: the sweep multiplies across inners).
+const TILED_RAW_SEEDS: u64 = 400;
+const TILED_RESEALED_SEEDS: u64 = 200;
+
+fn tiled_stream(inner: AnyCompressor) -> Vec<u8> {
+    let field = qip_data::Dataset::Miranda.generate_f32(6, &[20, 18, 10]);
+    let tiled = qip_container::TiledCompressor::new(inner, 8).expect("valid tile edge");
+    tiled.compress(&field, ErrorBound::Abs(1e-3)).expect("compress")
+}
+
+/// Recompute every per-tile CRC from the (possibly damaged) payload and
+/// reseal the index, so payload corruption survives both container gates and
+/// reaches the inner tile decoders — the tiled analogue of
+/// `qip_fault::corrupt_resealed`.
+fn reseal_tiled(bytes: &[u8]) -> Option<Vec<u8>> {
+    let (info, payload) = qip_container::ContainerInfo::parse(bytes).ok()?;
+    let tiles: Vec<qip_container::TileEntry> = info
+        .tiles
+        .iter()
+        .map(|t| qip_container::TileEntry {
+            offset: t.offset,
+            len: t.len,
+            crc32: qip_core::integrity::crc32(&payload[t.offset..t.offset + t.len]),
+        })
+        .collect();
+    Some(qip_container::assemble(
+        info.bits,
+        &info.dims,
+        info.tile,
+        info.abs_bound,
+        &info.compressor,
+        &tiles,
+        payload,
+    ))
+}
+
+#[test]
+fn tiled_container_raw_corruptions_always_error() {
+    // The sealed index covers every header/index byte and each tile stream is
+    // CRC-gated, so raw damage anywhere in the container — magic, index,
+    // payload, framing — must be rejected, for every inner compressor.
+    for inner in AnyCompressor::base_four(QpConfig::best_fit()) {
+        let name = Compressor::<f32>::name(&inner);
+        let stream = tiled_stream(inner);
+        for seed in 0..TILED_RAW_SEEDS {
+            let (bad, fault) = qip_fault::corrupt(&stream, seed);
+            let res: Result<Field<f32>, _> = qip_container::decompress_full(&bad);
+            assert!(res.is_err(), "{name}⊞: decoded corrupted container: {fault}");
+        }
+    }
+}
+
+#[test]
+fn tiled_container_every_bitflip_is_rejected() {
+    // Exhaustive over bytes, seeded over bits: no single-bit flip anywhere in
+    // a container may decode cleanly (index flips fail the seal, payload
+    // flips fail a tile CRC, framing flips fail structural validation).
+    let stream = tiled_stream(AnyCompressor::by_name("sz3+qp").unwrap());
+    let mut rng = qip_fault::XorShift64::new(0x0007_11ED);
+    for pos in 0..stream.len() {
+        let mut bad = stream.clone();
+        bad[pos] ^= 1 << rng.below(8);
+        let res: Result<Field<f32>, _> = qip_container::decompress_full(&bad);
+        assert!(res.is_err(), "⊞: flip at byte {pos} decoded cleanly");
+    }
+}
+
+#[test]
+fn tiled_payload_resealed_corruptions_never_panic() {
+    // Damage that gets past both container gates (tile CRCs recomputed, index
+    // resealed) reaches the inner tile decoders; the contract is the same as
+    // everywhere else — error is fine, garbage-free Ok is fine, panic never.
+    for inner in AnyCompressor::base_four(QpConfig::best_fit()) {
+        let name = Compressor::<f32>::name(&inner);
+        let stream = tiled_stream(inner);
+        let (_, payload) = qip_container::ContainerInfo::parse(&stream).expect("parse");
+        let payload_start = stream.len() - payload.len();
+        for seed in 0..TILED_RESEALED_SEEDS {
+            let mut rng = qip_fault::XorShift64::new(seed ^ 0x0715_3BAD);
+            let mut bad = stream.clone();
+            let pos = payload_start + rng.below(bad.len() - payload_start);
+            let bit = 1u8 << rng.below(8);
+            bad[pos] ^= bit;
+            let bad = reseal_tiled(&bad).expect("index untouched, reseal must parse");
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r: Result<Field<f32>, _> = qip_container::decompress_full(&bad);
+                r
+            }));
+            if res.is_err() {
+                let trace = qip_fault::trace_replay(|| {
+                    let _: Result<Field<f32>, _> = qip_container::decompress_full(&bad);
+                });
+                panic!(
+                    "{name}⊞ panicked on a resealed payload flip (seed {seed}, byte {pos}, bit {bit:#x})\n{trace}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tiled_index_inconsistencies_error_never_panic() {
+    // A hostile writer can produce an index that passes its seal but lies
+    // about the payload; every such lie must fail structural validation or a
+    // tile CRC — with a typed error, never a panic.
+    let stream = tiled_stream(AnyCompressor::by_name("qoz+qp").unwrap());
+    let (info, payload) = qip_container::ContainerInfo::parse(&stream).expect("parse");
+    let rebuild = |tiles: Vec<qip_container::TileEntry>| {
+        qip_container::assemble(
+            info.bits,
+            &info.dims,
+            info.tile,
+            info.abs_bound,
+            &info.compressor,
+            &tiles,
+            payload,
+        )
+    };
+
+    let mut lies: Vec<(String, Vec<qip_container::TileEntry>)> = Vec::new();
+    let mut t = info.tiles.clone();
+    if let Some(last) = t.last_mut() {
+        last.len += 1; // index claims one byte more payload than exists
+    }
+    lies.push(("inflated last tile length".into(), t));
+    let mut t = info.tiles.clone();
+    t[0].crc32 ^= 0xDEAD_BEEF; // valid geometry, wrong tile checksum
+    lies.push(("wrong tile CRC".into(), t));
+    let mut t = info.tiles.clone();
+    if t.len() >= 2 {
+        t[1].offset += 1; // breaks the contiguity invariant
+        lies.push(("non-contiguous offsets".into(), t));
+    }
+    let mut t = info.tiles.clone();
+    t.pop(); // tile count disagrees with the grid geometry
+    lies.push(("missing tile entry".into(), t));
+
+    for (what, tiles) in lies {
+        let bad = rebuild(tiles);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let r: Result<Field<f32>, _> = qip_container::decompress_full(&bad);
+            r
+        }));
+        match res {
+            Err(_) => panic!("⊞ panicked on {what}"),
+            Ok(Ok(_)) => panic!("⊞ decoded a container with {what}"),
+            Ok(Err(_)) => {}
+        }
+    }
+}
+
+#[test]
+fn tiled_region_reads_reject_index_corruption_lazily() {
+    // read_region only CRC-gates the tiles it touches, but the sealed index
+    // is always verified first — so index damage fails every region read,
+    // while a payload lie about an untouched tile must not corrupt a read
+    // that never visits it.
+    let stream = tiled_stream(AnyCompressor::by_name("hpez+qp").unwrap());
+    let region = qip_tensor::Region::new(&[0, 0, 0], &[8, 8, 8]); // tile 0 only
+    let clean: Field<f32> = qip_container::read_region(&stream, &region).expect("clean read");
+
+    // Any index bitflip → every region read fails the seal.
+    let (_, payload) = qip_container::ContainerInfo::parse(&stream).expect("parse");
+    let index_end = stream.len() - payload.len();
+    let mut rng = qip_fault::XorShift64::new(0x1D3_C0DE);
+    for _ in 0..64 {
+        let mut bad = stream.clone();
+        let pos = rng.below(index_end);
+        bad[pos] ^= 1 << rng.below(8);
+        let res: Result<Field<f32>, _> = qip_container::read_region(&bad, &region);
+        assert!(res.is_err(), "index flip at byte {pos} survived a region read");
+    }
+
+    // Damage confined to the *last* tile's payload (CRC fixed up, index
+    // resealed) must leave a region read of tile 0 byte-identical.
+    let (info, _) = qip_container::ContainerInfo::parse(&stream).expect("parse");
+    let last = info.tiles.last().expect("tiles");
+    assert!(last.len > 0, "last tile must have payload");
+    let mut bad = stream.clone();
+    let pos = index_end + last.offset + last.len / 2;
+    bad[pos] ^= 0x10;
+    let bad = reseal_tiled(&bad).expect("reseal");
+    let got: Field<f32> = qip_container::read_region(&bad, &region)
+        .expect("region away from the damage must still decode");
+    assert_eq!(got.to_le_bytes(), clean.to_le_bytes());
+}

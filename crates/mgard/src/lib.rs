@@ -136,6 +136,19 @@ impl Default for Mgard {
     }
 }
 
+/// MGARD is the one base compressor with a native progressive path (paper
+/// Table I); exposing it through the capability trait lets `AnyCompressor`
+/// consumers find it by downcast instead of matching on the name "MGARD".
+impl<T: Scalar> qip_core::ProgressiveDecompress<T> for Mgard {
+    fn decompress_reduced(
+        &self,
+        bytes: &[u8],
+        stop_level: usize,
+    ) -> Result<Field<T>, CompressError> {
+        Mgard::decompress_reduced(self, bytes, stop_level)
+    }
+}
+
 /// Multilinear prediction: mean of the `2^|O|` coarse corners at ±s along the
 /// odd axes (boundary corners that fall outside the field are dropped).
 #[inline]

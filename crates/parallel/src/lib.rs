@@ -29,6 +29,69 @@ const FMT_VERSION: u8 = 1;
 /// prediction context that ratios collapse, so construction refuses outright.
 pub const MIN_BLOCK: usize = 8;
 
+/// The fixed grid of edge-`edge` blocks over a field's dims — the one
+/// block/tile geometry shared by [`BlockParallel`] and the tiled container
+/// (`qip-container`), so both agree on origin order, clipping, and counts.
+///
+/// Origins enumerate in row-major order (last axis fastest), matching
+/// [`qip_tensor::Shape::blocks`]; edge blocks are clipped to the field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    shape: Shape,
+    edge: usize,
+}
+
+impl TileGrid {
+    /// The grid of `edge`-sized blocks over `dims`.
+    ///
+    /// Returns [`CompressError::Unsupported`] when `edge` is below
+    /// [`MIN_BLOCK`] (same rationale as [`BlockParallel::new`]); dims must be
+    /// 1–4-D like every workspace shape.
+    pub fn new(dims: &[usize], edge: usize) -> Result<Self, CompressError> {
+        if edge < MIN_BLOCK {
+            return Err(CompressError::Unsupported(
+                "block edge below 8 per axis destroys prediction context",
+            ));
+        }
+        if dims.is_empty() || dims.len() > 4 {
+            return Err(CompressError::WrongFormat("dimensionality out of range"));
+        }
+        Ok(TileGrid { shape: Shape::new(dims), edge })
+    }
+
+    /// Block edge length per axis (edge blocks are clipped).
+    pub fn edge(&self) -> usize {
+        self.edge
+    }
+
+    /// The gridded field's dims.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Block origins in canonical (row-major, last-axis-fastest) order.
+    pub fn origins(&self) -> qip_tensor::BlockIter {
+        self.shape.blocks(self.edge)
+    }
+
+    /// Total number of blocks (`∏ ceil(d / edge)`; 0 when any dim is 0).
+    pub fn count(&self) -> usize {
+        if self.shape.is_empty() {
+            return 0;
+        }
+        self.shape.dims().iter().map(|&d| d.div_ceil(self.edge)).product()
+    }
+
+    /// The clipped extent of the block at `origin`.
+    pub fn clipped_extent(&self, origin: &[usize]) -> Vec<usize> {
+        origin
+            .iter()
+            .zip(self.shape.dims())
+            .map(|(&o, &d)| self.edge.min(d.saturating_sub(o)))
+            .collect()
+    }
+}
+
 /// A compressor wrapper that processes independent blocks in parallel.
 #[derive(Debug, Clone)]
 pub struct BlockParallel<C> {
@@ -91,7 +154,8 @@ where
             return Ok(qip_core::integrity::seal(w.finish()));
         }
 
-        let origins: Vec<Vec<usize>> = field.shape().blocks(self.block).collect();
+        let grid = TileGrid::new(&dims, self.block)?;
+        let origins: Vec<Vec<usize>> = grid.origins().collect();
         let extent = vec![self.block; dims.len()];
         let streams: Vec<Result<Vec<u8>, CompressError>> = origins
             .par_iter()
@@ -135,8 +199,8 @@ where
             return Err(CompressError::WrongFormat("implausible field volume"));
         }
         let block = r.get_uvarint()? as usize;
-        if block == 0 {
-            return Err(CompressError::WrongFormat("zero block size"));
+        if block < MIN_BLOCK {
+            return Err(CompressError::WrongFormat("block size below minimum"));
         }
         let shape = Shape::new(&dims);
         if shape.is_empty() {
@@ -144,7 +208,8 @@ where
         }
 
         let n_blocks = r.get_uvarint()? as usize;
-        let origins: Vec<Vec<usize>> = shape.blocks(block).collect();
+        let grid = TileGrid::new(&dims, block)?;
+        let origins: Vec<Vec<usize>> = grid.origins().collect();
         if origins.len() != n_blocks {
             return Err(CompressError::WrongFormat("block count mismatch"));
         }
@@ -288,5 +353,35 @@ mod tests {
         // The boundary itself is accepted.
         let ok = BlockParallel::new(Sz3::new(), MIN_BLOCK).expect("MIN_BLOCK is valid");
         assert_eq!(ok.block_size(), MIN_BLOCK);
+    }
+
+    #[test]
+    fn tile_grid_counts_clips_and_orders() {
+        let grid = TileGrid::new(&[37, 29], 16).unwrap();
+        let origins: Vec<_> = grid.origins().collect();
+        assert_eq!(origins.len(), grid.count());
+        assert_eq!(grid.count(), 3 * 2);
+        assert_eq!(origins[0], vec![0, 0]);
+        assert_eq!(origins[1], vec![0, 16]); // last axis fastest
+        assert_eq!(grid.clipped_extent(&[32, 16]), vec![5, 13]);
+        assert_eq!(grid.clipped_extent(&[0, 0]), vec![16, 16]);
+        // Degenerate and invalid grids.
+        assert_eq!(TileGrid::new(&[0, 10], 8).unwrap().count(), 0);
+        assert!(TileGrid::new(&[10, 10], MIN_BLOCK - 1).is_err());
+    }
+
+    #[test]
+    fn tile_grid_matches_block_parallel_geometry() {
+        // The wrapper and the grid must agree on the block decomposition —
+        // qip-container leans on this equivalence for its tile index.
+        let f = field(&[37, 29, 21]);
+        let grid = TileGrid::new(f.shape().dims(), 16).unwrap();
+        let from_shape: Vec<_> = f.shape().blocks(16).collect();
+        let from_grid: Vec<_> = grid.origins().collect();
+        assert_eq!(from_shape, from_grid);
+        for o in &from_grid {
+            let blk = f.subregion(o, &[16, 16, 16]);
+            assert_eq!(blk.shape().dims(), grid.clipped_extent(o).as_slice());
+        }
     }
 }

@@ -11,7 +11,10 @@
 
 #![warn(missing_docs)]
 
-use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
+use qip_core::{
+    CompressCtx, CompressError, Compressor, ErrorBound, ProgressiveDecompress, QpConfig,
+    RegionDecompress,
+};
 use qip_hpez::Hpez;
 use qip_interp::QuantCapture;
 use qip_mgard::Mgard;
@@ -21,6 +24,74 @@ use qip_sz3::Sz3;
 use qip_tensor::{Field, Scalar};
 use qip_tthresh::Tthresh;
 use qip_zfp::Zfp;
+
+/// The canonical registry names, in reporting order. [`AnyCompressor::by_name`]
+/// accepts exactly these (case-insensitively), and [`LookupError`]'s messages
+/// list them, so every layer names the same eleven compressors.
+pub const CANONICAL_NAMES: [&str; 11] = [
+    "MGARD", "SZ3", "QoZ", "HPEZ", "MGARD+QP", "SZ3+QP", "QoZ+QP", "HPEZ+QP", "ZFP", "TTHRESH",
+    "SPERR",
+];
+
+/// A typed [`AnyCompressor::by_name`] rejection.
+///
+/// The `Display` form is the user-facing CLI/serve/bench error message and
+/// always lists the canonical eleven names, so a typo'd compressor name gets
+/// the same self-correcting hint everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupError {
+    /// The name matches no registry entry.
+    UnknownName {
+        /// The name as the caller spelled it.
+        name: String,
+    },
+    /// A `+QP` suffix was applied to a transform-based comparator, which has
+    /// no QP mode; rejected rather than silently ignored so that a resolved
+    /// compressor's `name()` always round-trips the requested name.
+    ComparatorWithQp {
+        /// The comparator's canonical base name ("ZFP", "TTHRESH", "SPERR").
+        base: String,
+    },
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::UnknownName { name } => {
+                write!(f, "unknown compressor '{name}'; known: {}", CANONICAL_NAMES.join(", "))
+            }
+            LookupError::ComparatorWithQp { base } => {
+                write!(
+                    f,
+                    "'{base}' is a transform-based comparator with no QP mode; \
+                     drop the '+QP' suffix (known: {})",
+                    CANONICAL_NAMES.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// Classify a stream by its magic byte: the canonical lowercase stream-kind
+/// name for every format the workspace emits, or `None` for foreign bytes.
+/// This is the single home for the magic→name table the CLI `qip info` and
+/// the serve compressor hint both used to duplicate.
+pub fn detect_stream(bytes: &[u8]) -> Option<&'static str> {
+    match bytes.first()? {
+        0x20..=0x22 => Some("sz3"),
+        0x30 => Some("qoz"),
+        0x40 => Some("hpez"),
+        0x50 => Some("mgard"),
+        0x60 => Some("zfp"),
+        0x70 => Some("sperr"),
+        0x80 => Some("tthresh"),
+        0x90 => Some("block-parallel"),
+        0xB0 => Some("tiled"),
+        _ => None,
+    }
+}
 
 /// Any compressor in the evaluation (paper Table IV rows).
 #[derive(Debug, Clone)]
@@ -74,24 +145,29 @@ impl AnyCompressor {
     /// eleven names [`AnyCompressor::registry`] reports — `"MGARD"`, `"SZ3"`,
     /// `"QoZ"`, `"HPEZ"`, their `"+QP"` variants, `"ZFP"`, `"TTHRESH"`,
     /// `"SPERR"`. A `+QP` suffix selects [`QpConfig::best_fit`]; without it
-    /// QP is off. `+QP` on a transform-based comparator is rejected (`None`)
-    /// rather than silently ignored, so a name round-trips exactly:
+    /// QP is off. Rejections are typed: an unrecognized name is
+    /// [`LookupError::UnknownName`], and `+QP` on a transform-based
+    /// comparator is [`LookupError::ComparatorWithQp`] rather than silently
+    /// ignored — so a name round-trips exactly:
     /// `by_name(n).unwrap().name() == n` for every registry entry.
-    pub fn by_name(name: &str) -> Option<AnyCompressor> {
+    pub fn by_name(name: &str) -> Result<AnyCompressor, LookupError> {
         let lower = name.to_ascii_lowercase();
         let (base, qp) = match lower.strip_suffix("+qp") {
             Some(base) => (base, QpConfig::best_fit()),
             None => (lower.as_str(), QpConfig::off()),
         };
-        let comp = AnyCompressor::by_base_name(base, qp)?;
-        if matches!(
-            comp,
-            AnyCompressor::Zfp(_) | AnyCompressor::Sperr(_) | AnyCompressor::Tthresh(_)
-        ) && lower.ends_with("+qp")
-        {
-            return None; // comparators have no QP mode; don't lie about it
+        let comp = AnyCompressor::by_base_name(base, qp)
+            .ok_or_else(|| LookupError::UnknownName { name: name.to_string() })?;
+        if lower.ends_with("+qp") {
+            if let AnyCompressor::Zfp(_) | AnyCompressor::Sperr(_) | AnyCompressor::Tthresh(_) =
+                comp
+            {
+                return Err(LookupError::ComparatorWithQp {
+                    base: Compressor::<f32>::name(&comp),
+                });
+            }
         }
-        Some(comp)
+        Ok(comp)
     }
 
     /// The full evaluation registry: the base four with QP off, the base four
@@ -128,6 +204,33 @@ impl AnyCompressor {
             AnyCompressor::Zfp(c) => c,
             AnyCompressor::Sperr(c) => c,
             AnyCompressor::Tthresh(c) => c,
+        }
+    }
+
+    /// The wrapped compressor's progressive-decode capability, if it has one
+    /// (today: MGARD, with or without QP). Callers that used to special-case
+    /// the name "MGARD" to reach `decompress_reduced` downcast here instead.
+    pub fn as_progressive<T: Scalar>(&self) -> Option<&dyn ProgressiveDecompress<T>> {
+        match self {
+            AnyCompressor::Mgard(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The wrapped compressor's random-access region capability, if it has
+    /// one. No monolithic backend can skip decoding work for a region, so
+    /// this is `None` for every registry entry — the tiled container's
+    /// `TiledCompressor` (crate `qip-container`) is the region-capable
+    /// implementation layered on top of these.
+    pub fn as_region<T: Scalar>(&self) -> Option<&dyn RegionDecompress<T>> {
+        match self {
+            AnyCompressor::Mgard(_)
+            | AnyCompressor::Sz3(_)
+            | AnyCompressor::Qoz(_)
+            | AnyCompressor::Hpez(_)
+            | AnyCompressor::Zfp(_)
+            | AnyCompressor::Sperr(_)
+            | AnyCompressor::Tthresh(_) => None,
         }
     }
 
@@ -363,7 +466,7 @@ mod tests {
         for c in AnyCompressor::registry() {
             let name = Compressor::<f32>::name(&c);
             let looked = AnyCompressor::by_name(&name)
-                .unwrap_or_else(|| panic!("by_name missed canonical '{name}'"));
+                .unwrap_or_else(|e| panic!("by_name missed canonical '{name}': {e}"));
             assert_eq!(Compressor::<f32>::name(&looked), name);
             // Case-insensitive: the lowercase spelling resolves identically.
             let lower = AnyCompressor::by_name(&name.to_ascii_lowercase()).unwrap();
@@ -372,13 +475,94 @@ mod tests {
     }
 
     #[test]
+    fn canonical_names_match_registry_order() {
+        let names: Vec<String> =
+            AnyCompressor::registry().iter().map(Compressor::<f32>::name).collect();
+        assert_eq!(names, CANONICAL_NAMES.to_vec());
+    }
+
+    #[test]
     fn by_name_rejects_qp_on_comparators_and_unknowns() {
-        assert!(AnyCompressor::by_name("zfp+qp").is_none());
-        assert!(AnyCompressor::by_name("TTHRESH+QP").is_none());
-        assert!(AnyCompressor::by_name("sperr+qp").is_none());
-        assert!(AnyCompressor::by_name("nope").is_none());
-        assert!(AnyCompressor::by_name("").is_none());
-        assert!(AnyCompressor::by_name("+qp").is_none());
+        for bad in ["zfp+qp", "TTHRESH+QP", "sperr+qp"] {
+            assert!(
+                matches!(
+                    AnyCompressor::by_name(bad),
+                    Err(LookupError::ComparatorWithQp { .. })
+                ),
+                "{bad}"
+            );
+        }
+        for bad in ["nope", "", "+qp"] {
+            assert!(
+                matches!(AnyCompressor::by_name(bad), Err(LookupError::UnknownName { .. })),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_error_messages_list_the_canonical_eleven() {
+        let unknown = AnyCompressor::by_name("zstd").unwrap_err();
+        assert_eq!(
+            unknown.to_string(),
+            "unknown compressor 'zstd'; known: MGARD, SZ3, QoZ, HPEZ, MGARD+QP, SZ3+QP, \
+             QoZ+QP, HPEZ+QP, ZFP, TTHRESH, SPERR"
+        );
+        let comparator = AnyCompressor::by_name("zfp+qp").unwrap_err();
+        assert_eq!(
+            comparator.to_string(),
+            "'ZFP' is a transform-based comparator with no QP mode; drop the '+QP' suffix \
+             (known: MGARD, SZ3, QoZ, HPEZ, MGARD+QP, SZ3+QP, QoZ+QP, HPEZ+QP, ZFP, TTHRESH, \
+             SPERR)"
+        );
+    }
+
+    #[test]
+    fn progressive_capability_is_mgard_only() {
+        for c in AnyCompressor::registry() {
+            let name = Compressor::<f32>::name(&c);
+            let has = c.as_progressive::<f32>().is_some();
+            assert_eq!(has, name.starts_with("MGARD"), "{name}");
+            assert_eq!(c.as_progressive::<f64>().is_some(), has, "{name}");
+            // No monolithic backend offers random-access regions.
+            assert!(c.as_region::<f32>().is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn progressive_downcast_matches_inherent_reduced_decode() {
+        let field = Field::<f32>::from_fn(Shape::d3(17, 15, 13), |c| {
+            (c[0] as f32 * 0.2).sin() + (c[1] as f32 * 0.15).cos() + c[2] as f32 * 0.01
+        });
+        let comp = AnyCompressor::by_name("MGARD").unwrap();
+        let bytes = comp.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+        let prog = comp.as_progressive::<f32>().expect("MGARD is progressive");
+        let coarse = prog.decompress_reduced(&bytes, 1).unwrap();
+        assert_eq!(coarse.shape().dims(), &[9, 8, 7]);
+        let full = prog.decompress_reduced(&bytes, 0).unwrap();
+        let direct: Field<f32> = comp.decompress(&bytes).unwrap();
+        assert_eq!(full.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn detect_stream_classifies_every_workspace_magic() {
+        let cases: [(u8, &str); 10] = [
+            (0x20, "sz3"),
+            (0x22, "sz3"),
+            (0x30, "qoz"),
+            (0x40, "hpez"),
+            (0x50, "mgard"),
+            (0x60, "zfp"),
+            (0x70, "sperr"),
+            (0x80, "tthresh"),
+            (0x90, "block-parallel"),
+            (0xB0, "tiled"),
+        ];
+        for (magic, kind) in cases {
+            assert_eq!(detect_stream(&[magic]), Some(kind), "{magic:#x}");
+        }
+        assert_eq!(detect_stream(&[0xFF]), None);
+        assert_eq!(detect_stream(&[]), None);
     }
 
     #[test]

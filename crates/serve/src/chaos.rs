@@ -126,7 +126,7 @@ fn baseline_frame(rng: &mut XorShift64) -> Vec<u8> {
     let op = match rng.below(3) {
         0 => Op::Ping,
         1 => {
-            let n = 16 + rng.below(64) as usize;
+            let n = 16 + rng.below(64);
             Op::Decompress {
                 dtype_bits: 32,
                 payload: (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect(),

@@ -128,6 +128,53 @@ impl Client {
         )
     }
 
+    /// Compress a raw little-endian field into a tiled container with
+    /// edge-`tile` tiles (the random-access format `read_region` serves).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compress_tiled(
+        &mut self,
+        compressor: &str,
+        dtype_bits: u8,
+        dims: &[u32],
+        tile: u32,
+        bound: WireBound,
+        payload: Vec<u8>,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.call(
+            deadline_ms,
+            Op::CompressTiled {
+                compressor: compressor.to_string(),
+                dtype_bits,
+                dims: dims.to_vec(),
+                tile,
+                bound,
+                payload,
+            },
+        )
+    }
+
+    /// Decode one `origin`/`extent` region of a tiled container; the server
+    /// decompresses only the tiles the region intersects.
+    pub fn read_region(
+        &mut self,
+        dtype_bits: u8,
+        origin: &[u32],
+        extent: &[u32],
+        payload: Vec<u8>,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.call(
+            deadline_ms,
+            Op::ReadRegion {
+                dtype_bits,
+                origin: origin.to_vec(),
+                extent: extent.to_vec(),
+                payload,
+            },
+        )
+    }
+
     /// Decompress a compressed stream.
     pub fn decompress(
         &mut self,

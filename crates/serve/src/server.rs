@@ -116,12 +116,13 @@ struct Job {
     deadline: Instant,
 }
 
-/// Why a push was refused.
+/// Why a push was refused. The job rides in a `Box` so the happy-path
+/// `Result` stays register-sized (`Op` carries whole payloads).
 enum PushRefused {
     /// The queue is at capacity: shed with `SERVER_BUSY`.
-    Full(Job),
+    Full(Box<Job>),
     /// The server is draining: refuse with `SHUTTING_DOWN`.
-    Draining(Job),
+    Draining(Box<Job>),
 }
 
 /// Bounded MPSC queue with condvar wakeups; `try_push` never blocks (the
@@ -153,10 +154,10 @@ impl WorkQueue {
     fn try_push(&self, job: Job, drain: &AtomicBool) -> Result<usize, PushRefused> {
         let mut q = self.inner.lock().unwrap();
         if drain.load(Ordering::SeqCst) {
-            return Err(PushRefused::Draining(job));
+            return Err(PushRefused::Draining(Box::new(job)));
         }
         if q.len() >= self.cap {
-            return Err(PushRefused::Full(job));
+            return Err(PushRefused::Full(Box::new(job)));
         }
         q.push_back(job);
         let depth = q.len();
@@ -219,7 +220,7 @@ impl Shared {
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
             }
             Status::BadFrame | Status::TooLarge | Status::BadRequest
-            | Status::UnknownCompressor => {
+            | Status::UnknownCompressor | Status::BadRegion => {
                 self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
             }
             Status::ShuttingDown => {}
@@ -491,7 +492,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
             }
-            OpKind::Compress | OpKind::Decompress => {
+            OpKind::Compress | OpKind::Decompress | OpKind::CompressTiled
+            | OpKind::ReadRegion => {
                 let deadline_req = if req.deadline_ms == 0 {
                     shared.config.default_deadline
                 } else {
@@ -549,10 +551,10 @@ fn dispatch(shared: &Arc<Shared>, mut job: Job) -> Result<(), PushRefused> {
             }
             // Draining is terminal: every queue will refuse the same way.
             Err(PushRefused::Draining(j)) => return Err(PushRefused::Draining(j)),
-            Err(PushRefused::Full(j)) => job = j,
+            Err(PushRefused::Full(j)) => job = *j,
         }
     }
-    Err(PushRefused::Full(job))
+    Err(PushRefused::Full(Box::new(job)))
 }
 
 fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
@@ -632,6 +634,22 @@ fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
         Op::Decompress { dtype_bits, payload } => {
             run_decompress(shared, &token, ctx, dtype_bits, &payload)
         }
+        Op::CompressTiled { compressor, dtype_bits, dims, tile, bound, payload } => {
+            run_compress_tiled(
+                shared,
+                &token,
+                ctx,
+                &compressor,
+                dtype_bits,
+                &dims,
+                tile,
+                bound,
+                &payload,
+            )
+        }
+        Op::ReadRegion { dtype_bits, origin, extent, payload } => {
+            run_read_region(shared, &token, ctx, dtype_bits, &origin, &extent, &payload)
+        }
         // Ping/Metrics are handled inline by the connection thread.
         Op::Ping | Op::Metrics => (Status::Ok, Vec::new()),
     };
@@ -675,13 +693,11 @@ fn run_compress(
     bound: crate::wire::WireBound,
     payload: &[u8],
 ) -> (Status, Vec<u8>) {
-    let Some(comp) = AnyCompressor::by_name(compressor) else {
-        return (
-            Status::UnknownCompressor,
-            format!("no registry compressor named '{compressor}'").into_bytes(),
-        );
+    let comp = match AnyCompressor::by_name(compressor) {
+        Ok(c) => c,
+        Err(e) => return (Status::UnknownCompressor, e.to_string().into_bytes()),
     };
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return (Status::BadRequest, b"every axis must be nonzero".to_vec());
     }
     let dims_us: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
@@ -752,6 +768,151 @@ fn run_compress(
     (Status::Ok, stream)
 }
 
+/// `COMPRESS_TILED`: same request validation as `COMPRESS`, then the field is
+/// routed through [`qip_container::TiledCompressor`] so the response payload
+/// is a random-access tiled container instead of a monolithic stream.
+#[allow(clippy::too_many_arguments)]
+fn run_compress_tiled(
+    shared: &Arc<Shared>,
+    token: &DeadlineToken,
+    ctx: &mut CompressCtx,
+    compressor: &str,
+    dtype_bits: u8,
+    dims: &[u32],
+    tile: u32,
+    bound: crate::wire::WireBound,
+    payload: &[u8],
+) -> (Status, Vec<u8>) {
+    let comp = match AnyCompressor::by_name(compressor) {
+        Ok(c) => c,
+        Err(e) => return (Status::UnknownCompressor, e.to_string().into_bytes()),
+    };
+    let tiled = match qip_container::TiledCompressor::new(comp, tile as usize) {
+        Ok(t) => t,
+        Err(e) => return (Status::BadRequest, e.to_string().into_bytes()),
+    };
+    if dims.contains(&0) {
+        return (Status::BadRequest, b"every axis must be nonzero".to_vec());
+    }
+    let dims_us: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+    let mut elems: u64 = 1;
+    for &d in dims {
+        elems = match elems.checked_mul(d as u64) {
+            Some(v) => v,
+            None => return (Status::BadRequest, b"dims product overflows".to_vec()),
+        };
+    }
+    let bytes_per = (dtype_bits / 8) as u64;
+    let expected = elems.saturating_mul(bytes_per);
+    if expected != payload.len() as u64 {
+        return (
+            Status::BadRequest,
+            format!("payload is {} bytes but dims x dtype need {expected}", payload.len())
+                .into_bytes(),
+        );
+    }
+    let b = bound.to_bound();
+    match b {
+        qip_core::ErrorBound::Abs(v) | qip_core::ErrorBound::Rel(v) => {
+            if !(v.is_finite() && v > 0.0) {
+                return (Status::BadRequest, b"error bound must be positive and finite".to_vec());
+            }
+        }
+    }
+    if let Err(e) = token.check("parse") {
+        return e;
+    }
+
+    let shape = Shape::new(&dims_us);
+    let result: Result<Vec<u8>, (Status, Vec<u8>)> = if dtype_bits == 32 {
+        let field = match Field::<f32>::from_le_bytes(shape, payload) {
+            Ok(f) => f,
+            Err(e) => return (Status::BadRequest, e.to_string().into_bytes()),
+        };
+        if let Err(e) = token.check("compress") {
+            return e;
+        }
+        isolate(shared, ctx, |_| tiled.compress(&field, b))
+            .and_then(|r| r.map_err(|e| compress_error_response(&e)))
+    } else {
+        let field = match Field::<f64>::from_le_bytes(shape, payload) {
+            Ok(f) => f,
+            Err(e) => return (Status::BadRequest, e.to_string().into_bytes()),
+        };
+        if let Err(e) = token.check("compress") {
+            return e;
+        }
+        isolate(shared, ctx, |_| tiled.compress(&field, b))
+            .and_then(|r| r.map_err(|e| compress_error_response(&e)))
+    };
+    let stream = match result {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    if let Err(e) = token.check("respond") {
+        return e;
+    }
+    (Status::Ok, stream)
+}
+
+/// `READ_REGION`: decode one region of a tiled container; only intersecting
+/// tiles are decompressed. Invalid regions answer the typed
+/// [`Status::BadRegion`]; a non-container payload is a `BAD_REQUEST`.
+fn run_read_region(
+    shared: &Arc<Shared>,
+    token: &DeadlineToken,
+    ctx: &mut CompressCtx,
+    dtype_bits: u8,
+    origin: &[u32],
+    extent: &[u32],
+    payload: &[u8],
+) -> (Status, Vec<u8>) {
+    if payload.first() != Some(&qip_container::MAGIC_TILED) {
+        return (Status::BadRequest, b"payload is not a tiled container".to_vec());
+    }
+    let origin_us: Vec<usize> = origin.iter().map(|&v| v as usize).collect();
+    let extent_us: Vec<usize> = extent.iter().map(|&v| v as usize).collect();
+    let region = qip_tensor::Region::new(&origin_us, &extent_us);
+    if let Err(e) = token.check("read_region") {
+        return e;
+    }
+    let result: Result<Vec<u8>, CompressError> = {
+        let r = if dtype_bits == 32 {
+            isolate(shared, ctx, |_| {
+                qip_container::read_region::<f32>(payload, &region).map(|f| f.to_le_bytes())
+            })
+        } else {
+            isolate(shared, ctx, |_| {
+                qip_container::read_region::<f64>(payload, &region).map(|f| f.to_le_bytes())
+            })
+        };
+        match r {
+            Ok(r) => r,
+            Err(e) => return e,
+        }
+    };
+    let out = match result {
+        Ok(o) => o,
+        Err(CompressError::Tensor(e)) => return (Status::BadRegion, e.to_string().into_bytes()),
+        Err(e) => return compress_error_response(&e),
+    };
+    if out.len() > shared.config.max_frame_bytes {
+        return (
+            Status::TooLarge,
+            format!(
+                "region read ({} bytes) exceeds the frame cap ({})",
+                out.len(),
+                shared.config.max_frame_bytes
+            )
+            .into_bytes(),
+        );
+    }
+    if let Err(e) = token.check("respond") {
+        return e;
+    }
+    (Status::Ok, out)
+}
+
 fn run_decompress(
     shared: &Arc<Shared>,
     token: &DeadlineToken,
@@ -760,32 +921,52 @@ fn run_decompress(
     payload: &[u8],
 ) -> (Status, Vec<u8>) {
     // The stream names its compressor in its magic byte; the registry entry
-    // is resolved the same way the CLI does it.
-    let Some(name) = detect_stream(payload) else {
+    // is resolved the same way the CLI does it. Tiled containers (0xB0) are
+    // self-describing, so they decode through qip-container directly.
+    let Some(name) = qip_registry::detect_stream(payload) else {
         return (Status::BadRequest, b"unrecognized stream magic".to_vec());
-    };
-    let Some(comp) = AnyCompressor::by_name(name) else {
-        return (
-            Status::BadRequest,
-            format!("stream magic maps to unserveable compressor '{name}'").into_bytes(),
-        );
     };
     if let Err(e) = token.check("decompress") {
         return e;
     }
-    let result: Result<Vec<u8>, CompressError> = if dtype_bits == 32 {
-        match isolate(shared, ctx, |ctx| {
-            Compressor::<f32>::decompress_into(&comp, payload, ctx)
-        }) {
-            Ok(r) => r.map(|f| f.to_le_bytes()),
+    let result: Result<Vec<u8>, CompressError> = if name == "tiled" {
+        let r = if dtype_bits == 32 {
+            isolate(shared, ctx, |_| {
+                qip_container::decompress_full::<f32>(payload).map(|f| f.to_le_bytes())
+            })
+        } else {
+            isolate(shared, ctx, |_| {
+                qip_container::decompress_full::<f64>(payload).map(|f| f.to_le_bytes())
+            })
+        };
+        match r {
+            Ok(r) => r,
             Err(e) => return e,
         }
     } else {
-        match isolate(shared, ctx, |ctx| {
-            Compressor::<f64>::decompress_into(&comp, payload, ctx)
-        }) {
-            Ok(r) => r.map(|f| f.to_le_bytes()),
-            Err(e) => return e,
+        let comp = match AnyCompressor::by_name(name) {
+            Ok(c) => c,
+            Err(_) => {
+                return (
+                    Status::BadRequest,
+                    format!("stream magic maps to unserveable compressor '{name}'").into_bytes(),
+                )
+            }
+        };
+        if dtype_bits == 32 {
+            match isolate(shared, ctx, |ctx| {
+                Compressor::<f32>::decompress_into(&comp, payload, ctx)
+            }) {
+                Ok(r) => r.map(|f| f.to_le_bytes()),
+                Err(e) => return e,
+            }
+        } else {
+            match isolate(shared, ctx, |ctx| {
+                Compressor::<f64>::decompress_into(&comp, payload, ctx)
+            }) {
+                Ok(r) => r.map(|f| f.to_le_bytes()),
+                Err(e) => return e,
+            }
         }
     };
     let out = match result {
@@ -885,27 +1066,12 @@ mod tests {
             [(0x20u8, "sz3"), (0x30, "qoz"), (0x40, "hpez"), (0x50, "mgard"), (0x60, "zfp"),
              (0x70, "sperr"), (0x80, "tthresh")]
         {
-            assert_eq!(detect_stream(&[magic, 0, 0]), Some(name));
-            assert!(qip_registry::AnyCompressor::by_name(name).is_some(), "{name}");
+            assert_eq!(qip_registry::detect_stream(&[magic, 0, 0]), Some(name));
+            assert!(qip_registry::AnyCompressor::by_name(name).is_ok(), "{name}");
         }
-        assert_eq!(detect_stream(&[0xFF]), None);
-        assert_eq!(detect_stream(&[]), None);
-    }
-}
-
-/// Map a stream's leading magic byte to the base compressor that owns it.
-/// (Decompression always routes through the QP-off registry entry; the QP
-/// configuration is read from the stream itself, so `"SZ3"` decodes `SZ3+QP`
-/// streams too.)
-fn detect_stream(bytes: &[u8]) -> Option<&'static str> {
-    match bytes.first()? {
-        0x20 => Some("sz3"),
-        0x30 => Some("qoz"),
-        0x40 => Some("hpez"),
-        0x50 => Some("mgard"),
-        0x60 => Some("zfp"),
-        0x70 => Some("sperr"),
-        0x80 => Some("tthresh"),
-        _ => None,
+        // Tiled containers decode without a registry entry (self-describing).
+        assert_eq!(qip_registry::detect_stream(&[0xB0]), Some("tiled"));
+        assert_eq!(qip_registry::detect_stream(&[0xFF]), None);
+        assert_eq!(qip_registry::detect_stream(&[]), None);
     }
 }

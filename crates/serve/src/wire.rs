@@ -39,6 +39,11 @@ pub enum OpKind {
     Ping,
     /// Fetch the server's metrics as Prometheus text exposition format.
     Metrics,
+    /// Compress a raw field into a tiled container (random-access format).
+    CompressTiled,
+    /// Decode one region of a tiled container, touching only the tiles the
+    /// region intersects.
+    ReadRegion,
 }
 
 impl OpKind {
@@ -49,6 +54,8 @@ impl OpKind {
             OpKind::Decompress => 2,
             OpKind::Ping => 3,
             OpKind::Metrics => 4,
+            OpKind::CompressTiled => 5,
+            OpKind::ReadRegion => 6,
         }
     }
 
@@ -59,6 +66,8 @@ impl OpKind {
             2 => OpKind::Decompress,
             3 => OpKind::Ping,
             4 => OpKind::Metrics,
+            5 => OpKind::CompressTiled,
+            6 => OpKind::ReadRegion,
             _ => return None,
         })
     }
@@ -70,6 +79,8 @@ impl OpKind {
             OpKind::Decompress => "decompress",
             OpKind::Ping => "ping",
             OpKind::Metrics => "metrics",
+            OpKind::CompressTiled => "compress_tiled",
+            OpKind::ReadRegion => "read_region",
         }
     }
 }
@@ -104,6 +115,10 @@ pub enum Status {
     /// The compressor itself returned a typed error (e.g. `Corrupt` for a
     /// damaged stream handed to decompress).
     Failed,
+    /// A `READ_REGION` request named a region the container's field does not
+    /// contain (rank mismatch, zero extent, or out of bounds). The payload
+    /// carries the typed tensor error's message.
+    BadRegion,
 }
 
 impl Status {
@@ -120,6 +135,7 @@ impl Status {
             Status::ShuttingDown => 7,
             Status::TooLarge => 8,
             Status::Failed => 9,
+            Status::BadRegion => 10,
         }
     }
 
@@ -136,6 +152,7 @@ impl Status {
             7 => Status::ShuttingDown,
             8 => Status::TooLarge,
             9 => Status::Failed,
+            10 => Status::BadRegion,
             _ => return None,
         })
     }
@@ -154,6 +171,7 @@ impl Status {
             Status::ShuttingDown => "SHUTTING_DOWN",
             Status::TooLarge => "TOO_LARGE",
             Status::Failed => "FAILED",
+            Status::BadRegion => "BAD_REGION",
         }
     }
 }
@@ -229,6 +247,34 @@ pub enum Op {
     Ping,
     /// Metrics scrape.
     Metrics,
+    /// Compress `payload` into a tiled container with edge-`tile` tiles, each
+    /// compressed by `compressor`. The response payload is the container.
+    CompressTiled {
+        /// Canonical registry compressor name for the tiles.
+        compressor: String,
+        /// 32 or 64.
+        dtype_bits: u8,
+        /// Field dimensions (1–4 axes, each nonzero).
+        dims: Vec<u32>,
+        /// Tile edge length per axis (≥ 8).
+        tile: u32,
+        /// Requested error bound.
+        bound: WireBound,
+        /// Raw field bytes, little-endian, row-major.
+        payload: Vec<u8>,
+    },
+    /// Decode `origin`/`extent` of the tiled container in `payload`; only the
+    /// intersecting tiles are decompressed server-side.
+    ReadRegion {
+        /// 32 or 64 — the scalar type the caller expects back.
+        dtype_bits: u8,
+        /// Region origin, one coordinate per axis.
+        origin: Vec<u32>,
+        /// Region extent, one length per axis (same rank as `origin`).
+        extent: Vec<u32>,
+        /// The tiled container.
+        payload: Vec<u8>,
+    },
 }
 
 impl Op {
@@ -239,6 +285,8 @@ impl Op {
             Op::Decompress { .. } => OpKind::Decompress,
             Op::Ping => OpKind::Ping,
             Op::Metrics => OpKind::Metrics,
+            Op::CompressTiled { .. } => OpKind::CompressTiled,
+            Op::ReadRegion { .. } => OpKind::ReadRegion,
         }
     }
 }
@@ -332,6 +380,30 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_bytes(&mut out, payload);
         }
         Op::Ping | Op::Metrics => {}
+        Op::CompressTiled { compressor, dtype_bits, dims, tile, bound, payload } => {
+            out.push(compressor.len().min(255) as u8);
+            out.extend_from_slice(compressor.as_bytes());
+            out.push(*dtype_bits);
+            out.push(dims.len() as u8);
+            for &d in dims {
+                out.push_u32(d);
+            }
+            out.push_u32(*tile);
+            out.push(bound.tag());
+            out.extend_from_slice(&bound.value().to_le_bytes());
+            put_bytes(&mut out, payload);
+        }
+        Op::ReadRegion { dtype_bits, origin, extent, payload } => {
+            out.push(*dtype_bits);
+            out.push(origin.len() as u8);
+            for &o in origin {
+                out.push_u32(o);
+            }
+            for &e in extent {
+                out.push_u32(e);
+            }
+            put_bytes(&mut out, payload);
+        }
     }
     integrity::seal(out)
 }
@@ -462,6 +534,58 @@ pub fn decode_request(body: &[u8], max_payload: usize) -> Result<Request, WireEr
         }
         OpKind::Ping => Op::Ping,
         OpKind::Metrics => Op::Metrics,
+        OpKind::CompressTiled => {
+            let name_len = c.u8("name length")? as usize;
+            if name_len == 0 || name_len > MAX_NAME_LEN {
+                return Err(WireError::Malformed("compressor name length"));
+            }
+            let name_bytes = c.take(name_len, "compressor name")?;
+            let compressor = std::str::from_utf8(name_bytes)
+                .map_err(|_| WireError::Malformed("compressor name not UTF-8"))?
+                .to_string();
+            let dtype_bits = c.u8("dtype bits")?;
+            if dtype_bits != 32 && dtype_bits != 64 {
+                return Err(WireError::Malformed("dtype bits must be 32 or 64"));
+            }
+            let ndim = c.u8("ndim")? as usize;
+            if ndim == 0 || ndim > MAX_NDIM {
+                return Err(WireError::Malformed("ndim out of range"));
+            }
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                dims.push(c.u32("dim")?);
+            }
+            let tile = c.u32("tile edge")?;
+            let bound_tag = c.u8("bound kind")?;
+            let value = c.f64("bound value")?;
+            let bound = match bound_tag {
+                0 => WireBound::Abs(value),
+                1 => WireBound::Rel(value),
+                _ => return Err(WireError::Malformed("unknown bound kind")),
+            };
+            let payload = get_bytes(&mut c, max_payload, "compress payload")?;
+            Op::CompressTiled { compressor, dtype_bits, dims, tile, bound, payload }
+        }
+        OpKind::ReadRegion => {
+            let dtype_bits = c.u8("dtype bits")?;
+            if dtype_bits != 32 && dtype_bits != 64 {
+                return Err(WireError::Malformed("dtype bits must be 32 or 64"));
+            }
+            let ndim = c.u8("region ndim")? as usize;
+            if ndim == 0 || ndim > MAX_NDIM {
+                return Err(WireError::Malformed("region ndim out of range"));
+            }
+            let mut origin = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                origin.push(c.u32("region origin")?);
+            }
+            let mut extent = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                extent.push(c.u32("region extent")?);
+            }
+            let payload = get_bytes(&mut c, max_payload, "container payload")?;
+            Op::ReadRegion { dtype_bits, origin, extent, payload }
+        }
     };
     if !c.finished() {
         return Err(WireError::Malformed("trailing bytes after request"));
@@ -561,6 +685,19 @@ mod tests {
         }
     }
 
+    fn sample_read_region() -> Request {
+        Request {
+            id: 77,
+            deadline_ms: 100,
+            op: Op::ReadRegion {
+                dtype_bits: 32,
+                origin: vec![4, 0, 9],
+                extent: vec![8, 16, 3],
+                payload: vec![0xB0, 1, 2, 3, 4],
+            },
+        }
+    }
+
     #[test]
     fn request_roundtrip() {
         for req in [
@@ -572,6 +709,19 @@ mod tests {
             },
             Request { id: 0, deadline_ms: 7, op: Op::Ping },
             Request { id: 1, deadline_ms: 7, op: Op::Metrics },
+            Request {
+                id: 2,
+                deadline_ms: 9,
+                op: Op::CompressTiled {
+                    compressor: "MGARD".into(),
+                    dtype_bits: 64,
+                    dims: vec![40, 33, 21],
+                    tile: 16,
+                    bound: WireBound::Abs(1e-4),
+                    payload: (0u16..100).flat_map(|v| v.to_le_bytes()).collect(),
+                },
+            },
+            sample_read_region(),
         ] {
             let body = encode_request(&req);
             let back = decode_request(&body, 1 << 20).unwrap();
@@ -592,24 +742,31 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        let body = encode_request(&Request { id: 3, deadline_ms: 0, op: Op::Ping });
-        for byte in 0..body.len() {
-            for bit in 0..8 {
-                let mut bad = body.clone();
-                bad[byte] ^= 1 << bit;
-                assert!(
-                    decode_request(&bad, 1 << 20).is_err(),
-                    "flip at byte {byte} bit {bit} went undetected"
-                );
+        for req in [
+            Request { id: 3, deadline_ms: 0, op: Op::Ping },
+            sample_read_region(),
+        ] {
+            let body = encode_request(&req);
+            for byte in 0..body.len() {
+                for bit in 0..8 {
+                    let mut bad = body.clone();
+                    bad[byte] ^= 1 << bit;
+                    assert!(
+                        decode_request(&bad, 1 << 20).is_err(),
+                        "flip at byte {byte} bit {bit} went undetected"
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn truncations_are_rejected() {
-        let body = encode_request(&sample_compress());
-        for cut in 0..body.len() {
-            assert!(decode_request(&body[..cut], 1 << 20).is_err(), "cut at {cut} accepted");
+        for req in [sample_compress(), sample_read_region()] {
+            let body = encode_request(&req);
+            for cut in 0..body.len() {
+                assert!(decode_request(&body[..cut], 1 << 20).is_err(), "cut at {cut} accepted");
+            }
         }
     }
 
@@ -648,12 +805,20 @@ mod tests {
             Status::ShuttingDown,
             Status::TooLarge,
             Status::Failed,
+            Status::BadRegion,
         ] {
             assert_eq!(Status::from_tag(s.tag()), Some(s));
             assert!(!s.name().is_empty());
         }
         assert_eq!(Status::from_tag(200), None);
-        for k in [OpKind::Compress, OpKind::Decompress, OpKind::Ping, OpKind::Metrics] {
+        for k in [
+            OpKind::Compress,
+            OpKind::Decompress,
+            OpKind::Ping,
+            OpKind::Metrics,
+            OpKind::CompressTiled,
+            OpKind::ReadRegion,
+        ] {
             assert_eq!(OpKind::from_tag(k.tag()), Some(k));
         }
         assert_eq!(OpKind::from_tag(0), None);

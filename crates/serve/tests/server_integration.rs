@@ -319,3 +319,85 @@ fn metrics_op_exports_serve_counters() {
     qip_telemetry::export::check_serve_families(&text).unwrap();
     handle.join();
 }
+
+/// COMPRESS_TILED answers a container byte-identical to the offline
+/// `TiledCompressor`, and READ_REGION serves exactly the region's bytes.
+#[test]
+fn tiled_ops_round_trip_and_match_offline() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut c = client_for(&handle);
+
+    let dims = [40usize, 33];
+    let field: Field<f32> = qip_conformance::synth(qip_conformance::FieldFamily::Smooth, 5, &dims);
+    let offline_tc =
+        qip_container::TiledCompressor::new(AnyCompressor::by_name("SZ3+QP").unwrap(), 16)
+            .unwrap();
+    let offline = offline_tc.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+
+    let resp = c
+        .compress_tiled("SZ3+QP", 32, &[40, 33], 16, WireBound::Abs(1e-3), field.to_le_bytes(), 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    assert_eq!(resp.payload, offline, "served container differs from offline");
+    let container = resp.payload;
+
+    // Region read matches slicing the offline full decode.
+    let full: Field<f32> = offline_tc.decompress(&offline).unwrap();
+    let resp = c.read_region(32, &[10, 20], &[12, 9], container.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    assert_eq!(resp.payload, full.subregion(&[10, 20], &[12, 9]).to_le_bytes());
+
+    // Plain DECOMPRESS understands 0xB0 containers too (self-describing).
+    let resp = c.decompress(32, container, 0).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    assert_eq!(resp.payload, full.to_le_bytes());
+
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// READ_REGION's failure modes are typed: BAD_REGION for regions the field
+/// does not contain, BAD_REQUEST for non-container payloads, and
+/// UNKNOWN_COMPRESSOR (with the canonical-name listing) for bad tile names.
+#[test]
+fn tiled_ops_answer_typed_errors() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut c = client_for(&handle);
+
+    let dims = [24usize, 24];
+    let field: Field<f32> = qip_conformance::synth(qip_conformance::FieldFamily::Banded, 2, &dims);
+    let resp = c
+        .compress_tiled("SZ3", 32, &[24, 24], 8, WireBound::Abs(1e-3), field.to_le_bytes(), 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+    let container = resp.payload;
+
+    // Out of bounds, zero extent, rank mismatch: all BAD_REGION.
+    let resp = c.read_region(32, &[20, 0], &[8, 8], container.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRegion, "{}", resp.reason());
+    assert!(resp.reason().contains("out of bounds"), "{}", resp.reason());
+    let resp = c.read_region(32, &[0, 0], &[8, 0], container.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRegion, "{}", resp.reason());
+    let resp = c.read_region(32, &[0], &[8], container.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::BadRegion, "{}", resp.reason());
+
+    // A non-container payload is refused before any parse.
+    let resp = c.read_region(32, &[0, 0], &[8, 8], vec![0x20, 1, 2, 3], 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest, "{}", resp.reason());
+
+    // Unknown tile compressor lists the canonical names.
+    let resp = c
+        .compress_tiled("nope", 32, &[24, 24], 8, WireBound::Abs(1e-3), field.to_le_bytes(), 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::UnknownCompressor);
+    assert!(resp.reason().contains("MGARD"), "{}", resp.reason());
+
+    // A tile edge below the minimum is a BAD_REQUEST, not a panic.
+    let resp = c
+        .compress_tiled("SZ3", 32, &[24, 24], 4, WireBound::Abs(1e-3), field.to_le_bytes(), 0)
+        .unwrap();
+    assert_eq!(resp.status, Status::BadRequest, "{}", resp.reason());
+
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}

@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 
 mod field;
+mod region;
 mod scalar;
 mod shape;
 
 pub use field::Field;
+pub use region::Region;
 pub use scalar::{Scalar, ScalarPools};
 pub use shape::{BlockIter, Shape};
 
@@ -46,6 +48,29 @@ pub enum TensorError {
     },
     /// Byte buffer cannot be decoded into the requested scalar type.
     BadBytes(&'static str),
+    /// A region's rank disagrees with the field (or with itself).
+    RankMismatch {
+        /// Rank the context requires.
+        expected: usize,
+        /// Rank actually provided.
+        actual: usize,
+    },
+    /// A region selects zero samples along an axis.
+    ZeroExtent {
+        /// Offending axis index.
+        axis: usize,
+    },
+    /// A region's `origin + extent` exceeds the field along an axis.
+    RegionOutOfBounds {
+        /// Offending axis index.
+        axis: usize,
+        /// Region start on that axis.
+        origin: usize,
+        /// Region extent on that axis.
+        extent: usize,
+        /// Field extent on that axis.
+        dim: usize,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -61,6 +86,18 @@ impl std::fmt::Display for TensorError {
                 write!(f, "index {index} out of range for axis {axis} (extent {extent})")
             }
             TensorError::BadBytes(msg) => write!(f, "bad bytes: {msg}"),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "region rank mismatch: field is {expected}-d, region is {actual}-d")
+            }
+            TensorError::ZeroExtent { axis } => {
+                write!(f, "region selects zero samples along axis {axis}")
+            }
+            TensorError::RegionOutOfBounds { axis, origin, extent, dim } => {
+                write!(
+                    f,
+                    "region out of bounds on axis {axis}: {origin}+{extent} exceeds extent {dim}"
+                )
+            }
         }
     }
 }

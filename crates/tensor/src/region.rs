@@ -1,0 +1,198 @@
+//! Rectangular regions of interest within a field.
+//!
+//! A [`Region`] is the shared "RegionSpec" used across the workspace: the
+//! tiled container's random-access reads, the serve `READ_REGION` op, and the
+//! CLI all validate against the *same* rules via [`Region::validate`], so a
+//! malformed region is rejected identically everywhere instead of by
+//! per-call-site checks.
+
+use crate::TensorError;
+
+/// An axis-aligned rectangular region `origin .. origin + extent` inside an
+/// N-d field.
+///
+/// Construction is infallible; call [`Region::validate`] against the target
+/// field's dims before use. Extents are **exact** (never clipped): a region
+/// that pokes out of the field is an error, because a caller asking for
+/// `origin + extent` samples should not silently receive fewer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    origin: Vec<usize>,
+    extent: Vec<usize>,
+}
+
+impl Region {
+    /// A region starting at `origin` spanning `extent` samples per axis.
+    pub fn new(origin: &[usize], extent: &[usize]) -> Self {
+        Region { origin: origin.to_vec(), extent: extent.to_vec() }
+    }
+
+    /// A region covering an entire field of the given dims.
+    pub fn full(dims: &[usize]) -> Self {
+        Region { origin: vec![0; dims.len()], extent: dims.to_vec() }
+    }
+
+    /// Per-axis starting coordinates.
+    #[inline]
+    pub fn origin(&self) -> &[usize] {
+        &self.origin
+    }
+
+    /// Per-axis sample counts.
+    #[inline]
+    pub fn extent(&self) -> &[usize] {
+        &self.extent
+    }
+
+    /// Number of axes (of the origin; [`Region::validate`] checks that the
+    /// extent agrees).
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Total number of samples the region selects.
+    pub fn len(&self) -> usize {
+        if self.extent.is_empty() {
+            return 0;
+        }
+        self.extent.iter().product()
+    }
+
+    /// True when the region selects no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check this region against a field of the given dims.
+    ///
+    /// Typed rejections, in the order checked:
+    /// - [`TensorError::RankMismatch`] — origin/extent rank differ, or differ
+    ///   from `dims.len()`;
+    /// - [`TensorError::ZeroExtent`] — any axis selects zero samples;
+    /// - [`TensorError::RegionOutOfBounds`] — `origin + extent` exceeds the
+    ///   field along any axis (checked without overflow).
+    pub fn validate(&self, dims: &[usize]) -> Result<(), TensorError> {
+        if self.extent.len() != self.origin.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.origin.len(),
+                actual: self.extent.len(),
+            });
+        }
+        if self.origin.len() != dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: dims.len(),
+                actual: self.origin.len(),
+            });
+        }
+        for (axis, &e) in self.extent.iter().enumerate() {
+            if e == 0 {
+                return Err(TensorError::ZeroExtent { axis });
+            }
+        }
+        for (axis, ((&o, &e), &d)) in
+            self.origin.iter().zip(&self.extent).zip(dims).enumerate()
+        {
+            match o.checked_add(e) {
+                Some(end) if end <= d => {}
+                _ => {
+                    return Err(TensorError::RegionOutOfBounds {
+                        axis,
+                        origin: o,
+                        extent: e,
+                        dim: d,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when this (validated) region overlaps the block
+    /// `block_origin .. block_origin + block_extent`.
+    pub fn intersects(&self, block_origin: &[usize], block_extent: &[usize]) -> bool {
+        debug_assert_eq!(block_origin.len(), self.origin.len());
+        debug_assert_eq!(block_extent.len(), self.origin.len());
+        self.origin
+            .iter()
+            .zip(&self.extent)
+            .zip(block_origin.iter().zip(block_extent))
+            .all(|((&o, &e), (&bo, &be))| o < bo + be && bo < o + e)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, (&o, &e)) in self.origin.iter().zip(&self.extent).enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{o}:{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_regions_pass() {
+        let dims = [8, 6, 4];
+        Region::new(&[0, 0, 0], &[8, 6, 4]).validate(&dims).unwrap();
+        Region::new(&[7, 5, 3], &[1, 1, 1]).validate(&dims).unwrap();
+        Region::full(&dims).validate(&dims).unwrap();
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        assert_eq!(
+            Region::new(&[0, 0], &[1, 1, 1]).validate(&[4, 4]),
+            Err(TensorError::RankMismatch { expected: 2, actual: 3 })
+        );
+        assert_eq!(
+            Region::new(&[0, 0, 0], &[1, 1, 1]).validate(&[4, 4]),
+            Err(TensorError::RankMismatch { expected: 2, actual: 3 })
+        );
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        assert_eq!(
+            Region::new(&[0, 1], &[2, 0]).validate(&[4, 4]),
+            Err(TensorError::ZeroExtent { axis: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert_eq!(
+            Region::new(&[3, 0], &[2, 4]).validate(&[4, 4]),
+            Err(TensorError::RegionOutOfBounds { axis: 0, origin: 3, extent: 2, dim: 4 })
+        );
+        // origin + extent overflowing usize is out of bounds, not a panic.
+        assert!(matches!(
+            Region::new(&[usize::MAX, 0], &[2, 4]).validate(&[4, 4]),
+            Err(TensorError::RegionOutOfBounds { axis: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn intersection_is_half_open() {
+        let r = Region::new(&[2, 2], &[2, 2]); // covers 2..4 × 2..4
+        assert!(r.intersects(&[3, 3], &[4, 4]));
+        assert!(r.intersects(&[0, 0], &[3, 3]));
+        assert!(!r.intersects(&[4, 0], &[4, 4])); // touches at 4, no overlap
+        assert!(!r.intersects(&[0, 4], &[4, 4]));
+    }
+
+    #[test]
+    fn volume_and_display() {
+        let r = Region::new(&[1, 2], &[3, 4]);
+        assert_eq!(r.len(), 12);
+        assert!(!r.is_empty());
+        assert_eq!(r.to_string(), "[1:3,2:4]");
+    }
+}

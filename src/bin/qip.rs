@@ -43,26 +43,29 @@ fn parse_eb(s: &str) -> Result<ErrorBound, String> {
 
 /// One constructor for both scalar types: `AnyCompressor` implements
 /// `Compressor<f32>` and `Compressor<f64>`, so the registry lookup replaces
-/// the two per-type tables this binary used to carry.
+/// the two per-type tables this binary used to carry. Lookup failures render
+/// the registry's typed [`qip::registry::LookupError`], which lists the
+/// canonical names.
 fn compressor_by_name(name: &str, qp: bool) -> Result<AnyCompressor, String> {
     let canonical = if qp { format!("{name}+qp") } else { name.to_string() };
-    AnyCompressor::by_name(&canonical)
-        .ok_or_else(|| format!("unknown compressor '{canonical}' (--qp only applies to the interpolation-based four)"))
+    AnyCompressor::by_name(&canonical).map_err(|e| e.to_string())
 }
 
-/// Map a stream's leading magic byte to its compressor name.
-fn detect(bytes: &[u8]) -> Option<&'static str> {
-    match bytes.first()? {
-        0x20 => Some("sz3"),
-        0x30 => Some("qoz"),
-        0x40 => Some("hpez"),
-        0x50 => Some("mgard"),
-        0x60 => Some("zfp"),
-        0x70 => Some("sperr"),
-        0x80 => Some("tthresh"),
-        0x90 => Some("block-parallel"),
-        _ => None,
+/// Parse `--region o:e,o:e,...` — per-axis `origin:extent` pairs.
+fn parse_region(s: &str) -> Result<qip::tensor::Region, String> {
+    let mut origin = Vec::new();
+    let mut extent = Vec::new();
+    for part in s.split(',') {
+        let (o, e) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad region '{s}': each axis must be origin:extent"))?;
+        origin.push(o.parse::<usize>().map_err(|e| format!("bad region origin '{o}': {e}"))?);
+        extent.push(e.parse::<usize>().map_err(|er| format!("bad region extent '{e}': {er}"))?);
     }
+    if origin.is_empty() || origin.len() > 4 {
+        return Err(format!("bad region '{s}': 1-4 axes"));
+    }
+    Ok(qip::tensor::Region::new(&origin, &extent))
 }
 
 /// Observability outputs requested on the command line.
@@ -226,7 +229,8 @@ fn run() -> Result<(), String> {
             let input = need("i")?;
             let output = need("o")?;
             let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
-            let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let method =
+                qip::registry::detect_stream(&bytes).ok_or("unrecognized stream magic")?;
             if method == "block-parallel" {
                 return Err(
                     "block-parallel streams need the wrapping API (qip_parallel::BlockParallel); \
@@ -234,17 +238,30 @@ fn run() -> Result<(), String> {
                         .into(),
                 );
             }
-            let comp = compressor_by_name(method, false)?;
             let out =
                 with_cli_obs(CliObs::from_cli(&opts, &flags), || {
-                    if is_f64 {
-                        let field: Field<f64> =
-                            comp.decompress(&bytes).map_err(|e| e.to_string())?;
-                        Ok(field.to_le_bytes())
+                    if method == "tiled" {
+                        // Containers are self-describing; no registry lookup.
+                        if is_f64 {
+                            let field: Field<f64> = qip::container::decompress_full(&bytes)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        } else {
+                            let field: Field<f32> = qip::container::decompress_full(&bytes)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        }
                     } else {
-                        let field: Field<f32> =
-                            comp.decompress(&bytes).map_err(|e| e.to_string())?;
-                        Ok(field.to_le_bytes())
+                        let comp = compressor_by_name(method, false)?;
+                        if is_f64 {
+                            let field: Field<f64> =
+                                comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        } else {
+                            let field: Field<f32> =
+                                comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        }
                     }
                 })?;
             std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
@@ -254,9 +271,125 @@ fn run() -> Result<(), String> {
         "info" => {
             let input = need("i")?;
             let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
-            let method = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let method =
+                qip::registry::detect_stream(&bytes).ok_or("unrecognized stream magic")?;
             println!("compressor: {method}");
             println!("stream bytes: {}", bytes.len());
+            if method == "tiled" {
+                let (info, _) = qip::container::ContainerInfo::parse(&bytes)
+                    .map_err(|e| e.to_string())?;
+                println!("tile compressor: {}", info.compressor);
+                println!("dims: {:?}", info.dims);
+                println!("tile edge: {}", info.tile);
+                println!("tiles: {}", info.tiles.len());
+                println!("abs bound: {}", info.abs_bound);
+                println!("scalar bits: {}", info.bits);
+            }
+            Ok(())
+        }
+        "tile" => {
+            // Compress into a tiled container: random-access region reads and
+            // (for MGARD tiles) progressive decode via `qip read`.
+            let input = need("i")?;
+            let output = need("o")?;
+            let dims = parse_dims(need("d")?)?;
+            let method = opts.get("m").map(String::as_str).unwrap_or("sz3");
+            let tile: usize = match opts.get("tile") {
+                Some(v) => v.parse().map_err(|e| format!("bad --tile '{v}': {e}"))?,
+                None => 64,
+            };
+            let bound = parse_eb(opts.get("eb").map(String::as_str).unwrap_or("rel:1e-3"))?;
+            let qp = flags.iter().any(|f| f == "qp");
+            let raw = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let shape = Shape::new(&dims);
+
+            let inner = compressor_by_name(method, qp)?;
+            let tc = qip::container::TiledCompressor::new(inner, tile)
+                .map_err(|e| e.to_string())?;
+            let (bytes, name, n) =
+                with_cli_obs(CliObs::from_cli(&opts, &flags), || {
+                    if is_f64 {
+                        let field = Field::<f64>::from_le_bytes(shape, &raw)
+                            .map_err(|e| format!("{input}: {e}"))?;
+                        let bytes = tc.compress(&field, bound).map_err(|e| e.to_string())?;
+                        Ok((bytes, Compressor::<f64>::name(&tc), field.len() * 8))
+                    } else {
+                        let field = Field::<f32>::from_le_bytes(shape, &raw)
+                            .map_err(|e| format!("{input}: {e}"))?;
+                        let bytes = tc.compress(&field, bound).map_err(|e| e.to_string())?;
+                        Ok((bytes, Compressor::<f32>::name(&tc), field.len() * 4))
+                    }
+                })?;
+            std::fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!(
+                "{name}: {} -> {} bytes (CR {:.2})",
+                n,
+                bytes.len(),
+                n as f64 / bytes.len() as f64
+            );
+            Ok(())
+        }
+        "read" => {
+            // Random-access read from a tiled container: a region decodes only
+            // the tiles it intersects; --coarse L decodes the whole field on
+            // the stride-2^L lattice (MGARD tiles).
+            let input = need("i")?;
+            let output = need("o")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let region = opts.get("region").map(|s| parse_region(s)).transpose()?;
+            let coarse: Option<usize> = opts
+                .get("coarse")
+                .map(|v| v.parse().map_err(|e| format!("bad --coarse '{v}': {e}")))
+                .transpose()?;
+            if region.is_some() && coarse.is_some() {
+                return Err("--region and --coarse are mutually exclusive".into());
+            }
+            let out = with_cli_obs(CliObs::from_cli(&opts, &flags), || {
+                match (&region, coarse) {
+                    (Some(r), None) => {
+                        if is_f64 {
+                            let field: Field<f64> = qip::container::read_region(&bytes, r)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        } else {
+                            let field: Field<f32> = qip::container::read_region(&bytes, r)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        }
+                    }
+                    (None, Some(level)) => {
+                        if is_f64 {
+                            let field: Field<f64> =
+                                qip::container::decompress_reduced(&bytes, level)
+                                    .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        } else {
+                            let field: Field<f32> =
+                                qip::container::decompress_reduced(&bytes, level)
+                                    .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        }
+                    }
+                    (None, None) => {
+                        if is_f64 {
+                            let field: Field<f64> = qip::container::decompress_full(&bytes)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        } else {
+                            let field: Field<f32> = qip::container::decompress_full(&bytes)
+                                .map_err(|e| e.to_string())?;
+                            Ok(field.to_le_bytes())
+                        }
+                    }
+                    (Some(_), Some(_)) => unreachable!("rejected above"),
+                }
+            })?;
+            std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
+            match (&region, coarse) {
+                (Some(r), _) => eprintln!("region {r}: {} bytes", out.len()),
+                (_, Some(l)) => eprintln!("coarse level {l}: {} bytes", out.len()),
+                _ => eprintln!("full field: {} bytes", out.len()),
+            }
             Ok(())
         }
         "gen" => {
@@ -366,6 +499,8 @@ fn usage() -> String {
     "usage:\n  \
      qip compress   -i IN -o OUT -d NxNxN [-m sz3|qoz|hpez|mgard|zfp|sperr|tthresh] [--eb rel:1e-3|abs:0.5] [--qp] [--f64] [OBSERVABILITY]\n  \
      qip decompress -i IN -o OUT [--f64] [OBSERVABILITY]\n  \
+     qip tile       -i IN -o OUT -d NxNxN [-m NAME] [--tile 64] [--eb rel:1e-3] [--qp] [--f64]   (tiled container, random access)\n  \
+     qip read       -i IN.qip -o OUT [--region o:e,o:e,...] [--coarse L] [--f64]   (region = only intersecting tiles decode)\n  \
      qip info       -i IN\n  \
      qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n  \
      qip serve      [--listen ADDR] [--workers N] [--queue N] [--max-conns N] [--deadline-ms MS]\n                 \

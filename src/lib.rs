@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub use qip_codec as codec;
+pub use qip_container as container;
 pub use qip_core as core;
 pub use qip_data as data;
 pub use qip_hpez as hpez;
@@ -39,8 +40,11 @@ pub use qip_tthresh as tthresh;
 pub use qip_zfp as zfp;
 
 /// Common imports for downstream users: field container, error bound, the
-/// compressor trait, and the QP configuration type.
+/// compressor trait (plus the region/progressive capability traits), and the
+/// QP configuration type.
 pub mod prelude {
-    pub use qip_core::{Compressor, ErrorBound, QpConfig};
-    pub use qip_tensor::{Field, Scalar, Shape};
+    pub use qip_core::{
+        Compressor, ErrorBound, ProgressiveDecompress, QpConfig, RegionDecompress,
+    };
+    pub use qip_tensor::{Field, Region, Scalar, Shape};
 }
