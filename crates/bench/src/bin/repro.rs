@@ -41,6 +41,13 @@
 //!              run (corrupt frames → typed errors/clean closes, zero
 //!              hangs). Writes BENCH_serve.json, appends BENCH_history.jsonl,
 //!              exits 1 when any robustness gate fails
+//!   slo        SLO burn-rate tracking of a live qip-serve deployment: a
+//!              well-provisioned load phase plus a seeded chaos phase against
+//!              one server with declarative availability/latency objectives
+//!              on a compressed window clock. Writes BENCH_slo.json (multi-
+//!              window burn rates, compliance), BENCH_tails.jsonl (tail-
+//!              sampler stage traces), and BENCH_events.jsonl (per-request
+//!              events); exits 1 when any objective is breached
 //!   all        everything above in order (failures are aggregated; the exit
 //!              code is nonzero if any gated experiment failed)
 //! ```
@@ -73,7 +80,7 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|tiles|all> \
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|slo|tiles|all> \
          [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--bless]"
     );
     std::process::exit(2);
@@ -189,6 +196,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "slo" => {
+            if let Err(msg) = experiments::slo::run(&opts) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
         "tiles" => {
             if let Err(msg) = experiments::tiles::run(&opts) {
                 eprintln!("{msg}");
@@ -230,6 +243,9 @@ fn main() {
             experiments::ablate::run(&opts);
             if let Err(msg) = experiments::serve::run(&opts) {
                 failures.push(format!("serve: {msg}"));
+            }
+            if let Err(msg) = experiments::slo::run(&opts) {
+                failures.push(format!("slo: {msg}"));
             }
             if let Err(msg) = experiments::tiles::run(&opts) {
                 failures.push(format!("tiles: {msg}"));

@@ -8,6 +8,7 @@ pub mod monitor;
 pub mod profile;
 pub mod rd;
 pub mod serve;
+pub mod slo;
 pub mod sota;
 pub mod speed;
 pub mod throughput;

@@ -41,3 +41,20 @@ fn failed_gate_exits_1() {
         .unwrap();
     assert_eq!(status.code(), Some(1));
 }
+
+#[test]
+fn slo_healthy_run_exits_0_and_writes_artifacts() {
+    let out = std::env::temp_dir().join("qip_exit_code_slo_test");
+    let _ = std::fs::remove_dir_all(&out);
+    let status = repro()
+        .args(["slo", "--scale", "16", "--fields", "1"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "healthy slo run must exit 0");
+    let slo = std::fs::read_to_string(out.join("BENCH_slo.json")).unwrap();
+    assert!(slo.starts_with('{') && slo.contains("\"burn_rate\""), "{slo}");
+    assert!(out.join("BENCH_tails.jsonl").exists());
+    assert!(out.join("BENCH_events.jsonl").exists());
+}

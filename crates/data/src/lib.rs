@@ -148,13 +148,19 @@ impl Dataset {
             // dataset shows across its seven fields.
             Dataset::Miranda => {
                 let f = miranda_like(seed, dims);
+                let shape = f.shape().clone();
                 if index < 3 {
-                    let shape = f.shape().clone();
                     let data: Vec<f32> =
                         f.as_slice().iter().map(|&v| (v - 1.0) * 2.0).collect();
                     Field::from_vec(shape, data).expect("shape preserved")
                 } else {
-                    f
+                    // Density/pressure/energy are strictly positive in the
+                    // real dataset; an exponential remap keeps the turbulent
+                    // structure smooth while pinning the field above zero
+                    // regardless of how deep the spectral noise swings.
+                    let data: Vec<f32> =
+                        f.as_slice().iter().map(|&v| (v - 1.0).exp()).collect();
+                    Field::from_vec(shape, data).expect("shape preserved")
                 }
             }
             Dataset::Hurricane => hurricane_like(seed, dims),

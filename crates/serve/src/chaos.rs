@@ -11,8 +11,10 @@
 //! `XorShift64::new(seed + i)`, so a failing case replays from its number
 //! alone.
 
-use crate::wire::{self, Op, Request, WireBound};
+use crate::client::Client;
+use crate::wire::{self, Op, Request, TraceId, WireBound};
 use qip_fault::XorShift64;
+use std::collections::HashSet;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
@@ -120,6 +122,17 @@ impl ChaosReport {
     }
 }
 
+/// A nonzero trace ID derived from the case rng.
+fn rng_trace(rng: &mut XorShift64) -> TraceId {
+    let mut t = [0u8; 16];
+    t[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+    t[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+    if t == wire::ZERO_TRACE {
+        t[0] = 1;
+    }
+    t
+}
+
 /// A well-formed frame to corrupt: varies op and sizes by seed so the
 /// corruption lands in different field regions across cases.
 fn baseline_frame(rng: &mut XorShift64) -> Vec<u8> {
@@ -147,7 +160,11 @@ fn baseline_frame(rng: &mut XorShift64) -> Vec<u8> {
             }
         }
     };
-    let body = wire::encode_request(&Request { id: rng.next_u64(), deadline_ms: 1000, op });
+    // Half the cases carry a client trace ID, half ask the server to assign
+    // one, so corruption lands on both shapes of the trailing trace field.
+    let trace_id = if rng.below(2) == 0 { wire::ZERO_TRACE } else { rng_trace(rng) };
+    let body =
+        wire::encode_request(&Request { id: rng.next_u64(), deadline_ms: 1000, op, trace_id });
     let mut framed = Vec::with_capacity(body.len() + 4);
     framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
     framed.extend_from_slice(&body);
@@ -281,5 +298,233 @@ pub fn run(addr: SocketAddr, cfg: &ChaosConfig) -> ChaosReport {
             }
         }
     }
+    report
+}
+
+/// Results of a [`run_trace_echo`] storm.
+#[derive(Debug, Default, Clone)]
+pub struct TraceEchoReport {
+    /// Responses whose trace IDs were checked against their requests.
+    pub checked: usize,
+    /// Echo violations, as `"<status>: expected <hex> got <hex>"`. Any entry
+    /// is a failure.
+    pub mismatches: Vec<String>,
+    /// Distinct response status names observed across the run.
+    pub statuses_seen: Vec<&'static str>,
+    /// Server-assigned trace IDs collected (requests sent with
+    /// [`wire::ZERO_TRACE`]).
+    pub assigned: usize,
+    /// Server-assigned IDs that were all-zero. Any nonzero count is a
+    /// failure: the server must always mint a real ID.
+    pub assigned_zero: usize,
+    /// Server-assigned IDs that collided with an earlier one. Any nonzero
+    /// count is a failure: assigned IDs must be unique across a run.
+    pub assigned_duplicates: usize,
+    /// Requests that failed at the transport level (connect/timeout); these
+    /// could not be checked.
+    pub transport_errors: usize,
+}
+
+impl TraceEchoReport {
+    /// The pass criterion: every checked response echoed its request's trace
+    /// ID byte-for-byte, and every server-assigned ID was nonzero and unique.
+    pub fn all_echoed(&self) -> bool {
+        self.checked > 0
+            && self.mismatches.is_empty()
+            && self.assigned > 0
+            && self.assigned_zero == 0
+            && self.assigned_duplicates == 0
+    }
+
+    /// True when a response with the given status name was observed.
+    pub fn saw_status(&self, name: &str) -> bool {
+        self.statuses_seen.iter().any(|s| *s == name)
+    }
+
+    fn check(&mut self, expected: TraceId, resp: &wire::Response) {
+        self.checked += 1;
+        if !self.statuses_seen.contains(&resp.status.name()) {
+            self.statuses_seen.push(resp.status.name());
+        }
+        if resp.trace_id != expected && self.mismatches.len() < 16 {
+            self.mismatches.push(format!(
+                "{}: expected {} got {}",
+                resp.status.name(),
+                wire::trace_hex(&expected),
+                wire::trace_hex(&resp.trace_id),
+            ));
+        }
+    }
+}
+
+/// A noisy (poorly compressible) f32 field payload, to keep a worker busy.
+fn noisy_payload(rng: &mut XorShift64, points: usize) -> Vec<u8> {
+    (0..points).flat_map(|_| (((rng.next_u64() & 0xFFFF) as f32) * 0.118).to_le_bytes()).collect()
+}
+
+/// One framed request with an explicit trace ID, written raw (no response
+/// read), so several can be in flight at once on separate connections.
+fn send_raw(
+    addr: SocketAddr,
+    cfg: &ChaosConfig,
+    deadline_ms: u32,
+    op: Op,
+    trace_id: TraceId,
+) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.patience)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.patience))?;
+    stream.set_write_timeout(Some(cfg.patience))?;
+    let body = wire::encode_request(&Request { id: 1, deadline_ms, op, trace_id });
+    wire::write_frame(&mut stream, &body)?;
+    Ok(stream)
+}
+
+/// Read the one response off a raw stream and check its echo.
+fn recv_checked(
+    stream: std::io::Result<TcpStream>,
+    expected: TraceId,
+    cfg: &ChaosConfig,
+    report: &mut TraceEchoReport,
+) {
+    let Ok(mut stream) = stream else {
+        report.transport_errors += 1;
+        return;
+    };
+    match wire::read_frame(&mut stream, cfg.max_frame)
+        .ok()
+        .and_then(|b| wire::decode_response(&b, cfg.max_frame).ok())
+    {
+        Some(resp) => report.check(expected, &resp),
+        None => report.transport_errors += 1,
+    }
+}
+
+/// Trace-echo storm: drive well-formed requests through every response
+/// status the server can produce — success, typed errors, shed
+/// (`SERVER_BUSY`), and `DEADLINE_EXCEEDED` — and verify each response
+/// echoes its request's trace ID byte-for-byte. Requests sent with
+/// [`wire::ZERO_TRACE`] must come back with a server-assigned ID that is
+/// nonzero and unique across the run.
+///
+/// The shed/deadline phase assumes the target server runs with one worker
+/// and a small queue (the chaos suite configures `workers: 1,
+/// queue_depth: 2`): two large noisy compresses occupy the worker and the
+/// first queue slot, a 1 ms-deadline request waits behind them until its
+/// deadline is long gone, and further requests overflow the queue and shed.
+pub fn run_trace_echo(addr: SocketAddr, cfg: &ChaosConfig) -> TraceEchoReport {
+    let mut report = TraceEchoReport::default();
+    let mut rng = XorShift64::new(cfg.seed ^ 0x7_1ACE);
+
+    // Phase 1: serial requests covering OK and the typed-error statuses.
+    let serial = cfg.cases.clamp(4, 64);
+    for _ in 0..serial {
+        let Ok(mut client) = Client::connect(addr, cfg.patience, cfg.max_frame) else {
+            report.transport_errors += 1;
+            continue;
+        };
+        let payload: Vec<u8> = (0..64u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+        let calls: [(u32, Op); 4] = [
+            (0, Op::Ping),
+            (
+                0,
+                Op::Compress {
+                    compressor: "no-such-compressor".into(),
+                    dtype_bits: 32,
+                    dims: vec![64],
+                    bound: WireBound::Abs(1e-3),
+                    payload: payload.clone(),
+                },
+            ),
+            (0, Op::Decompress { dtype_bits: 32, payload: vec![0xFF; 32] }),
+            (
+                0,
+                Op::Compress {
+                    compressor: "SZ3".into(),
+                    dtype_bits: 32,
+                    dims: vec![64],
+                    bound: WireBound::Abs(1e-3),
+                    payload,
+                },
+            ),
+        ];
+        for (deadline_ms, op) in calls {
+            let expected = rng_trace(&mut rng);
+            client.set_trace_id(expected);
+            match client.call(deadline_ms, op) {
+                Ok(resp) => report.check(expected, &resp),
+                Err(_) => report.transport_errors += 1,
+            }
+        }
+    }
+
+    // Phase 2: server-assigned IDs — nonzero and unique across the run.
+    let mut seen: HashSet<TraceId> = HashSet::new();
+    for _ in 0..serial {
+        let Ok(mut client) = Client::connect(addr, cfg.patience, cfg.max_frame) else {
+            report.transport_errors += 1;
+            continue;
+        };
+        for _ in 0..2 {
+            match client.ping() {
+                Ok(resp) => {
+                    report.check(resp.trace_id, &resp); // echo of assigned = itself
+                    report.assigned += 1;
+                    if resp.trace_id == wire::ZERO_TRACE {
+                        report.assigned_zero += 1;
+                    } else if !seen.insert(resp.trace_id) {
+                        report.assigned_duplicates += 1;
+                    }
+                }
+                Err(_) => report.transport_errors += 1,
+            }
+        }
+    }
+
+    // Phase 3: overload. Raw streams so requests pile up concurrently.
+    let blocker_op = |rng: &mut XorShift64| Op::Compress {
+        compressor: "SZ3".into(),
+        dtype_bits: 32,
+        dims: vec![64, 64, 64],
+        bound: WireBound::Abs(1e-3),
+        payload: noisy_payload(rng, 64 * 64 * 64),
+    };
+    let tiny_op = || Op::Compress {
+        compressor: "SZ3".into(),
+        dtype_bits: 32,
+        dims: vec![64],
+        bound: WireBound::Abs(1e-3),
+        payload: (0..64u32).flat_map(|v| (v as f32).to_le_bytes()).collect(),
+    };
+
+    // B0 occupies the worker; B1 takes a queue slot.
+    let t_b0 = rng_trace(&mut rng);
+    let op = blocker_op(&mut rng);
+    let s_b0 = send_raw(addr, cfg, 0, op, t_b0);
+    std::thread::sleep(Duration::from_millis(50)); // let B0 reach the worker
+    let t_b1 = rng_trace(&mut rng);
+    let op = blocker_op(&mut rng);
+    let s_b1 = send_raw(addr, cfg, 0, op, t_b1);
+    std::thread::sleep(Duration::from_millis(20));
+    // D1 queues behind B1 with a 1 ms deadline: expired by dequeue time.
+    let t_d1 = rng_trace(&mut rng);
+    let s_d1 = send_raw(addr, cfg, 1, tiny_op(), t_d1);
+    std::thread::sleep(Duration::from_millis(20));
+    // The queue (depth 2) is now full: these shed with SERVER_BUSY.
+    let shed: Vec<(std::io::Result<TcpStream>, TraceId)> = (0..3)
+        .map(|_| {
+            let t = rng_trace(&mut rng);
+            (send_raw(addr, cfg, 0, tiny_op(), t), t)
+        })
+        .collect();
+
+    // Shed responses come back immediately; the rest drain in queue order.
+    for (stream, t) in shed {
+        recv_checked(stream, t, cfg, &mut report);
+    }
+    recv_checked(s_d1, t_d1, cfg, &mut report);
+    recv_checked(s_b1, t_b1, cfg, &mut report);
+    recv_checked(s_b0, t_b0, cfg, &mut report);
+
     report
 }

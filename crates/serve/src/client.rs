@@ -4,7 +4,7 @@
 //! integration tests; anything that can open a `TcpStream` can speak to the
 //! server through this.
 
-use crate::wire::{self, Op, ReadFrameError, Request, Response, WireBound, WireError};
+use crate::wire::{self, Op, ReadFrameError, Request, Response, TraceId, WireBound, WireError};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -43,6 +43,7 @@ pub struct Client {
     stream: TcpStream,
     next_id: u64,
     max_frame: usize,
+    trace_id: TraceId,
 }
 
 impl Client {
@@ -62,7 +63,7 @@ impl Client {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, next_id: 1, max_frame })
+        Ok(Client { stream, next_id: 1, max_frame, trace_id: wire::ZERO_TRACE })
     }
 
     /// The id the next request will carry.
@@ -70,11 +71,25 @@ impl Client {
         self.next_id
     }
 
+    /// Set the trace ID carried by subsequent requests. The default
+    /// [`wire::ZERO_TRACE`] asks the server to assign one (the assigned ID
+    /// comes back in [`Response::trace_id`]); a client-chosen nonzero ID is
+    /// echoed byte-for-byte in every response status.
+    pub fn set_trace_id(&mut self, trace_id: TraceId) {
+        self.trace_id = trace_id;
+    }
+
+    /// The trace ID subsequent requests will carry.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
     /// Issue one request and wait for its response.
     pub fn call(&mut self, deadline_ms: u32, op: Op) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let body = wire::encode_request(&Request { id, deadline_ms, op });
+        let body =
+            wire::encode_request(&Request { id, deadline_ms, op, trace_id: self.trace_id });
         wire::write_frame(&mut self.stream, &body)?;
         let resp_body = match wire::read_frame(&mut self.stream, self.max_frame) {
             Ok(b) => b,
@@ -104,6 +119,17 @@ impl Client {
     /// Fetch the server's metrics in Prometheus text exposition format.
     pub fn metrics(&mut self) -> Result<Response, ClientError> {
         self.call(0, Op::Metrics)
+    }
+
+    /// Fetch the server's flight-recorder dump (per-call records, JSONL).
+    pub fn flight(&mut self) -> Result<Response, ClientError> {
+        self.call(0, Op::Flight { tails: false })
+    }
+
+    /// Fetch the server's tail-sampler reservoir (per-request tail records
+    /// with stage traces, JSONL).
+    pub fn tails(&mut self) -> Result<Response, ClientError> {
+        self.call(0, Op::Flight { tails: true })
     }
 
     /// Compress a raw little-endian field.

@@ -46,6 +46,7 @@
 
 pub mod chaos;
 mod client;
+mod events;
 mod server;
 pub mod wire;
 

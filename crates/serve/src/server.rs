@@ -15,7 +15,8 @@
 //! I/O wait) and a panic inside a compressor call is caught per-request, so a
 //! poisoned input can never take a worker down.
 
-use crate::wire::{self, Op, OpKind, ReadFrameError, Request, Response, Status};
+use crate::events::{EventLog, RequestEvent, StageTimer};
+use crate::wire::{self, Op, OpKind, ReadFrameError, Request, Response, Status, TraceId};
 use qip_core::{CompressCtx, CompressError, Compressor};
 use qip_registry::AnyCompressor;
 use qip_tensor::{Field, Shape};
@@ -194,12 +195,50 @@ struct Shared {
     queues: Vec<Arc<WorkQueue>>,
     draining: AtomicBool,
     rr: AtomicUsize,
+    /// High half of server-assigned trace IDs: per-run random-ish prefix
+    /// (boot time ⊕ pid), forced nonzero so a minted ID is never ZERO_TRACE.
+    trace_prefix: u64,
+    /// Low half of server-assigned trace IDs: unique per mint.
+    trace_counter: AtomicU64,
+    /// Per-request structured event log (bounded ring).
+    events: EventLog,
 }
 
 impl Shared {
+    /// Assign a trace ID to a request that arrived without one. Prefix ⊕
+    /// counter layout keeps IDs unique within a run and distinguishable
+    /// across runs, and never equal to `ZERO_TRACE`.
+    fn mint_trace(&self) -> TraceId {
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut id = [0u8; 16];
+        id[..8].copy_from_slice(&self.trace_prefix.to_le_bytes());
+        id[8..].copy_from_slice(&n.to_le_bytes());
+        id
+    }
+
+    /// Log a request answered without worker dispatch (inline control ops,
+    /// shed/refused/bad frames): one event with a single `inline` stage.
+    fn push_inline_event(
+        &self,
+        trace_id: &TraceId,
+        op: OpKind,
+        status: Status,
+        received: Instant,
+    ) {
+        let total_ns = received.elapsed().as_nanos() as u64;
+        self.events.push(RequestEvent {
+            trace_id: wire::trace_hex(trace_id),
+            op: op.name(),
+            status: status.name(),
+            queue_wait_ns: 0,
+            stages: vec![("inline", total_ns)],
+            total_ns,
+        });
+    }
     /// Mirror a finished request into telemetry (no-op when dormant) and the
     /// always-on stats.
     fn record_response(&self, op: OpKind, status: Status, received: Instant) {
+        let elapsed_ns = received.elapsed().as_nanos() as u64;
         match status {
             Status::Ok => {
                 self.stats.ok.fetch_add(1, Ordering::Relaxed);
@@ -230,11 +269,16 @@ impl Shared {
             &[("op", op.name()), ("status", status.name())],
             1,
         );
-        qip_telemetry::observe(
-            "qip.serve.request_ns",
-            &[("op", op.name())],
-            received.elapsed().as_nanos() as u64,
+        qip_telemetry::observe("qip.serve.request_ns", &[("op", op.name())], elapsed_ns);
+        // SLO bookkeeping: server-caused failures (panics, shed load, missed
+        // deadlines) burn the error budget; client mistakes (bad frames,
+        // corrupt payloads, unknown names) and drain refusals don't,
+        // mirroring availability-SLO practice.
+        let is_error = matches!(
+            status,
+            Status::Internal | Status::ServerBusy | Status::DeadlineExceeded
         );
+        qip_telemetry::slo_observe(op.name(), is_error, elapsed_ns);
     }
 
     /// Export the live queue depths as gauges (called around scrapes).
@@ -249,6 +293,7 @@ impl Shared {
                 q.len() as f64,
             );
         }
+        qip_telemetry::slo_publish();
     }
 }
 
@@ -265,12 +310,19 @@ impl Server {
         let stats = Arc::new(ServeStats::default());
         let queues: Vec<Arc<WorkQueue>> =
             (0..config.workers.max(1)).map(|_| Arc::new(WorkQueue::new(config.queue_depth.max(1)))).collect();
+        let boot_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         let shared = Arc::new(Shared {
             config,
             stats: Arc::clone(&stats),
             queues,
             draining: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            trace_prefix: (boot_ns ^ ((std::process::id() as u64) << 32)) | 1,
+            trace_counter: AtomicU64::new(0),
+            events: EventLog::default(),
         });
 
         let mut worker_joins = Vec::new();
@@ -315,6 +367,12 @@ impl ServerHandle {
     /// Current depth of every worker queue.
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shared.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// The per-request structured event log as JSON Lines (one line per
+    /// finished request: trace ID, op, status, queue wait, stage durations).
+    pub fn events_jsonl(&self) -> String {
+        self.shared.events.dump_jsonl()
     }
 
     /// Begin graceful drain: stop accepting new connections (the listener is
@@ -391,6 +449,9 @@ fn refuse_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         id: 0,
         status: Status::ServerBusy,
         payload: b"connection cap reached".to_vec(),
+        // The refused frame was never read, so no client trace ID exists;
+        // even this response carries a (minted) one.
+        trace_id: shared.mint_trace(),
     };
     let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
     let _ = stream.shutdown(Shutdown::Both);
@@ -434,6 +495,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 // The declared length is hostile; answer and cut the
                 // connection (we cannot resync the stream past it).
                 shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let trace_id = shared.mint_trace();
+                shared.push_inline_event(&trace_id, OpKind::Ping, Status::TooLarge, Instant::now());
                 let resp = Response {
                     id: 0,
                     status: Status::TooLarge,
@@ -442,6 +505,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                         cfg.max_frame_bytes
                     )
                     .into_bytes(),
+                    trace_id,
                 };
                 let _ = resp_tx.send(wire::encode_response(&resp));
                 break;
@@ -449,7 +513,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(ReadFrameError::Io(_)) => break, // mid-frame disconnect
         };
         let received = Instant::now();
-        let req = match wire::decode_request(&body, cfg.max_frame_bytes) {
+        let mut req = match wire::decode_request(&body, cfg.max_frame_bytes) {
             Ok(r) => r,
             Err(e) => {
                 shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -458,13 +522,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     _ => Status::BadFrame,
                 };
                 shared.record_response(OpKind::Ping, status, received);
+                // The frame didn't parse, so any client trace ID in it is
+                // untrusted; mint a fresh one so even rejections are traced.
+                let trace_id = shared.mint_trace();
+                shared.push_inline_event(&trace_id, OpKind::Ping, status, received);
                 let resp =
-                    Response { id: 0, status, payload: e.to_string().into_bytes() };
+                    Response { id: 0, status, payload: e.to_string().into_bytes(), trace_id };
                 let _ = resp_tx.send(wire::encode_response(&resp));
                 break; // framing may be out of sync; close after the reply
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // Server-assigned trace context: a request without a client-chosen
+        // trace ID gets one here, before any dispatch, so every downstream
+        // record (response frame, flight record, event log, tail sample)
+        // carries the same nonzero ID.
+        if req.trace_id == wire::ZERO_TRACE {
+            req.trace_id = shared.mint_trace();
+        }
 
         let op = req.op.kind();
         match op {
@@ -472,7 +547,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             // even when every worker queue is saturated.
             OpKind::Ping => {
                 shared.record_response(op, Status::Ok, received);
-                let resp = Response { id: req.id, status: Status::Ok, payload: Vec::new() };
+                shared.push_inline_event(&req.trace_id, op, Status::Ok, received);
+                let resp = Response {
+                    id: req.id,
+                    status: Status::Ok,
+                    payload: Vec::new(),
+                    trace_id: req.trace_id,
+                };
                 if resp_tx.send(wire::encode_response(&resp)).is_err() {
                     break;
                 }
@@ -487,7 +568,32 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     .unwrap_or_else(|| "# no telemetry hub attached\n".to_string())
                     .into_bytes();
                 shared.record_response(op, Status::Ok, received);
-                let resp = Response { id: req.id, status: Status::Ok, payload };
+                shared.push_inline_event(&req.trace_id, op, Status::Ok, received);
+                let resp =
+                    Response { id: req.id, status: Status::Ok, payload, trace_id: req.trace_id };
+                if resp_tx.send(wire::encode_response(&resp)).is_err() {
+                    break;
+                }
+            }
+            OpKind::Flight => {
+                // Remote observability dump: the flight recorder's per-call
+                // JSONL, or the tail sampler's reservoir with `tails`.
+                let tails = matches!(req.op, Op::Flight { tails: true });
+                let mut text = None;
+                qip_telemetry::with_hub(|hub| {
+                    text = Some(if tails {
+                        hub.tail.dump_jsonl()
+                    } else {
+                        hub.recorder.dump_jsonl()
+                    });
+                });
+                let payload = text
+                    .unwrap_or_else(|| "# no telemetry hub attached\n".to_string())
+                    .into_bytes();
+                shared.record_response(op, Status::Ok, received);
+                shared.push_inline_event(&req.trace_id, op, Status::Ok, received);
+                let resp =
+                    Response { id: req.id, status: Status::Ok, payload, trace_id: req.trace_id };
                 if resp_tx.send(wire::encode_response(&resp)).is_err() {
                     break;
                 }
@@ -501,6 +607,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 };
                 let deadline = received + deadline_req.min(shared.config.max_deadline);
                 let id = req.id;
+                let trace_id = req.trace_id;
                 let job = Job { req, resp_tx: resp_tx.clone(), received, deadline };
                 if let Err(refused) = dispatch(shared, job) {
                     // Shed: the request is not executed (the job drops here).
@@ -513,7 +620,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                         }
                     };
                     shared.record_response(op, status, received);
-                    let resp = Response { id, status, payload: reason.to_vec() };
+                    shared.push_inline_event(&trace_id, op, status, received);
+                    let resp = Response { id, status, payload: reason.to_vec(), trace_id };
                     if resp_tx.send(wire::encode_response(&resp)).is_err() {
                         break;
                     }
@@ -571,18 +679,38 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
 }
 
 /// One worker: owns a reusable [`CompressCtx`]; pops jobs until drain.
+/// Per job it (1) starts a tail-sampler token (which may activate a live
+/// qip-trace session), (2) tags the thread with the request's trace ID so
+/// flight records stamped during execution carry it, (3) runs the pipeline
+/// under a [`StageTimer`], and (4) closes the tail sample and appends the
+/// structured request event after the response is handed to the writer.
 fn worker_loop(shared: &Arc<Shared>, queue: &Arc<WorkQueue>) {
     let mut ctx = CompressCtx::new();
     while let Some(job) = queue.pop(&shared.draining) {
         let op = job.req.op.kind();
         let received = job.received;
-        let resp = execute(shared, job, &mut ctx);
-        shared.record_response(op, resp.1, received);
-        let _ = resp.0.send(wire::encode_response(&Response {
-            id: resp.2,
-            status: resp.1,
-            payload: resp.3,
-        }));
+        let trace_id = job.req.trace_id;
+        let hex = wire::trace_hex(&trace_id);
+        let queue_wait_ns = received.elapsed().as_nanos() as u64;
+        let mut stages = StageTimer::start();
+        let tail = qip_telemetry::tail_begin();
+        let (resp_tx, status, id, payload) = {
+            let _tag = qip_telemetry::trace_tag(&hex);
+            execute(shared, job, &mut ctx, &mut stages)
+        };
+        shared.record_response(op, status, received);
+        let _ = resp_tx.send(wire::encode_response(&Response { id, status, payload, trace_id }));
+        stages.mark("respond");
+        let total_ns = received.elapsed().as_nanos() as u64;
+        qip_telemetry::tail_finish(tail, &hex, op.name(), status.name(), total_ns, queue_wait_ns);
+        shared.events.push(RequestEvent {
+            trace_id: hex,
+            op: op.name(),
+            status: status.name(),
+            queue_wait_ns,
+            stages: stages.take(),
+            total_ns,
+        });
     }
 }
 
@@ -609,13 +737,19 @@ type Finished = (mpsc::Sender<Vec<u8>>, Status, u64, Vec<u8>);
 /// Run one job on this worker. Never panics outward: the compressor call is
 /// wrapped in `catch_unwind` and a caught panic resets the worker's ctx (its
 /// scratch state is untrusted after an unwind) and answers `INTERNAL`.
-fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
+fn execute(
+    shared: &Arc<Shared>,
+    job: Job,
+    ctx: &mut CompressCtx,
+    stages: &mut StageTimer,
+) -> Finished {
     let Job { req, resp_tx, received: _, deadline } = job;
     let token = DeadlineToken { deadline };
     let id = req.id;
 
     // Deadline check at dequeue: a request that waited out its budget in the
     // queue is answered without burning CPU on it.
+    stages.mark("dequeue");
     if let Err((status, payload)) = token.check("dequeue") {
         return (resp_tx, status, id, payload);
     }
@@ -625,6 +759,7 @@ fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
             shared,
             &token,
             ctx,
+            stages,
             &compressor,
             dtype_bits,
             &dims,
@@ -632,13 +767,14 @@ fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
             &payload,
         ),
         Op::Decompress { dtype_bits, payload } => {
-            run_decompress(shared, &token, ctx, dtype_bits, &payload)
+            run_decompress(shared, &token, ctx, stages, dtype_bits, &payload)
         }
         Op::CompressTiled { compressor, dtype_bits, dims, tile, bound, payload } => {
             run_compress_tiled(
                 shared,
                 &token,
                 ctx,
+                stages,
                 &compressor,
                 dtype_bits,
                 &dims,
@@ -648,10 +784,10 @@ fn execute(shared: &Arc<Shared>, job: Job, ctx: &mut CompressCtx) -> Finished {
             )
         }
         Op::ReadRegion { dtype_bits, origin, extent, payload } => {
-            run_read_region(shared, &token, ctx, dtype_bits, &origin, &extent, &payload)
+            run_read_region(shared, &token, ctx, stages, dtype_bits, &origin, &extent, &payload)
         }
-        // Ping/Metrics are handled inline by the connection thread.
-        Op::Ping | Op::Metrics => (Status::Ok, Vec::new()),
+        // Ping/Metrics/Flight are handled inline by the connection thread.
+        Op::Ping | Op::Metrics | Op::Flight { .. } => (Status::Ok, Vec::new()),
     };
     (resp_tx, status, id, payload)
 }
@@ -687,6 +823,7 @@ fn run_compress(
     shared: &Arc<Shared>,
     token: &DeadlineToken,
     ctx: &mut CompressCtx,
+    stages: &mut StageTimer,
     compressor: &str,
     dtype_bits: u8,
     dims: &[u32],
@@ -728,6 +865,7 @@ fn run_compress(
     if let Err(e) = token.check("parse") {
         return e;
     }
+    stages.mark("parse");
 
     // Stage: payload bytes -> Field. (from_le_bytes validates length again.)
     let shape = Shape::new(&dims_us);
@@ -762,6 +900,7 @@ fn run_compress(
         Ok(s) => s,
         Err(e) => return e,
     };
+    stages.mark("compress");
     if let Err(e) = token.check("respond") {
         return e;
     }
@@ -776,6 +915,7 @@ fn run_compress_tiled(
     shared: &Arc<Shared>,
     token: &DeadlineToken,
     ctx: &mut CompressCtx,
+    stages: &mut StageTimer,
     compressor: &str,
     dtype_bits: u8,
     dims: &[u32],
@@ -822,6 +962,7 @@ fn run_compress_tiled(
     if let Err(e) = token.check("parse") {
         return e;
     }
+    stages.mark("parse");
 
     let shape = Shape::new(&dims_us);
     let result: Result<Vec<u8>, (Status, Vec<u8>)> = if dtype_bits == 32 {
@@ -849,6 +990,7 @@ fn run_compress_tiled(
         Ok(s) => s,
         Err(e) => return e,
     };
+    stages.mark("compress");
     if let Err(e) = token.check("respond") {
         return e;
     }
@@ -862,6 +1004,7 @@ fn run_read_region(
     shared: &Arc<Shared>,
     token: &DeadlineToken,
     ctx: &mut CompressCtx,
+    stages: &mut StageTimer,
     dtype_bits: u8,
     origin: &[u32],
     extent: &[u32],
@@ -876,6 +1019,7 @@ fn run_read_region(
     if let Err(e) = token.check("read_region") {
         return e;
     }
+    stages.mark("parse");
     let result: Result<Vec<u8>, CompressError> = {
         let r = if dtype_bits == 32 {
             isolate(shared, ctx, |_| {
@@ -896,6 +1040,7 @@ fn run_read_region(
         Err(CompressError::Tensor(e)) => return (Status::BadRegion, e.to_string().into_bytes()),
         Err(e) => return compress_error_response(&e),
     };
+    stages.mark("read_region");
     if out.len() > shared.config.max_frame_bytes {
         return (
             Status::TooLarge,
@@ -917,6 +1062,7 @@ fn run_decompress(
     shared: &Arc<Shared>,
     token: &DeadlineToken,
     ctx: &mut CompressCtx,
+    stages: &mut StageTimer,
     dtype_bits: u8,
     payload: &[u8],
 ) -> (Status, Vec<u8>) {
@@ -929,6 +1075,7 @@ fn run_decompress(
     if let Err(e) = token.check("decompress") {
         return e;
     }
+    stages.mark("parse");
     let result: Result<Vec<u8>, CompressError> = if name == "tiled" {
         let r = if dtype_bits == 32 {
             isolate(shared, ctx, |_| {
@@ -973,6 +1120,7 @@ fn run_decompress(
         Ok(o) => o,
         Err(e) => return compress_error_response(&e),
     };
+    stages.mark("decompress");
     if out.len() > shared.config.max_frame_bytes {
         return (
             Status::TooLarge,
@@ -1001,7 +1149,46 @@ mod tests {
             queues: vec![Arc::new(WorkQueue::new(4))],
             draining: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            trace_prefix: 0xABCD_EF01 | 1,
+            trace_counter: AtomicU64::new(0),
+            events: EventLog::default(),
         })
+    }
+
+    #[test]
+    fn minted_trace_ids_are_unique_and_never_zero() {
+        let shared = test_shared();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = shared.mint_trace();
+            assert_ne!(id, wire::ZERO_TRACE);
+            assert!(seen.insert(id), "duplicate minted trace ID");
+        }
+        // Concurrent mints stay unique too.
+        let ids: Vec<TraceId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sh = Arc::clone(&shared);
+                    s.spawn(move || (0..250).map(|_| sh.mint_trace()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        for id in ids {
+            assert!(seen.insert(id), "concurrent duplicate minted trace ID");
+        }
+    }
+
+    #[test]
+    fn inline_events_land_in_the_log_with_the_trace_id() {
+        let shared = test_shared();
+        let trace = shared.mint_trace();
+        shared.push_inline_event(&trace, OpKind::Ping, Status::Ok, Instant::now());
+        let dump = shared.events.dump_jsonl();
+        assert!(dump.contains(&wire::trace_hex(&trace)), "{dump}");
+        assert!(dump.contains("\"op\":\"ping\""));
+        assert!(dump.contains("\"status\":\"OK\""));
+        assert!(dump.contains("\"stages\":{\"inline\":"));
     }
 
     #[test]
@@ -1027,7 +1214,12 @@ mod tests {
         let drain = AtomicBool::new(false);
         let (tx, _rx) = mpsc::channel();
         let job = |id| Job {
-            req: Request { id, deadline_ms: 0, op: crate::wire::Op::Ping },
+            req: Request {
+                id,
+                deadline_ms: 0,
+                op: crate::wire::Op::Ping,
+                trace_id: wire::ZERO_TRACE,
+            },
             resp_tx: tx.clone(),
             received: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(1),

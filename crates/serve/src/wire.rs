@@ -28,6 +28,28 @@ pub const MAX_NAME_LEN: usize = 64;
 /// Most dimensions a served field may have (matches the pipeline's limit).
 pub const MAX_NDIM: usize = 4;
 
+/// A 16-byte request-scoped trace identifier.
+///
+/// Carried as an *additive* trailing field of both frame kinds (the wire
+/// version stays 1): a decoder accepts bodies with the field absent (legacy
+/// peers) or present. The all-zero value means "none chosen — server,
+/// assign one"; the server echoes the effective ID in **every** response
+/// frame, including SERVER_BUSY, DEADLINE_EXCEEDED, and INTERNAL.
+pub type TraceId = [u8; 16];
+
+/// The all-zero [`TraceId`]: no ID chosen; the server assigns one.
+pub const ZERO_TRACE: TraceId = [0u8; 16];
+
+/// Canonical lower-hex rendering of a trace ID (32 chars), as stamped into
+/// flight records, event logs, and tail-sample keys.
+pub fn trace_hex(id: &TraceId) -> String {
+    let mut s = String::with_capacity(32);
+    for b in id {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
 /// Operations a request can ask for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
@@ -44,6 +66,10 @@ pub enum OpKind {
     /// Decode one region of a tiled container, touching only the tiles the
     /// region intersects.
     ReadRegion,
+    /// Fetch the server's flight-recorder dump as JSONL text (one record per
+    /// recent request, newest last), for remote triage without process-local
+    /// access.
+    Flight,
 }
 
 impl OpKind {
@@ -56,6 +82,7 @@ impl OpKind {
             OpKind::Metrics => 4,
             OpKind::CompressTiled => 5,
             OpKind::ReadRegion => 6,
+            OpKind::Flight => 7,
         }
     }
 
@@ -68,6 +95,7 @@ impl OpKind {
             4 => OpKind::Metrics,
             5 => OpKind::CompressTiled,
             6 => OpKind::ReadRegion,
+            7 => OpKind::Flight,
             _ => return None,
         })
     }
@@ -81,6 +109,7 @@ impl OpKind {
             OpKind::Metrics => "metrics",
             OpKind::CompressTiled => "compress_tiled",
             OpKind::ReadRegion => "read_region",
+            OpKind::Flight => "flight",
         }
     }
 }
@@ -217,6 +246,8 @@ pub struct Request {
     pub deadline_ms: u32,
     /// The operation and its operands.
     pub op: Op,
+    /// Request-scoped trace ID; [`ZERO_TRACE`] asks the server to assign one.
+    pub trace_id: TraceId,
 }
 
 /// Operation payloads.
@@ -275,6 +306,12 @@ pub enum Op {
         /// The tiled container.
         payload: Vec<u8>,
     },
+    /// Observability dump; JSONL text back. `tails` selects the tail-sample
+    /// reservoir instead of the flight recorder.
+    Flight {
+        /// `false` → flight-recorder records; `true` → tail-sampler records.
+        tails: bool,
+    },
 }
 
 impl Op {
@@ -287,6 +324,7 @@ impl Op {
             Op::Metrics => OpKind::Metrics,
             Op::CompressTiled { .. } => OpKind::CompressTiled,
             Op::ReadRegion { .. } => OpKind::ReadRegion,
+            Op::Flight { .. } => OpKind::Flight,
         }
     }
 }
@@ -300,6 +338,8 @@ pub struct Response {
     pub status: Status,
     /// Result bytes on `Ok`; a human-readable reason otherwise.
     pub payload: Vec<u8>,
+    /// The request's effective trace ID, echoed on **every** status.
+    pub trace_id: TraceId,
 }
 
 impl Response {
@@ -380,6 +420,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_bytes(&mut out, payload);
         }
         Op::Ping | Op::Metrics => {}
+        Op::Flight { tails } => {
+            out.push(*tails as u8);
+        }
         Op::CompressTiled { compressor, dtype_bits, dims, tile, bound, payload } => {
             out.push(compressor.len().min(255) as u8);
             out.extend_from_slice(compressor.as_bytes());
@@ -405,6 +448,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_bytes(&mut out, payload);
         }
     }
+    // Additive trailing field: always emitted by this build's encoder,
+    // optional on decode so legacy version-1 frames still parse.
+    out.extend_from_slice(&req.trace_id);
     integrity::seal(out)
 }
 
@@ -416,6 +462,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     out.push_u64(resp.id);
     out.push(resp.status.tag());
     put_bytes(&mut out, &resp.payload);
+    out.extend_from_slice(&resp.trace_id);
     integrity::seal(out)
 }
 
@@ -462,6 +509,21 @@ impl<'a> Cursor<'a> {
 
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Parse the additive trailing trace-ID field: exactly 0 (legacy frame,
+/// yields [`ZERO_TRACE`]) or 16 remaining bytes are accepted; anything else
+/// is a malformed frame.
+fn take_trace_id(c: &mut Cursor, what: &'static str) -> Result<TraceId, WireError> {
+    match c.remaining() {
+        0 => Ok(ZERO_TRACE),
+        16 => Ok(c.take(16, "trace id")?.try_into().expect("16-byte slice")),
+        _ => Err(WireError::Malformed(what)),
     }
 }
 
@@ -534,6 +596,11 @@ pub fn decode_request(body: &[u8], max_payload: usize) -> Result<Request, WireEr
         }
         OpKind::Ping => Op::Ping,
         OpKind::Metrics => Op::Metrics,
+        OpKind::Flight => match c.u8("flight section")? {
+            0 => Op::Flight { tails: false },
+            1 => Op::Flight { tails: true },
+            _ => return Err(WireError::Malformed("unknown flight section")),
+        },
         OpKind::CompressTiled => {
             let name_len = c.u8("name length")? as usize;
             if name_len == 0 || name_len > MAX_NAME_LEN {
@@ -587,10 +654,11 @@ pub fn decode_request(body: &[u8], max_payload: usize) -> Result<Request, WireEr
             Op::ReadRegion { dtype_bits, origin, extent, payload }
         }
     };
+    let trace_id = take_trace_id(&mut c, "trailing bytes after request")?;
     if !c.finished() {
         return Err(WireError::Malformed("trailing bytes after request"));
     }
-    Ok(Request { id, deadline_ms, op })
+    Ok(Request { id, deadline_ms, op, trace_id })
 }
 
 /// Decode a sealed response frame body.
@@ -608,10 +676,11 @@ pub fn decode_response(body: &[u8], max_payload: usize) -> Result<Response, Wire
     let status =
         Status::from_tag(c.u8("status")?).ok_or(WireError::Malformed("unknown status tag"))?;
     let payload = get_bytes(&mut c, max_payload, "response payload")?;
+    let trace_id = take_trace_id(&mut c, "trailing bytes after response")?;
     if !c.finished() {
         return Err(WireError::Malformed("trailing bytes after response"));
     }
-    Ok(Response { id, status, payload })
+    Ok(Response { id, status, payload, trace_id })
 }
 
 // ---------------------------------------------------------------------------
@@ -671,6 +740,14 @@ pub fn write_frame(w: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<
 mod tests {
     use super::*;
 
+    fn sample_trace() -> TraceId {
+        let mut id = [0u8; 16];
+        for (i, b) in id.iter_mut().enumerate() {
+            *b = 0xD0 ^ (i as u8);
+        }
+        id
+    }
+
     fn sample_compress() -> Request {
         Request {
             id: 42,
@@ -682,6 +759,7 @@ mod tests {
                 bound: WireBound::Rel(1e-3),
                 payload: (0u16..16 * 8 * 4 * 2).flat_map(|v| v.to_le_bytes()).collect(),
             },
+            trace_id: sample_trace(),
         }
     }
 
@@ -695,6 +773,7 @@ mod tests {
                 extent: vec![8, 16, 3],
                 payload: vec![0xB0, 1, 2, 3, 4],
             },
+            trace_id: sample_trace(),
         }
     }
 
@@ -706,9 +785,12 @@ mod tests {
                 id: u64::MAX,
                 deadline_ms: 0,
                 op: Op::Decompress { dtype_bits: 64, payload: vec![1, 2, 3] },
+                trace_id: ZERO_TRACE,
             },
-            Request { id: 0, deadline_ms: 7, op: Op::Ping },
-            Request { id: 1, deadline_ms: 7, op: Op::Metrics },
+            Request { id: 0, deadline_ms: 7, op: Op::Ping, trace_id: [0xFF; 16] },
+            Request { id: 1, deadline_ms: 7, op: Op::Metrics, trace_id: ZERO_TRACE },
+            Request { id: 5, deadline_ms: 0, op: Op::Flight { tails: false }, trace_id: sample_trace() },
+            Request { id: 6, deadline_ms: 0, op: Op::Flight { tails: true }, trace_id: ZERO_TRACE },
             Request {
                 id: 2,
                 deadline_ms: 9,
@@ -720,6 +802,7 @@ mod tests {
                     bound: WireBound::Abs(1e-4),
                     payload: (0u16..100).flat_map(|v| v.to_le_bytes()).collect(),
                 },
+                trace_id: sample_trace(),
             },
             sample_read_region(),
         ] {
@@ -732,8 +815,13 @@ mod tests {
     #[test]
     fn response_roundtrip() {
         for resp in [
-            Response { id: 9, status: Status::Ok, payload: vec![5; 100] },
-            Response { id: 9, status: Status::ServerBusy, payload: b"queue full".to_vec() },
+            Response { id: 9, status: Status::Ok, payload: vec![5; 100], trace_id: sample_trace() },
+            Response {
+                id: 9,
+                status: Status::ServerBusy,
+                payload: b"queue full".to_vec(),
+                trace_id: ZERO_TRACE,
+            },
         ] {
             let body = encode_response(&resp);
             assert_eq!(decode_response(&body, 1 << 20).unwrap(), resp);
@@ -743,7 +831,8 @@ mod tests {
     #[test]
     fn every_single_bit_flip_is_rejected() {
         for req in [
-            Request { id: 3, deadline_ms: 0, op: Op::Ping },
+            Request { id: 3, deadline_ms: 0, op: Op::Ping, trace_id: sample_trace() },
+            Request { id: 4, deadline_ms: 0, op: Op::Flight { tails: true }, trace_id: sample_trace() },
             sample_read_region(),
         ] {
             let body = encode_request(&req);
@@ -762,7 +851,11 @@ mod tests {
 
     #[test]
     fn truncations_are_rejected() {
-        for req in [sample_compress(), sample_read_region()] {
+        for req in [
+            sample_compress(),
+            sample_read_region(),
+            Request { id: 8, deadline_ms: 3, op: Op::Flight { tails: false }, trace_id: sample_trace() },
+        ] {
             let body = encode_request(&req);
             for cut in 0..body.len() {
                 assert!(decode_request(&body[..cut], 1 << 20).is_err(), "cut at {cut} accepted");
@@ -783,7 +876,8 @@ mod tests {
             Op::Compress { payload, .. } => payload.len(),
             _ => unreachable!(),
         };
-        let len_at = n - payload_len - 8;
+        // 16 trailing trace-ID bytes sit between the payload and the seal.
+        let len_at = n - 16 - payload_len - 8;
         body[len_at..len_at + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
         let resealed = integrity::seal(body);
         match decode_request(&resealed, 1 << 20) {
@@ -818,15 +912,69 @@ mod tests {
             OpKind::Metrics,
             OpKind::CompressTiled,
             OpKind::ReadRegion,
+            OpKind::Flight,
         ] {
             assert_eq!(OpKind::from_tag(k.tag()), Some(k));
+            assert!(!k.name().is_empty());
         }
         assert_eq!(OpKind::from_tag(0), None);
     }
 
+    /// Additive-field compatibility: a version-1 body *without* the trailing
+    /// trace-ID bytes (what a pre-trace peer emits) still decodes, yielding
+    /// the all-zero ID; 1–15 or 17+ trailing bytes stay malformed.
+    #[test]
+    fn legacy_frames_without_trace_id_still_parse() {
+        // Hand-build a Ping request body exactly as the pre-trace encoder did.
+        let mut body = vec![REQUEST_MAGIC, WIRE_VERSION];
+        body.push_u64(9001);
+        body.push(OpKind::Ping.tag());
+        body.push_u32(125);
+        let legacy = integrity::seal(body);
+        let req = decode_request(&legacy, 1 << 20).unwrap();
+        assert_eq!(req.id, 9001);
+        assert_eq!(req.trace_id, ZERO_TRACE);
+
+        // Same for a response body.
+        let mut body = vec![RESPONSE_MAGIC, WIRE_VERSION];
+        body.push_u64(9001);
+        body.push(Status::Ok.tag());
+        put_bytes(&mut body, b"pong");
+        let legacy = integrity::seal(body);
+        let resp = decode_response(&legacy, 1 << 20).unwrap();
+        assert_eq!(resp.trace_id, ZERO_TRACE);
+
+        // Any other trailing length is rejected.
+        for extra in [1usize, 8, 15, 17, 24] {
+            let mut body = vec![REQUEST_MAGIC, WIRE_VERSION];
+            body.push_u64(1);
+            body.push(OpKind::Ping.tag());
+            body.push_u32(0);
+            body.extend(std::iter::repeat(0xEE).take(extra));
+            let framed = integrity::seal(body);
+            assert!(
+                decode_request(&framed, 1 << 20).is_err(),
+                "{extra} trailing bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_hex_renders_32_lower_hex_chars() {
+        assert_eq!(trace_hex(&ZERO_TRACE), "0".repeat(32));
+        let mut id = [0u8; 16];
+        id[0] = 0xAB;
+        id[15] = 0x01;
+        let hex = trace_hex(&id);
+        assert_eq!(hex.len(), 32);
+        assert!(hex.starts_with("ab"));
+        assert!(hex.ends_with("01"));
+    }
+
     #[test]
     fn frame_transport_roundtrip_and_cap() {
-        let body = encode_request(&Request { id: 1, deadline_ms: 0, op: Op::Ping });
+        let body =
+            encode_request(&Request { id: 1, deadline_ms: 0, op: Op::Ping, trace_id: ZERO_TRACE });
         let mut buf = Vec::new();
         write_frame(&mut buf, &body).unwrap();
         let mut r = &buf[..];

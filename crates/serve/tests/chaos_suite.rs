@@ -68,3 +68,50 @@ fn five_hundred_corrupt_frames_never_hang_or_panic() {
     let stats = handle.join();
     assert_eq!(stats.panics.load(Ordering::SeqCst), 0, "panic escaped isolation");
 }
+
+/// Satellite: every response frame — success, typed error, shed, and
+/// deadline — echoes the request's trace ID byte-for-byte, and
+/// server-assigned IDs are unique across the run. `workers: 1,
+/// queue_depth: 2` makes the shed/deadline phase deterministic: two large
+/// noisy compresses occupy the worker and a queue slot, a 1 ms-deadline
+/// request expires waiting behind them, and further requests overflow.
+#[test]
+fn every_status_echoes_the_trace_id_and_assigned_ids_are_unique() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let max_frame = cfg.max_frame_bytes;
+    let handle = Server::start(cfg).unwrap();
+
+    let report = chaos::run_trace_echo(
+        handle.addr(),
+        &ChaosConfig {
+            cases: 16,
+            seed: 0xC4A5_0002,
+            patience: Duration::from_secs(60),
+            max_slow_loris: 0,
+            max_frame,
+        },
+    );
+
+    assert!(
+        report.all_echoed(),
+        "trace echo violated: mismatches={:?} assigned={} zero={} dups={}",
+        report.mismatches,
+        report.assigned,
+        report.assigned_zero,
+        report.assigned_duplicates
+    );
+    assert_eq!(report.transport_errors, 0, "{report:?}");
+    for status in ["OK", "UNKNOWN_COMPRESSOR", "SERVER_BUSY", "DEADLINE_EXCEEDED"] {
+        assert!(report.saw_status(status), "never saw {status}: {report:?}");
+    }
+
+    let stats = handle.join();
+    assert_eq!(stats.panics.load(Ordering::SeqCst), 0, "panic escaped isolation");
+}

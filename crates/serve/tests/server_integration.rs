@@ -300,9 +300,19 @@ fn connection_cap_refuses_with_typed_busy() {
     assert!(stats.conns_refused.load(std::sync::atomic::Ordering::SeqCst) >= 1);
 }
 
+/// The attached telemetry hub is process-global; tests that attach/detach
+/// serialize on this so they can't tear each other's hub down mid-flight.
+/// Poison-tolerant: a failing hub test must not cascade into the others.
+static HUB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn hub_guard() -> std::sync::MutexGuard<'static, ()> {
+    HUB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Metrics op returns valid Prometheus text when a hub is attached.
 #[test]
 fn metrics_op_exports_serve_counters() {
+    let _guard = hub_guard();
     let hub = std::sync::Arc::new(qip_telemetry::MetricsHub::new());
     qip_telemetry::attach(std::sync::Arc::clone(&hub));
     let handle = Server::start(quick_config()).unwrap();
@@ -400,4 +410,144 @@ fn tiled_ops_answer_typed_errors() {
 
     let stats = handle.join();
     assert_eq!(stats.panics.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// Tentpole: every response — success, typed error, inline op — echoes the
+/// client-chosen trace ID byte-for-byte, and the per-request event log
+/// records the same ID with stage timings.
+#[test]
+fn trace_ids_echo_across_statuses_and_land_in_the_event_log() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut c = client_for(&handle);
+    let t: qip_serve::wire::TraceId = *b"0123456789abcdef";
+    c.set_trace_id(t);
+    let payload: Vec<u8> = (0..64u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+
+    let resp = c.ping().unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.trace_id, t, "ping echo");
+
+    let resp = c.compress("SZ3", 32, &[64], WireBound::Abs(1e-3), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.trace_id, t, "compress echo");
+
+    let resp = c.compress("nope", 32, &[64], WireBound::Abs(1e-3), payload.clone(), 0).unwrap();
+    assert_eq!(resp.status, Status::UnknownCompressor);
+    assert_eq!(resp.trace_id, t, "typed-error echo");
+
+    let resp = c.compress("SZ3", 32, &[63], WireBound::Abs(1e-3), payload, 0).unwrap();
+    assert_eq!(resp.status, Status::BadRequest);
+    assert_eq!(resp.trace_id, t, "bad-request echo");
+
+    for resp in [c.metrics().unwrap(), c.flight().unwrap(), c.tails().unwrap()] {
+        assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+        assert_eq!(resp.trace_id, t, "inline-op echo");
+    }
+
+    // Workers hand the response to the writer *before* appending the event
+    // record (telemetry stays off the latency path), so poll briefly: all 7
+    // responses are in, but the last event push may still be in flight.
+    let hex = qip_serve::wire::trace_hex(&t);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut events = handle.events_jsonl();
+    while events.lines().filter(|l| l.contains(&hex)).count() < 7
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+        events = handle.events_jsonl();
+    }
+    let mine: Vec<&str> = events.lines().filter(|l| l.contains(&hex)).collect();
+    assert!(mine.len() >= 7, "expected >=7 event lines for {hex}, got:\n{events}");
+    // Worker-path events carry the full stage breakdown.
+    assert!(
+        mine.iter().any(|l| l.contains("\"compress\":") && l.contains("\"queue_wait_ns\":")),
+        "no compress stage timing in:\n{events}"
+    );
+    handle.join();
+}
+
+/// Tentpole: requests sent with a zero trace ID get a server-assigned ID
+/// that is nonzero and unique across the run.
+#[test]
+fn server_assigned_trace_ids_are_unique_and_nonzero() {
+    let handle = Server::start(quick_config()).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..4 {
+        let mut c = client_for(&handle);
+        assert_eq!(c.trace_id(), qip_serve::wire::ZERO_TRACE, "default asks for assignment");
+        for _ in 0..8 {
+            let resp = c.ping().unwrap();
+            assert_eq!(resp.status, Status::Ok);
+            assert_ne!(resp.trace_id, qip_serve::wire::ZERO_TRACE, "assigned ID must be nonzero");
+            assert!(seen.insert(resp.trace_id), "assigned ID repeated");
+        }
+    }
+    assert_eq!(seen.len(), 32);
+    handle.join();
+}
+
+/// FLIGHT op round-trip: with a hub attached, `flight` returns the flight
+/// recorder's JSONL and `tails` the tail-sampler reservoir, both stamped
+/// with the request trace IDs that produced them.
+#[test]
+fn flight_op_serves_recorder_and_tail_dumps_remotely() {
+    let _guard = hub_guard();
+    let hub = std::sync::Arc::new(qip_telemetry::MetricsHub::with_slo_and_tail(
+        qip_telemetry::slo::default_objectives(),
+        1.0,
+        // Roomy reservoir: the attached hub is process-global, so servers
+        // spun up by concurrently-running tests also feed the sampler —
+        // a tight capacity could evict this test's record between the
+        // compress call and the tails read.
+        4096,
+        1, // sample every request so the reservoir fills deterministically
+    ));
+    qip_telemetry::attach(std::sync::Arc::clone(&hub));
+    let handle = Server::start(quick_config()).unwrap();
+    let mut c = client_for(&handle);
+    let t: qip_serve::wire::TraceId = [0x42; 16];
+    c.set_trace_id(t);
+    let hex = qip_serve::wire::trace_hex(&t);
+
+    let payload: Vec<u8> = (0..256u32).flat_map(|v| (v as f32).to_le_bytes()).collect();
+    let resp = c.compress("SZ3", 32, &[256], WireBound::Abs(1e-3), payload, 0).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.reason());
+
+    // Flight recorder: the compress call landed with the trace ID stamped.
+    let flight = c.flight().unwrap();
+    assert_eq!(flight.status, Status::Ok);
+    let text = flight.reason();
+    assert!(
+        text.lines().any(|l| l.contains("\"op\":\"compress\"") && l.contains(&hex)),
+        "no trace-stamped compress record in flight dump:\n{text}"
+    );
+
+    // Tail sampler: sample_every=1 retains every request with its stage
+    // trace metadata; the compress request's record is retrievable remotely.
+    // The worker closes the tail sample after handing off the response, so
+    // poll: the compress response arriving does not yet guarantee the
+    // reservoir entry is visible.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let tails = c.tails().unwrap();
+        assert_eq!(tails.status, Status::Ok);
+        let text = tails.reason();
+        if text.lines().any(|l| l.contains(&hex) && l.contains("\"sampled\":true"))
+            || std::time::Instant::now() > deadline
+        {
+            break text;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        text.lines().any(|l| l.contains(&hex) && l.contains("\"sampled\":true")),
+        "no sampled tail record for {hex} in:\n{text}"
+    );
+
+    // The same request also shows up in the event log: one trace ID ties
+    // wire response, flight record, tail record, and event line together.
+    assert!(handle.events_jsonl().contains(&hex));
+
+    qip_telemetry::detach();
+    handle.join();
 }

@@ -291,6 +291,31 @@ pub fn check_serve_families(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The gauge families [`crate::SloTracker::publish`] exports, as Prometheus
+/// names: per-objective multi-window burn rates
+/// (`qip_slo_burn_rate{objective,window}`), compliance over the long window
+/// (`qip_slo_compliance{objective}`), and the declared target
+/// (`qip_slo_objective{objective}`).
+pub const SLO_GAUGE_FAMILIES: [&str; 3] =
+    ["qip_slo_burn_rate", "qip_slo_compliance", "qip_slo_objective"];
+
+/// Validate a scrape from a process that publishes SLOs: the text must be
+/// well-formed and carry every [`SLO_GAUGE_FAMILIES`] family, announced as a
+/// gauge.
+pub fn check_slo_families(text: &str) -> Result<(), String> {
+    check_prometheus_text(text)?;
+    for family in SLO_GAUGE_FAMILIES {
+        let kind = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("# TYPE {family} ")))
+            .ok_or_else(|| format!("scrape has no {family} family"))?;
+        if kind != "gauge" {
+            return Err(format!("{family} announced as {kind}, expected gauge"));
+        }
+    }
+    Ok(())
+}
+
 #[derive(serde::Serialize)]
 struct LabelOut {
     key: String,
@@ -441,6 +466,26 @@ mod tests {
         // Requests present as a proper counter passes even with others absent.
         let ok = "# TYPE qip_serve_requests counter\nqip_serve_requests{op=\"ping\"} 1\n";
         check_serve_families(ok).unwrap();
+    }
+
+    #[test]
+    fn slo_families_render_and_validate() {
+        let hub = MetricsHub::with_slo(crate::slo::default_objectives(), 1.0);
+        hub.slo.record("compress", false, 1_000);
+        hub.slo.record("compress", true, 2_000_000_000);
+        hub.slo.publish(&hub);
+        let text = prometheus_text(&hub);
+        check_slo_families(&text).unwrap();
+        assert!(text.contains("qip_slo_burn_rate{objective=\"availability\",window=\"5m\"}"));
+        assert!(text.contains("qip_slo_compliance{objective=\"latency_500ms\"}"));
+        assert!(text.contains("qip_slo_objective{objective=\"availability\"} 0.999"));
+        // A scrape without the SLO gauges is rejected.
+        assert!(check_slo_families("# TYPE x counter\nx 1\n").is_err());
+        // And so is one announcing them under the wrong type.
+        let wrong = "# TYPE qip_slo_burn_rate counter\nqip_slo_burn_rate 1\n\
+                     # TYPE qip_slo_compliance gauge\nqip_slo_compliance 1\n\
+                     # TYPE qip_slo_objective gauge\nqip_slo_objective 1\n";
+        assert!(check_slo_families(wrong).is_err());
     }
 
     #[test]

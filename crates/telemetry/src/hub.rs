@@ -10,6 +10,8 @@
 
 use crate::hist::{HistSummary, Histogram};
 use crate::recorder::FlightRecorder;
+use crate::slo::{Objective, SloTracker};
+use crate::tail::TailSampler;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,6 +58,11 @@ pub struct MetricsHub {
     hists: Mutex<BTreeMap<MetricKey, Arc<Histogram>>>,
     /// Per-call flight recorder (bounded; see [`FlightRecorder`]).
     pub recorder: FlightRecorder,
+    /// Tail-latency sampler: bounded reservoir of per-request trace records
+    /// (see [`TailSampler`]).
+    pub tail: TailSampler,
+    /// SLO burn-rate tracker (defaults to [`crate::slo::default_objectives`]).
+    pub slo: SloTracker,
 }
 
 impl MetricsHub {
@@ -68,6 +75,28 @@ impl MetricsHub {
     pub fn with_flight_capacity(flight_capacity: usize) -> MetricsHub {
         MetricsHub {
             recorder: FlightRecorder::with_capacity(flight_capacity),
+            ..MetricsHub::default()
+        }
+    }
+
+    /// A hub tracking custom SLO `objectives`, with every burn-rate window
+    /// multiplied by `window_scale` (private fields make the struct-update
+    /// syntax unavailable outside this crate, hence the constructor).
+    pub fn with_slo(objectives: Vec<Objective>, window_scale: f64) -> MetricsHub {
+        MetricsHub { slo: SloTracker::new(objectives, window_scale), ..MetricsHub::default() }
+    }
+
+    /// A hub combining [`MetricsHub::with_slo`] with a tail sampler of the
+    /// given reservoir `capacity` and deterministic `sample_every` period.
+    pub fn with_slo_and_tail(
+        objectives: Vec<Objective>,
+        window_scale: f64,
+        capacity: usize,
+        sample_every: u64,
+    ) -> MetricsHub {
+        MetricsHub {
+            slo: SloTracker::new(objectives, window_scale),
+            tail: TailSampler::with_config(capacity, sample_every),
             ..MetricsHub::default()
         }
     }

@@ -31,10 +31,14 @@ pub mod flame;
 pub mod hist;
 pub mod hub;
 pub mod recorder;
+pub mod slo;
+pub mod tail;
 
 pub use hist::{HistSummary, Histogram};
 pub use hub::{MetricKey, MetricsHub, Snapshot};
 pub use recorder::{FlightRecord, FlightRecorder, LevelRate};
+pub use slo::{Objective, ObjectiveKind, SloSnapshot, SloTracker};
+pub use tail::{TailRecord, TailSampler, TailToken};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +56,9 @@ thread_local! {
     static CALL_DEPTH: Cell<u32> = const { Cell::new(0) };
     /// Values reported via [`call_value`] inside the open scope.
     static CALL_VALUES: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+    /// Trace ID of the serving request currently running on this thread
+    /// (set via [`TraceTag`]; empty outside request scope).
+    static CURRENT_TRACE: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 /// True when a hub is attached and telemetry is not paused on this thread.
@@ -104,6 +111,76 @@ impl Drop for PauseGuard {
     fn drop(&mut self) {
         PAUSE_DEPTH.with(|d| d.set(d.get() - 1));
     }
+}
+
+/// Tag this thread with the trace ID of the request it is serving until the
+/// guard drops. While tagged, flight records pushed from this thread carry
+/// the ID, tying per-call records to wire-level traces. Works even when
+/// telemetry is dormant (the tag is thread-local and costs one refcell swap),
+/// so a hub attached mid-request still sees the ID.
+pub fn trace_tag(trace_id: &str) -> TraceTag {
+    let previous = CURRENT_TRACE.with(|t| std::mem::replace(&mut *t.borrow_mut(), trace_id.to_string()));
+    TraceTag { previous }
+}
+
+/// The trace ID tagged on this thread via [`trace_tag`] (`""` when none).
+pub fn current_trace() -> String {
+    CURRENT_TRACE.with(|t| t.borrow().clone())
+}
+
+/// RAII guard from [`trace_tag`]; restores the previous tag on drop so
+/// nested scopes (inline retries, recursive dispatch) compose.
+pub struct TraceTag {
+    previous: String,
+}
+
+impl Drop for TraceTag {
+    fn drop(&mut self) {
+        let previous = std::mem::take(&mut self.previous);
+        CURRENT_TRACE.with(|t| *t.borrow_mut() = previous);
+    }
+}
+
+/// Begin tail-sampling a request on the attached hub. Returns `None` when
+/// dormant; hand the token to [`tail_finish`] when the request completes.
+pub fn tail_begin() -> Option<TailToken> {
+    let mut token = None;
+    with_hub(|hub| token = Some(hub.tail.begin()));
+    token
+}
+
+/// Finish a tail-sampled request (no-op for a `None` token or when the hub
+/// was detached mid-request).
+pub fn tail_finish(
+    token: Option<TailToken>,
+    trace_id: &str,
+    op: &str,
+    status: &str,
+    duration_ns: u64,
+    queue_wait_ns: u64,
+) {
+    let Some(token) = token else { return };
+    with_hub(|hub| hub.tail.finish(token, trace_id, op, status, duration_ns, queue_wait_ns));
+}
+
+/// The attached hub's tail-sampler reservoir as JSONL, if a hub is attached.
+pub fn tails_jsonl() -> Option<String> {
+    let mut out = None;
+    with_hub(|hub| out = Some(hub.tail.dump_jsonl()));
+    out
+}
+
+/// Record a finished request against the attached hub's SLO objectives;
+/// no-op when dormant.
+pub fn slo_observe(op: &str, error: bool, latency_ns: u64) {
+    with_hub(|hub| hub.slo.record(op, error, latency_ns));
+}
+
+/// Re-export the attached hub's current SLO evaluation as gauges (see
+/// [`SloTracker::publish`]); no-op when dormant. Call periodically (the
+/// serve stats loop does) so scrapes see fresh burn rates.
+pub fn slo_publish() {
+    with_hub(|hub| hub.slo.publish(hub));
 }
 
 /// Add `delta` to a counter series on the attached hub; no-op when dormant.
@@ -261,6 +338,7 @@ pub fn record_call(scope: Option<CallScope>, report: CallReport<'_>) {
         qp_accept_rates.sort_by_key(|r| r.level);
         hub.recorder.push(FlightRecord {
             seq: 0,
+            trace_id: current_trace(),
             op: report.op.to_string(),
             compressor: comp.to_string(),
             dims: report.dims.iter().map(|&d| d as u64).collect(),
@@ -288,6 +366,7 @@ pub fn record_fault(compressor: &str, op: &str, outcome: &str) {
         hub.counter_add("qip.fault.records", &[("compressor", compressor), ("op", op)], 1);
         hub.recorder.push(FlightRecord {
             seq: 0,
+            trace_id: current_trace(),
             op: op.to_string(),
             compressor: compressor.to_string(),
             dims: Vec::new(),
@@ -407,6 +486,63 @@ mod tests {
         // A fresh scope starts clean.
         let scope = CallScope::begin();
         assert!(scope.is_none()); // dormant after detach
+    }
+
+    #[test]
+    fn trace_tag_stamps_flight_records_and_restores_on_drop() {
+        let _t = TEST_LOCK.lock().unwrap();
+        let hub = Arc::new(MetricsHub::new());
+        attach(Arc::clone(&hub));
+        let id = "ab".repeat(16);
+        {
+            let _tag = trace_tag(&id);
+            assert_eq!(current_trace(), id);
+            {
+                let _nested = trace_tag("cd00");
+                assert_eq!(current_trace(), "cd00");
+            }
+            assert_eq!(current_trace(), id, "nested tag restores the outer one");
+            record_fault("SZ3", "decompress", "corrupt: tagged");
+        }
+        assert_eq!(current_trace(), "");
+        record_fault("SZ3", "decompress", "corrupt: untagged");
+        detach();
+        let recs = hub.recorder.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].trace_id, id);
+        assert_eq!(recs[1].trace_id, "");
+    }
+
+    #[test]
+    fn tail_and_slo_helpers_are_dormant_noops_and_live_passthroughs() {
+        let _t = TEST_LOCK.lock().unwrap();
+        detach();
+        assert!(tail_begin().is_none());
+        tail_finish(None, "", "compress", "OK", 1, 0);
+        assert!(tails_jsonl().is_none());
+        slo_observe("compress", true, 1);
+        slo_publish();
+
+        let hub = Arc::new(MetricsHub::with_slo_and_tail(
+            vec![crate::slo::Objective::availability("avail", "*", 0.9)],
+            1.0,
+            8,
+            1,
+        ));
+        attach(Arc::clone(&hub));
+        let token = tail_begin();
+        assert!(token.is_some());
+        tail_finish(token, &"ef".repeat(16), "compress", "OK", 5_000, 100);
+        slo_observe("compress", false, 5_000);
+        slo_publish();
+        let tails = tails_jsonl().unwrap();
+        detach();
+        assert!(tails.contains(&"ef".repeat(16)));
+        assert_eq!(hub.tail.len(), 1);
+        assert_eq!(hub.slo.snapshot().objectives[0].total, 1);
+        let names: Vec<String> =
+            hub.snapshot().gauges.iter().map(|(k, _)| k.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "qip.slo.burn_rate"));
     }
 
     #[test]

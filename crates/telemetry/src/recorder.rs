@@ -29,6 +29,10 @@ pub struct LevelRate {
 pub struct FlightRecord {
     /// Monotonic sequence number (process-wide; gaps mean evicted records).
     pub seq: u64,
+    /// Trace ID of the serving request this call ran under (32 lower-hex
+    /// chars), or `""` for calls outside any request scope. Set from
+    /// [`crate::current_trace`] by the instrumentation entry points.
+    pub trace_id: String,
     /// `"compress"` or `"decompress"` (`_into` variants share the name).
     pub op: String,
     /// Compressor name as reported by the registry (`"SZ3+QP"`, …).
@@ -130,6 +134,7 @@ mod tests {
     fn rec(compressor: &str) -> FlightRecord {
         FlightRecord {
             seq: 0,
+            trace_id: "00112233445566778899aabbccddeeff".into(),
             op: "compress".into(),
             compressor: compressor.into(),
             dims: vec![8, 8, 8],
@@ -172,6 +177,7 @@ mod tests {
         assert!(lines[1].contains("\"compressor\":\"SZ3+QP\""));
         assert!(lines[0].contains("\"dims\":[8,8,8]"));
         assert!(lines[0].contains("\"qp_accept_rates\":[{\"level\":1,\"rate\":0.75}]"));
+        assert!(lines[0].contains("\"trace_id\":\"00112233445566778899aabbccddeeff\""));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Tail sampler: a bounded reservoir of per-request tail-latency records.
+//!
+//! Serving aggregates (histograms, counters) tell you *that* p99 is slow, not
+//! *why*. The sampler closes that gap: for a deterministic 1-in-N sample and
+//! for any request whose duration crosses a rolling p99 estimate, it retains
+//! a [`TailRecord`] keyed by the request's trace ID — duration, queue wait,
+//! and (when the `qip-trace` feature is compiled into the binary) the full
+//! per-stage `TraceReport` captured live during that request.
+//!
+//! Capture model: at most one qip-trace session is active at a time, claimed
+//! with a lock-free compare-and-swap at request start — a contended claim is
+//! simply skipped, so workers never block on the sampler. Because qip-trace
+//! capture is process-global, a retained report may include spans from
+//! requests that overlapped the sampled one; the record's own duration and
+//! queue-wait fields are always exact. Without the trace feature the sampler
+//! still retains records (with an empty report), so the tails dump works in
+//! default builds.
+//!
+//! The rolling p99 estimate comes from a [`Histogram`] of request durations
+//! that is reset every [`ROLLING_WINDOW`] observations, so the threshold
+//! tracks recent traffic instead of the whole process lifetime.
+
+use crate::hist::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default reservoir capacity (records kept before the oldest is evicted).
+pub const DEFAULT_TAIL_CAPACITY: usize = 256;
+/// Default deterministic sampling period: request `0, N, 2N, …` are sampled.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
+/// Observations folded into the rolling duration histogram before it resets.
+pub const ROLLING_WINDOW: u64 = 65_536;
+
+/// One retained tail sample.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TailRecord {
+    /// Trace ID of the request (lower hex, 32 chars).
+    pub trace_id: String,
+    /// Operation label (`"compress"`, `"read_region"`, …).
+    pub op: String,
+    /// Response status name (`"OK"`, `"DEADLINE_EXCEEDED"`, …).
+    pub status: String,
+    /// End-to-end duration (accept → response handed to the writer).
+    pub duration_ns: u64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait_ns: u64,
+    /// True when this request was in the deterministic 1-in-N sample.
+    pub sampled: bool,
+    /// True when the duration crossed the rolling p99 estimate.
+    pub over_p99: bool,
+    /// The rolling p99 estimate at decision time (0 before any estimate).
+    pub p99_estimate_ns: u64,
+    /// True when a live qip-trace session captured this request.
+    pub traced: bool,
+    /// The captured `TraceReport` as JSON (`""` when not traced or the
+    /// `qip-trace` feature is not compiled in).
+    pub report_json: String,
+}
+
+/// Per-request activation handle from [`TailSampler::begin`]; hand it back to
+/// [`TailSampler::finish`] when the request completes. If a `traced` token is
+/// dropped without `finish`, the trace session slot stays claimed and no
+/// further requests are traced (bounded failure, never a deadlock).
+#[derive(Debug, Clone, Copy)]
+pub struct TailToken {
+    /// This request is in the deterministic sample.
+    pub sampled: bool,
+    /// A qip-trace session was activated for this request.
+    pub traced: bool,
+}
+
+/// Bounded, thread-safe tail-sample reservoir (see module docs).
+pub struct TailSampler {
+    capacity: usize,
+    sample_every: u64,
+    counter: AtomicU64,
+    /// One qip-trace session at a time; claimed by CAS, never waited on.
+    session_busy: AtomicBool,
+    durations: Mutex<Histogram>,
+    ring: Mutex<VecDeque<TailRecord>>,
+}
+
+impl Default for TailSampler {
+    fn default() -> Self {
+        TailSampler::with_config(DEFAULT_TAIL_CAPACITY, DEFAULT_SAMPLE_EVERY)
+    }
+}
+
+impl TailSampler {
+    /// A sampler keeping at most `capacity` records, sampling every
+    /// `sample_every`-th request deterministically (min 1 for both).
+    pub fn with_config(capacity: usize, sample_every: u64) -> TailSampler {
+        TailSampler {
+            capacity: capacity.max(1),
+            sample_every: sample_every.max(1),
+            counter: AtomicU64::new(0),
+            session_busy: AtomicBool::new(false),
+            durations: Mutex::new(Histogram::new()),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Request start: decide the deterministic sample membership and try to
+    /// claim the (single) live trace session. Wait-free.
+    pub fn begin(&self) -> TailToken {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let sampled = n % self.sample_every == 0;
+        let traced = qip_trace::compiled()
+            && self
+                .session_busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok();
+        if traced {
+            qip_trace::begin_session();
+        }
+        TailToken { sampled, traced }
+    }
+
+    /// Request end: close the trace session (if this request held it), update
+    /// the rolling p99 estimate, and retain a record when the request was
+    /// sampled or crossed the estimate.
+    pub fn finish(
+        &self,
+        token: TailToken,
+        trace_id: &str,
+        op: &str,
+        status: &str,
+        duration_ns: u64,
+        queue_wait_ns: u64,
+    ) {
+        // Close the session first so the claim is released on every path.
+        let report_json = if token.traced {
+            let report = qip_trace::take_report();
+            self.session_busy.store(false, Ordering::Release);
+            report.to_json()
+        } else {
+            String::new()
+        };
+
+        let p99 = {
+            let mut h = self.durations.lock().unwrap();
+            let estimate = h.quantile(0.99);
+            if h.count() >= ROLLING_WINDOW {
+                *h = Histogram::new();
+            }
+            h.record(duration_ns);
+            estimate
+        };
+        let over_p99 = p99.is_some_and(|p| duration_ns > p);
+
+        if !(token.sampled || over_p99) {
+            return;
+        }
+        let record = TailRecord {
+            trace_id: trace_id.to_string(),
+            op: op.to_string(),
+            status: status.to_string(),
+            duration_ns,
+            queue_wait_ns,
+            sampled: token.sampled,
+            over_p99,
+            p99_estimate_ns: p99.unwrap_or(0),
+            traced: token.traced,
+            report_json,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Total requests observed via [`TailSampler::begin`].
+    pub fn total_seen(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current rolling p99 estimate, if any observations exist.
+    pub fn p99_estimate_ns(&self) -> Option<u64> {
+        self.durations.lock().unwrap().quantile(0.99)
+    }
+
+    /// Copy out the retained records, oldest first.
+    pub fn records(&self) -> Vec<TailRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Look up a retained record by its trace ID (most recent wins).
+    pub fn find(&self, trace_id: &str) -> Option<TailRecord> {
+        self.ring.lock().unwrap().iter().rev().find(|r| r.trace_id == trace_id).cloned()
+    }
+
+    /// Render the retained records as JSON Lines (oldest first, trailing
+    /// newline when non-empty) — the `--tails` / FLIGHT(tails) dump format.
+    pub fn dump_jsonl(&self) -> String {
+        use serde::Serialize;
+        let mut out = String::new();
+        for r in self.ring.lock().unwrap().iter() {
+            r.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish_plain(s: &TailSampler, tok: TailToken, id: &str, ns: u64) {
+        s.finish(tok, id, "compress", "OK", ns, 0);
+    }
+
+    #[test]
+    fn deterministic_sample_is_every_nth() {
+        let s = TailSampler::with_config(64, 4);
+        for i in 0..12u64 {
+            let tok = s.begin();
+            assert_eq!(tok.sampled, i % 4 == 0, "request {i}");
+            finish_plain(&s, tok, &format!("{i:032x}"), 100);
+        }
+        assert_eq!(s.total_seen(), 12);
+        let ids: Vec<String> = s.records().iter().map(|r| r.trace_id.clone()).collect();
+        assert_eq!(
+            ids,
+            vec![format!("{:032x}", 0u64), format!("{:032x}", 4u64), format!("{:032x}", 8u64)]
+        );
+        assert!(s.records().iter().all(|r| r.sampled && !r.over_p99));
+    }
+
+    #[test]
+    fn over_p99_requests_are_retained_even_when_not_sampled() {
+        // sample_every large enough that only request 0 is in the sample.
+        let s = TailSampler::with_config(64, 1_000_000);
+        // Build a tight baseline: 200 fast requests.
+        for i in 0..200u64 {
+            let tok = s.begin();
+            finish_plain(&s, tok, &format!("{i:032x}"), 1_000);
+        }
+        // A 100x outlier must cross the rolling p99 and be retained.
+        let tok = s.begin();
+        assert!(!tok.sampled);
+        finish_plain(&s, tok, &"ff".repeat(16), 100_000);
+        let rec = s.find(&"ff".repeat(16)).expect("outlier retained");
+        assert!(rec.over_p99);
+        assert!(!rec.sampled);
+        assert!(rec.p99_estimate_ns > 0);
+        // The fast non-sampled requests were not retained.
+        assert_eq!(s.len(), 2, "sample[0] + outlier only");
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let s = TailSampler::with_config(4, 1); // sample everything
+        for i in 0..100u64 {
+            let tok = s.begin();
+            finish_plain(&s, tok, &format!("{i:032x}"), 10);
+        }
+        assert_eq!(s.len(), 4);
+        // Oldest evicted: the survivors are the last four.
+        assert_eq!(s.records()[0].trace_id, format!("{:032x}", 96u64));
+    }
+
+    #[test]
+    fn dump_jsonl_round_trips_key_fields() {
+        let s = TailSampler::with_config(8, 1);
+        let tok = s.begin();
+        s.finish(tok, "deadbeef", "read_region", "BAD_REGION", 777, 55);
+        let dump = s.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"trace_id\":\"deadbeef\""));
+        assert!(lines[0].contains("\"op\":\"read_region\""));
+        assert!(lines[0].contains("\"status\":\"BAD_REGION\""));
+        assert!(lines[0].contains("\"duration_ns\":777"));
+        assert!(lines[0].contains("\"queue_wait_ns\":55"));
+        assert!(lines[0].contains("\"sampled\":true"));
+    }
+
+    #[test]
+    fn concurrent_begin_finish_never_lose_the_session_slot() {
+        let s = TailSampler::with_config(1024, 1);
+        std::thread::scope(|sc| {
+            for t in 0..8u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..200u64 {
+                        let tok = s.begin();
+                        s.finish(tok, &format!("{:032x}", t * 1000 + i), "compress", "OK", i, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_seen(), 1600);
+        // The session slot is free again afterwards (claimable when the trace
+        // feature is compiled; vacuously true otherwise).
+        assert!(!s.session_busy.load(Ordering::Relaxed));
+    }
+}

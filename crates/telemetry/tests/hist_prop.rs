@@ -1,0 +1,126 @@
+//! Property tests for `qip_telemetry::Histogram`.
+//!
+//! The crate docs promise two things this file pins across adversarial
+//! distributions: (1) `merge` is associative and commutative — per-thread
+//! histograms can be combined in any grouping/order with identical results —
+//! and (2) quantile estimates carry a bounded relative error of at most
+//! `1 / SUB_BUCKETS` (~3.1%) against the exact order statistic, using the
+//! same ceil-rank convention `quantile` itself documents.
+
+use proptest::prelude::*;
+use qip_telemetry::hist::SUB_BUCKETS;
+use qip_telemetry::Histogram;
+
+/// Adversarial value distributions: constant runs, full-width uniform,
+/// log-uniform across all magnitudes, bimodal tiny/huge mixtures, and
+/// values hugging power-of-two bucket boundaries.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // Constant: every observation identical (degenerate quantiles).
+        (any::<u64>(), 1usize..400).prop_map(|(v, n)| vec![v; n]),
+        // Full-width uniform.
+        proptest::collection::vec(any::<u64>(), 1..400),
+        // Log-uniform: magnitude first, then uniform within the decade.
+        proptest::collection::vec(
+            (1u32..64, any::<u64>()).prop_map(|(e, r)| (1u64 << (e - 1)) + r % (1u64 << (e - 1))),
+            1..400
+        ),
+        // Bimodal: tiny values with huge outliers (tail-latency shape).
+        proptest::collection::vec(prop_oneof![0u64..16, (u64::MAX - 1024)..u64::MAX], 1..400),
+        // Power-of-two boundary huggers: 2^e - 1, 2^e, 2^e + 1.
+        proptest::collection::vec((5u32..63, 0u64..3).prop_map(|(e, d)| (1u64 << e) + d - 1), 1..400),
+    ]
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_same(a: &Histogram, b: &Histogram, what: &str) {
+    assert_eq!(a.count(), b.count(), "{what}: count");
+    assert_eq!(a.sum(), b.sum(), "{what}: sum");
+    assert_eq!(a.max(), b.max(), "{what}: max");
+    assert_eq!(a.bucket_counts(), b.bucket_counts(), "{what}: buckets");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_associative_commutative_and_matches_direct_recording(
+        values in arb_values(),
+        seed in any::<u64>(),
+    ) {
+        // Random 3-way partition of the observations.
+        let mut parts: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut state = seed | 1;
+        for &v in &values {
+            // splitmix64 step for a deterministic per-index partition.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            parts[(z % 3) as usize].push(v);
+        }
+        let [a, b, c] = parts;
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        let direct = record_all(&values);
+
+        // (a ⊕ b) ⊕ c
+        let left = Histogram::new();
+        left.merge(&ha);
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let bc = Histogram::new();
+        bc.merge(&hb);
+        bc.merge(&hc);
+        let right = Histogram::new();
+        right.merge(&ha);
+        right.merge(&bc);
+        // c ⊕ b ⊕ a
+        let reversed = Histogram::new();
+        reversed.merge(&hc);
+        reversed.merge(&hb);
+        reversed.merge(&ha);
+
+        assert_same(&left, &right, "associativity");
+        assert_same(&left, &reversed, "commutativity");
+        assert_same(&left, &direct, "merge vs direct recording");
+
+        // Merging an empty histogram is the identity.
+        left.merge(&Histogram::new());
+        assert_same(&left, &direct, "empty-merge identity");
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_against_exact_order_statistics(values in arb_values()) {
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q).expect("non-empty histogram");
+            if q >= 1.0 {
+                prop_assert_eq!(est, *sorted.last().unwrap(), "p100 is exact");
+                continue;
+            }
+            // Same ceil-rank convention as Histogram::quantile.
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let truth = sorted[(target - 1) as usize];
+            if truth < SUB_BUCKETS as u64 {
+                prop_assert_eq!(est, truth, "linear range is exact (q={})", q);
+            } else {
+                let err = (est as f64 - truth as f64).abs() / truth as f64;
+                prop_assert!(
+                    err <= 1.0 / SUB_BUCKETS as f64,
+                    "q={} truth={} est={} rel_err={:.5} exceeds 1/{}",
+                    q, truth, est, err, SUB_BUCKETS
+                );
+            }
+        }
+    }
+}

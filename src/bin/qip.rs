@@ -448,8 +448,13 @@ fn run() -> Result<(), String> {
             };
 
             // Attach a metrics hub so the wire `metrics` op serves real data
-            // (queue depth, shed/deadline/panic counters, latency histograms).
-            let hub = std::sync::Arc::new(qip::telemetry::MetricsHub::new());
+            // (queue depth, shed/deadline/panic counters, latency histograms),
+            // with the default availability/latency SLOs and the always-on
+            // tail sampler feeding the `flight` op and `--tails`.
+            let hub = std::sync::Arc::new(qip::telemetry::MetricsHub::with_slo(
+                qip::telemetry::slo::default_objectives(),
+                1.0,
+            ));
             qip::telemetry::attach(std::sync::Arc::clone(&hub));
 
             let handle =
@@ -466,6 +471,7 @@ fn run() -> Result<(), String> {
                     // (in-flight requests finish, new connections refused).
                     std::thread::sleep(std::time::Duration::from_secs(secs));
                     eprintln!("qip-serve: draining after {secs}s");
+                    let events = handle.events_jsonl();
                     let stats = handle.join();
                     use std::sync::atomic::Ordering;
                     eprintln!(
@@ -478,7 +484,16 @@ fn run() -> Result<(), String> {
                         stats.conns_accepted.load(Ordering::SeqCst),
                     );
                     if let Some(path) = opts.get("prom") {
+                        hub.slo.publish(&hub);
                         std::fs::write(path, qip::telemetry::export::prometheus_text(&hub))
+                            .map_err(|e| format!("write {path}: {e}"))?;
+                    }
+                    if let Some(path) = opts.get("tails") {
+                        std::fs::write(path, hub.tail.dump_jsonl())
+                            .map_err(|e| format!("write {path}: {e}"))?;
+                    }
+                    if let Some(path) = opts.get("events") {
+                        std::fs::write(path, events)
                             .map_err(|e| format!("write {path}: {e}"))?;
                     }
                     Ok(())
@@ -504,7 +519,9 @@ fn usage() -> String {
      qip info       -i IN\n  \
      qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n  \
      qip serve      [--listen ADDR] [--workers N] [--queue N] [--max-conns N] [--deadline-ms MS]\n                 \
-     [--duration-s S] [--prom M.prom]   (see docs/serving.md; FORMAT.md for the wire protocol)\n\n\
+     [--duration-s S] [--prom M.prom] [--tails T.jsonl] [--events E.jsonl]\n                 \
+     (see docs/serving.md; FORMAT.md for the wire protocol; --tails dumps the\n                 \
+     tail-sampler reservoir and --events the per-request event log at drain)\n\n\
      OBSERVABILITY (compress/decompress):\n  \
      --metrics-out M.json   telemetry snapshot (counters, gauges, latency histograms) as JSON\n  \
      --prom M.prom          the same snapshot in Prometheus text exposition format\n  \
