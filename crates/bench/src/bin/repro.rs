@@ -81,7 +81,7 @@ fn print_table1() {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|slo|tiles|all> \
-         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--bless]"
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--min-speedup X] [--bless]"
     );
     std::process::exit(2);
 }
@@ -96,6 +96,7 @@ fn main() {
     let mut dataset: Option<String> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut gate: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
     let mut bless = false;
     let mut i = 1;
     while i < args.len() {
@@ -125,6 +126,11 @@ fn main() {
             "--gate" => {
                 i += 1;
                 gate = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
             other => {
                 eprintln!("unknown option: {other}");
@@ -167,7 +173,13 @@ fn main() {
         "throughput" => {
             let records = experiments::throughput::run(&opts);
             if let Some(b) = &baseline {
-                if let Err(msg) = experiments::throughput::compare_baseline(&records, b, 0.05) {
+                // `--min-speedup X` flips the 5% regression gate into a
+                // minimum-improvement assertion (CI `kernels` job: X = 2).
+                let result = match min_speedup {
+                    Some(x) => experiments::throughput::require_speedup(&records, b, x),
+                    None => experiments::throughput::compare_baseline(&records, b, 0.05),
+                };
+                if let Err(msg) = result {
                     eprintln!("{msg}");
                     std::process::exit(1);
                 }

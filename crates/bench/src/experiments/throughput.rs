@@ -54,6 +54,35 @@ pub struct ThroughputRecord {
     pub speedup_pct: f64,
 }
 
+/// Compressor-name prefixes of the interpolation family whose plain
+/// `compress` is routed through the ctx scratch arena (and whose hot
+/// kernels the chunked drivers accelerate).
+const INTERP_FAMILIES: [&str; 3] = ["SZ3", "QoZ", "HPEZ"];
+
+/// Allocation-count regression gate for the interpolation family: plain
+/// `compress` delegates to `compress_into` with a fresh context, so its
+/// request count must stay within a small multiple of one warm
+/// `compress_into` call — a slide back to per-point allocation (~5.6M
+/// requests on SegSalt before the routing fix) trips this immediately.
+/// Counts read zero unless the counting allocator is installed (only the
+/// `repro` binary installs it), in which case the gate is a no-op.
+fn assert_alloc_budget(name: &str, ds: Dataset, plain: u64, warm: u64) {
+    if plain == 0 || !INTERP_FAMILIES.iter().any(|p| name.starts_with(p)) {
+        return;
+    }
+    // Fresh-ctx overhead: arena/pool construction plus trial-compression
+    // scratch growth. Generous fixed headroom, but ~50× under the per-point
+    // regression this exists to catch.
+    let budget = warm.saturating_mul(8).max(100_000);
+    assert!(
+        plain <= budget,
+        "{name} on {}: plain compress made {plain} heap allocation requests \
+         (warm compress_into: {warm}, budget: {budget}) — the ctx-arena \
+         routing of the plain API has regressed",
+        ds.name()
+    );
+}
+
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
     let mut out = f(); // warmup (also primes the ctx pools)
     let mut best = f64::INFINITY;
@@ -90,6 +119,7 @@ fn measure(comp: &AnyCompressor, ds: Dataset, dims: &[usize]) -> ThroughputRecor
     let (_, compress_into_allocs) = count_allocs_during(|| {
         comp.compress_into(&field, bound, &mut ctx, &mut out).expect("compress_into failed")
     });
+    assert_alloc_budget(&name, ds, compress_allocs, compress_into_allocs);
 
     let (plain, t_d) =
         best_of(REPS, || -> qip_tensor::Field<f32> {
@@ -261,33 +291,8 @@ pub fn compare_baseline(
     baseline_path: &std::path::Path,
     max_regression: f64,
 ) -> Result<(), String> {
-    let baseline = load_baseline(baseline_path)?;
-    let mut ratios: Vec<(String, f64)> = Vec::new();
-    for entry in &baseline {
-        let (Some(comp), Some(ds)) = (entry.str("compressor"), entry.str("dataset")) else {
-            return Err(format!("baseline record lacks compressor/dataset: {entry:?}"));
-        };
-        let Some(new) = records.iter().find(|r| r.compressor == comp && r.dataset == ds) else {
-            continue; // baseline may cover a superset (e.g. different scale grid)
-        };
-        for m in GATED_METRICS {
-            let Some(old) = entry.num(m) else {
-                return Err(format!("baseline record for {comp}/{ds} lacks {m}"));
-            };
-            if old > 0.0 {
-                ratios.push((format!("{comp}/{ds}/{m}"), metric(new, m) / old));
-            }
-        }
-    }
-    if ratios.is_empty() {
-        return Err(format!(
-            "no baseline records in {} match the current run",
-            baseline_path.display()
-        ));
-    }
-    let geomean =
-        (ratios.iter().map(|(_, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
-    ratios.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (geomean, ratios) =
+        geomean_vs_baseline(records, baseline_path, &GATED_METRICS, &mut |_| true)?;
     eprintln!(
         "[baseline gate: geometric-mean throughput ratio {:.4} over {} cells; worst: {} {:.3}, best: {} {:.3}]",
         geomean,
@@ -308,6 +313,86 @@ pub fn compare_baseline(
         ));
     }
     Ok(())
+}
+
+/// Assert a minimum *improvement* over the baseline: the geometric-mean
+/// `compress_into_mbs` ratio across the SZ3/QoZ/HPEZ (+QP) cells must be at
+/// least `min_ratio`. This is the 5% regression gate flipped into a speedup
+/// gate — the CI `kernels` job runs it with `min_ratio = 2.0` to pin the
+/// vectorized-kernel payoff against the committed BENCH_throughput.json.
+pub fn require_speedup(
+    records: &[ThroughputRecord],
+    baseline_path: &std::path::Path,
+    min_ratio: f64,
+) -> Result<(), String> {
+    let (geomean, ratios) = geomean_vs_baseline(
+        records,
+        baseline_path,
+        &["compress_into_mbs"],
+        &mut |comp| INTERP_FAMILIES.iter().any(|p| comp.starts_with(p)),
+    )?;
+    eprintln!(
+        "[speedup gate: geometric-mean compress_into ratio {:.3}× over {} interp-family cells (required ≥ {:.2}×); worst: {} {:.3}×]",
+        geomean,
+        ratios.len(),
+        min_ratio,
+        ratios[0].0,
+        ratios[0].1,
+    );
+    if geomean < min_ratio {
+        let cells: Vec<String> =
+            ratios.iter().map(|(n, r)| format!("  {n}: {r:.3}×")).collect();
+        return Err(format!(
+            "kernel speedup below gate: geomean {:.3}× < {:.2}× required; cells:\n{}",
+            geomean,
+            min_ratio,
+            cells.join("\n")
+        ));
+    }
+    Ok(())
+}
+
+/// Shared ratio machinery for both gates: per-(record, metric) new/old
+/// throughput ratios against the baseline file, restricted to `metrics` and
+/// to compressors accepted by `keep`, plus their geometric mean. Ratios come
+/// back sorted ascending. Errors on malformed baselines or an empty match.
+fn geomean_vs_baseline(
+    records: &[ThroughputRecord],
+    baseline_path: &std::path::Path,
+    metrics: &[&str],
+    keep: &mut dyn FnMut(&str) -> bool,
+) -> Result<(f64, Vec<(String, f64)>), String> {
+    let baseline = load_baseline(baseline_path)?;
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for entry in &baseline {
+        let (Some(comp), Some(ds)) = (entry.str("compressor"), entry.str("dataset")) else {
+            return Err(format!("baseline record lacks compressor/dataset: {entry:?}"));
+        };
+        if !keep(comp) {
+            continue;
+        }
+        let Some(new) = records.iter().find(|r| r.compressor == comp && r.dataset == ds) else {
+            continue; // baseline may cover a superset (e.g. different scale grid)
+        };
+        for &m in metrics {
+            let Some(old) = entry.num(m) else {
+                return Err(format!("baseline record for {comp}/{ds} lacks {m}"));
+            };
+            if old > 0.0 {
+                ratios.push((format!("{comp}/{ds}/{m}"), metric(new, m) / old));
+            }
+        }
+    }
+    if ratios.is_empty() {
+        return Err(format!(
+            "no baseline records in {} match the current run",
+            baseline_path.display()
+        ));
+    }
+    let geomean =
+        (ratios.iter().map(|(_, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    ratios.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok((geomean, ratios))
 }
 
 fn write_json(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<()> {

@@ -97,12 +97,62 @@ pub fn encode(symbols: &[i32]) -> Vec<u8> {
         return w.finish();
     }
 
-    let mut hist: HashMap<i32, u64> = HashMap::new();
+    // Histogram. Quantization-index streams cluster tightly around zero —
+    // plus the far-away unpredictable sentinel at i32::MIN — so a dense
+    // count array over the non-sentinel value range replaces the historical
+    // per-symbol HashMap (the dominant cost of this function on real index
+    // streams). The sentinel is counted separately so it cannot explode the
+    // span; genuinely wide alphabets keep the map fallback. Every path
+    // yields the identical sorted alphabet + frequency table, hence
+    // identical bytes.
+    const SENTINEL: i32 = i32::MIN;
+    let mut sentinel_count: u64 = 0;
+    let (mut lo, mut hi) = (i32::MAX, i32::MIN);
     for &s in symbols {
-        *hist.entry(s).or_insert(0) += 1;
+        if s == SENTINEL {
+            sentinel_count += 1;
+        } else {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
     }
-    let mut alphabet: Vec<i32> = hist.keys().copied().collect();
-    alphabet.sort_unstable();
+    let mut alphabet: Vec<i32>;
+    let freqs: Vec<u64>;
+    if lo > hi {
+        // Every symbol was the sentinel.
+        alphabet = vec![SENTINEL];
+        freqs = vec![sentinel_count];
+    } else if ((hi as i64 - lo as i64) as u64) < 1 << 22 {
+        let span = (hi as i64 - lo as i64) as usize + 1;
+        let mut counts = vec![0u64; span];
+        for &s in symbols {
+            if s != SENTINEL {
+                counts[(s as i64 - lo as i64) as usize] += 1;
+            }
+        }
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        let mut f = Vec::with_capacity(nonzero + 1);
+        alphabet = Vec::with_capacity(nonzero + 1);
+        if sentinel_count > 0 {
+            alphabet.push(SENTINEL);
+            f.push(sentinel_count);
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                alphabet.push(lo + k as i32);
+                f.push(c);
+            }
+        }
+        freqs = f;
+    } else {
+        let mut hist: HashMap<i32, u64> = HashMap::new();
+        for &s in symbols {
+            *hist.entry(s).or_insert(0) += 1;
+        }
+        alphabet = hist.keys().copied().collect();
+        alphabet.sort_unstable();
+        freqs = alphabet.iter().map(|s| hist[s]).collect();
+    }
     w.put_uvarint(alphabet.len() as u64);
 
     // Alphabet as deltas between sorted symbols (small for dense index sets).
@@ -117,29 +167,48 @@ pub fn encode(symbols: &[i32]) -> Vec<u8> {
         return w.finish();
     }
 
-    let freqs: Vec<u64> = alphabet.iter().map(|s| hist[s]).collect();
     let lengths = limited_code_lengths(&freqs);
     for &l in &lengths {
         w.put_u8(l as u8);
     }
     let codes = canonical_codes(&lengths);
-    let index: HashMap<i32, usize> =
-        alphabet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
 
+    // Hot loop: one (code, length) fetch plus one word-batched bit append per
+    // symbol. Quantization-index alphabets are dense around zero, so a direct
+    // offset table replaces the historical per-symbol HashMap lookup; sparse
+    // alphabets (span far exceeding the alphabet) keep the map fallback. Both
+    // paths emit identical bits.
+    let min_sym = alphabet[0] as i64;
+    let max_sym = *alphabet.last().expect("nonempty alphabet") as i64;
+    let span = (max_sym - min_sym) as u64 + 1;
+    let dense_cap = (alphabet.len() as u64 * 8).clamp(4096, 1 << 22);
     let mut bw = BitWriter::new();
-    for &s in symbols {
-        let i = index[&s];
-        let (code, len) = (codes[i], lengths[i]);
-        if len > 32 {
-            bw.write_bits(code >> 32, len - 32);
-            bw.write_bits(code & 0xFFFF_FFFF, 32);
-        } else {
+    if span <= dense_cap {
+        let mut table: Vec<(u64, u32)> = vec![(0, 0); span as usize];
+        for (i, &s) in alphabet.iter().enumerate() {
+            table[(s as i64 - min_sym) as usize] = (codes[i], lengths[i]);
+        }
+        for &s in symbols {
+            let (code, len) = table[(s as i64 - min_sym) as usize];
             bw.write_bits(code, len);
+        }
+    } else {
+        let index: HashMap<i32, usize> =
+            alphabet.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for &s in symbols {
+            let i = index[&s];
+            bw.write_bits(codes[i], lengths[i]);
         }
     }
     w.put_block(&bw.finish());
     w.finish()
 }
+
+/// Accelerated decode table: direct-indexed on the next [`DECODE_TABLE_BITS`]
+/// bits of the stream. Codes short enough to fit resolve in one lookup;
+/// longer codes (rare: only pathological distributions exceed 12 bits on real
+/// index streams) fall back to the canonical bit-at-a-time walk.
+const DECODE_TABLE_BITS: u32 = 12;
 
 /// Decode a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<i32>, CodecError> {
@@ -231,9 +300,34 @@ pub fn decode_capped(bytes: &[u8], max_count: usize) -> Result<Vec<i32>, CodecEr
     if count > payload.len().saturating_mul(8) {
         return Err(CodecError::Corrupt("huffman: count exceeds payload bits"));
     }
+
+    // Direct-indexed fast table over the next `tb` bits: every code of length
+    // `l ≤ tb` owns the 2^(tb−l) entries sharing its prefix (prefix-freeness
+    // makes the claim unambiguous). Entries no short code owns keep length 0
+    // and defer to the canonical walk below.
+    let tb = DECODE_TABLE_BITS.min(max_len);
+    let codes = canonical_codes(&lengths);
+    let mut fast: Vec<(i32, u8)> = vec![(0, 0); 1usize << tb];
+    for (i, &len) in lengths.iter().enumerate() {
+        if len <= tb {
+            let lo = (codes[i] << (tb - len)) as usize;
+            let hi = lo + (1usize << (tb - len));
+            for entry in &mut fast[lo..hi] {
+                *entry = (alphabet[i], len as u8);
+            }
+        }
+    }
+
     let mut br = BitReader::new(payload);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
+        let peeked = br.peek_bits(tb) as usize;
+        let (sym, len) = fast[peeked];
+        if len != 0 {
+            br.consume(len as u32)?;
+            out.push(sym);
+            continue;
+        }
         let mut code = 0u64;
         let mut len = 0usize;
         loop {

@@ -25,7 +25,7 @@ pub mod range;
 pub mod stream;
 pub mod varint;
 
-pub use bits::{BitReader, BitWriter};
+pub use bits::{BitReader, BitWriter, ScalarBitWriter};
 pub use lossless::{
     decode_indices, decode_indices_capped, decode_indices_capped_into, encode_indices,
     encode_indices_into, CHUNK_SYMBOLS,

@@ -23,6 +23,29 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `x` and `y`, compared a word at a time.
+/// Exactly equivalent to the byte-by-byte loop (the XOR's lowest set byte
+/// pinpoints the first mismatch), just ~8× fewer iterations on the long
+/// failed compares that dominate match finding over high-entropy input.
+#[inline]
+fn common_prefix(x: &[u8], y: &[u8]) -> usize {
+    let n = x.len().min(y.len());
+    let mut l = 0usize;
+    while l + 8 <= n {
+        let a = u64::from_le_bytes(x[l..l + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(y[l..l + 8].try_into().unwrap());
+        let d = a ^ b;
+        if d != 0 {
+            return l + (d.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < n && x[l] == y[l] {
+        l += 1;
+    }
+    l
+}
+
 /// Compress `input`; output is self-describing and decoded by [`decompress`].
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(input.len() / 2 + 16);
@@ -54,10 +77,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                         && input.get(cand + best_len) == input.get(i + best_len))
                 {
                     let limit = input.len() - i;
-                    let mut l = 0usize;
-                    while l < limit && input[cand + l] == input[i + l] {
-                        l += 1;
-                    }
+                    let l = common_prefix(&input[cand..cand + limit], &input[i..]);
                     if l > best_len {
                         best_len = l;
                         best_dist = dist;

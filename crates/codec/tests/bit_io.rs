@@ -1,0 +1,160 @@
+//! Property suite for the word-batched bit I/O layer.
+//!
+//! The writer packs codes into a 64-bit staging word and flushes whole words;
+//! the reader refills by whole words where alignment allows. These tests pin
+//! the pair against arbitrary (length ≤ 64, value) sequences — round-trips,
+//! flush-at-partial-word, empty streams, exactly-64-bit boundaries — and
+//! cross-check the emitted bytes against [`ScalarBitWriter`], the retained
+//! per-byte reference path (which caps at 57 bits per call, as the historical
+//! implementation did).
+
+use proptest::prelude::*;
+use qip_codec::{BitReader, BitWriter, ScalarBitWriter};
+
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+proptest! {
+    /// Arbitrary (width ≤ 64, value) sequences round-trip exactly.
+    #[test]
+    fn roundtrip_arbitrary_sequences(seq in proptest::collection::vec((0u32..65, any::<u64>()), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(n, v) in &seq {
+            w.write_bits(v, n);
+        }
+        let total_bits: usize = seq.iter().map(|&(n, _)| n as usize).sum();
+        prop_assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.finish();
+        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &(n, v) in &seq {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask(n));
+        }
+        // Whatever padding remains must be zero bits and then EOF.
+        let pad = bytes.len() * 8 - total_bits;
+        if pad > 0 {
+            prop_assert_eq!(r.read_bits(pad as u32).unwrap(), 0);
+        }
+        prop_assert!(r.read_bits(1).is_err());
+    }
+
+    /// The word-batched writer emits the exact bytes of the per-byte
+    /// reference path for every sequence the reference supports (n ≤ 57).
+    #[test]
+    fn matches_per_byte_reference(seq in proptest::collection::vec((0u32..58, any::<u64>()), 0..200)) {
+        let mut fast = BitWriter::new();
+        let mut reference = ScalarBitWriter::new();
+        for &(n, v) in &seq {
+            fast.write_bits(v, n);
+            reference.write_bits(v, n);
+        }
+        prop_assert_eq!(fast.finish(), reference.finish());
+    }
+
+    /// Reads may be split differently than writes: any re-chunking of the
+    /// bit stream must read back the same concatenation.
+    #[test]
+    fn rechunked_reads_see_same_bits(
+        words in proptest::collection::vec(any::<u64>(), 1..16),
+        splits in proptest::collection::vec(1u32..65, 1..80),
+    ) {
+        let mut w = BitWriter::new();
+        for &v in &words {
+            w.write_bits(v, 64);
+        }
+        let bytes = w.finish();
+        let total = words.len() * 64;
+        let mut r = BitReader::new(&bytes);
+        let mut consumed = 0usize;
+        let mut got: Vec<(u32, u64)> = Vec::new();
+        for &n in &splits {
+            let n = (n as usize).min(total - consumed) as u32;
+            if n == 0 { break; }
+            got.push((n, r.read_bits(n).unwrap()));
+            consumed += n as usize;
+        }
+        // Reassemble and compare against the source words bit for bit.
+        let mut bit = 0usize;
+        for (n, v) in got {
+            for k in (0..n).rev() {
+                let expect = words[bit / 64] >> (63 - bit % 64) & 1;
+                prop_assert_eq!(v >> k & 1, expect, "bit {}", bit);
+                bit += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_stream() {
+    let bytes = BitWriter::new().finish();
+    assert!(bytes.is_empty());
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.bits_remaining(), 0);
+    assert!(r.read_bits(1).is_err());
+    assert_eq!(r.read_bits(0).unwrap(), 0);
+}
+
+#[test]
+fn exactly_64_bit_boundary() {
+    // One full word: the writer must flush exactly 8 bytes with an empty
+    // accumulator, and the reader must refill wholesale.
+    let v = 0xDEAD_BEEF_CAFE_F00Du64;
+    let mut w = BitWriter::new();
+    w.write_bits(v, 64);
+    assert_eq!(w.bit_len(), 64);
+    let bytes = w.finish();
+    assert_eq!(bytes, v.to_be_bytes());
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.read_bits(64).unwrap(), v);
+    assert!(r.read_bits(1).is_err());
+
+    // Two words written as 64+64, read as 32+64+32 (straddles the boundary).
+    let mut w = BitWriter::new();
+    w.write_bits(v, 64);
+    w.write_bits(!v, 64);
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.read_bits(32).unwrap(), v >> 32);
+    assert_eq!(r.read_bits(64).unwrap(), (v & 0xFFFF_FFFF) << 32 | (!v) >> 32);
+    assert_eq!(r.read_bits(32).unwrap(), !v & 0xFFFF_FFFF);
+}
+
+#[test]
+fn flush_at_every_partial_word_phase() {
+    // Flush with 1..=63 pending bits: padding must be zeros, payload intact.
+    for pending in 1u32..=63 {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64); // fill and flush one whole word
+        w.write_bits(u64::MAX, pending);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 8 + (pending as usize).div_ceil(8), "pending={pending}");
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(pending).unwrap(), mask(pending), "pending={pending}");
+        let pad = bytes.len() * 8 - 64 - pending as usize;
+        if pad > 0 {
+            assert_eq!(r.read_bits(pad as u32).unwrap(), 0, "pending={pending}");
+        }
+        assert!(r.read_bits(1).is_err());
+    }
+}
+
+#[test]
+fn peek_never_consumes_and_pads() {
+    let mut w = BitWriter::new();
+    w.write_bits(0b1_0110_1101, 9);
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for _ in 0..3 {
+        assert_eq!(r.peek_bits(9), 0b1_0110_1101 << 7 >> 7); // 9 bits, value preserved
+    }
+    r.consume(9).unwrap();
+    // 7 padding bits remain; peeking 16 zero-pads past the end.
+    assert_eq!(r.peek_bits(16), 0);
+}

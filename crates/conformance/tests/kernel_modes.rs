@@ -1,0 +1,34 @@
+//! Golden-vector verification per kernel mode.
+//!
+//! The interpolation engine ships two pipeline drivers: the chunked,
+//! lane-oriented hot path (default) and the retained scalar reference. The
+//! unit-level `kernel_equivalence` suite diffs the two directly; this test
+//! additionally pins *both* against the committed fixtures — the 66 flat
+//! golden vectors and the 10 tiled-container vectors — so encoder drift in
+//! either driver is caught by the same unblessed manifests, not just by
+//! driver-vs-driver comparison (which would pass if both drifted together).
+
+use qip_conformance::{golden, tiles};
+use qip_interp::{set_kernel_mode, KernelMode};
+
+fn assert_no_findings(findings: Vec<golden::GoldenFinding>, what: &str, mode: KernelMode) {
+    assert!(
+        findings.is_empty(),
+        "{what} under {mode:?}: {} finding(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn committed_fixtures_match_under_both_kernel_modes() {
+    let dir = golden::default_dir();
+    // Both modes in one test (not two #[test]s) because the switch is
+    // process-global and the harness runs tests concurrently.
+    for mode in [KernelMode::ScalarRef, KernelMode::Chunked] {
+        set_kernel_mode(mode);
+        assert_no_findings(golden::verify(&dir), "flat golden vectors", mode);
+        assert_no_findings(tiles::verify(&dir), "tiled golden vectors", mode);
+    }
+    set_kernel_mode(KernelMode::Chunked);
+}

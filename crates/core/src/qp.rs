@@ -271,22 +271,32 @@ impl QpEngine {
     /// "accept" event in the per-level gating-rate telemetry; when the gate
     /// is open, [`QpEngine::predict`] computes the actual compensation.
     pub fn gate_open(&self, level: usize, nb: &Neighbors) -> bool {
+        self.gated_predict(level, nb).is_some()
+    }
+
+    /// Fused gate check + compensation in one neighbor scan: `Some(c)` when
+    /// the gate is open (where `c` is what [`QpEngine::predict`] returns),
+    /// `None` when it is closed. [`QpEngine::gate_open`] and
+    /// [`QpEngine::predict`] are thin wrappers; the chunked pipeline drivers
+    /// call this directly so the hot loop scans the neighbor set once
+    /// instead of once for the gate and again for the prediction.
+    pub fn gated_predict(&self, level: usize, nb: &Neighbors) -> Option<i32> {
         if !self.config.is_enabled() || level > self.config.max_level {
-            return false;
+            return None;
         }
-        let Some(involved) = self.involved(nb) else { return false };
+        let involved = self.involved(nb)?;
         let involved = &involved[..self.involved_len()];
         if involved.iter().any(|n| n.is_none()) {
-            return false;
+            return None;
         }
 
         let any_unpred = involved.iter().any(|n| n.unwrap() == UNPRED);
-        match self.config.condition {
+        let open = match self.config.condition {
             Condition::CaseI => true,
             Condition::CaseII => !any_unpred,
             Condition::CaseIII => {
                 if any_unpred {
-                    return false;
+                    return None;
                 }
                 // Strict same-sign check on the plane neighbors (or the
                 // single neighbor for 1-D modes).
@@ -303,20 +313,15 @@ impl QpEngine {
             }
             Condition::CaseIV => {
                 if any_unpred {
-                    return false;
+                    return None;
                 }
                 let all_pos = involved.iter().all(|n| n.unwrap() > 0);
                 let all_neg = involved.iter().all(|n| n.unwrap() < 0);
                 all_pos || all_neg
             }
-        }
-    }
-
-    /// The `quant_pred` subroutine (paper Algorithm 2, generalized to every
-    /// configuration): the compensation to subtract from the current index.
-    pub fn predict(&self, level: usize, nb: &Neighbors) -> i32 {
-        if !self.gate_open(level, nb) {
-            return 0;
+        };
+        if !open {
+            return None;
         }
 
         // Case I may involve the sentinel; substitute zero there.
@@ -337,7 +342,13 @@ impl QpEngine {
                 get(nb.diag_back),
             ),
         };
-        c as i32
+        Some(c as i32)
+    }
+
+    /// The `quant_pred` subroutine (paper Algorithm 2, generalized to every
+    /// configuration): the compensation to subtract from the current index.
+    pub fn predict(&self, level: usize, nb: &Neighbors) -> i32 {
+        self.gated_predict(level, nb).unwrap_or(0)
     }
 
     /// Compression side (Algorithm 1 line 7): `Q'[i] = Q[i] − quant_pred`.

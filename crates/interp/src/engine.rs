@@ -164,7 +164,7 @@ pub(crate) fn predict_point<T: Scalar>(
 /// Resolve the QP neighbor values for the current point from the pass
 /// geometry and the already-reconstructed index store.
 #[inline]
-fn qp_neighbors(
+pub(crate) fn qp_neighbors(
     qstore: &[i32],
     pass: &Pass,
     coords: &[usize],
@@ -196,7 +196,7 @@ fn qp_neighbors(
 }
 
 /// The asymmetric half of the pipeline.
-trait PointSink<T: Scalar> {
+pub(crate) trait PointSink<T: Scalar> {
     /// Per-level parameters: chosen and recorded at compression, replayed at
     /// decompression.
     fn params_for_level(
@@ -220,6 +220,10 @@ trait PointSink<T: Scalar> {
         level: usize,
         nb: &Neighbors,
     ) -> Result<(T, i32, i32), CompressError>;
+
+    /// The sink's QP prediction mode (the chunked driver hoists the
+    /// per-row neighbor availability decision on it).
+    fn qp_mode(&self) -> qip_core::PredMode;
 }
 
 /// Shared driver: walks the full lattice schedule, feeding the sink.
@@ -408,19 +412,19 @@ fn run_pipeline_ctx<T: Scalar, S: PointSink<T>>(
 
 /// Per-level quantization/QP statistics, collected only while tracing.
 #[derive(Default)]
-struct LevelStat {
-    points: u64,
-    accept: u64,
-    fired: u64,
-    qprime_start: usize,
+pub(crate) struct LevelStat {
+    pub(crate) points: u64,
+    pub(crate) accept: u64,
+    pub(crate) fired: u64,
+    pub(crate) qprime_start: usize,
 }
 
 /// Per-run pipeline statistics, collected only while tracing (the sink holds
 /// `None` otherwise, so the untraced hot path pays nothing per point).
-struct SinkStats {
-    predictable: u64,
-    unpredictable: u64,
-    levels: Vec<LevelStat>,
+pub(crate) struct SinkStats {
+    pub(crate) predictable: u64,
+    pub(crate) unpredictable: u64,
+    pub(crate) levels: Vec<LevelStat>,
 }
 
 impl SinkStats {
@@ -486,15 +490,15 @@ impl SinkStats {
 /// the allocating path (fresh locals) and the buffer-reusing path (a
 /// [`CompressCtx`] arena) share this one implementation — byte-identical
 /// streams by construction.
-struct CompressSink<'a> {
-    cfg: EngineConfig,
-    qp: QpEngine,
-    level_tags: Vec<(u8, u8, u8)>,
-    anchors: &'a mut Vec<u8>,
-    unpred: &'a mut Vec<u8>,
-    qprime: &'a mut Vec<i32>,
-    quantizers: &'a [LinearQuantizer],
-    stats: Option<SinkStats>,
+pub(crate) struct CompressSink<'a> {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) qp: QpEngine,
+    pub(crate) level_tags: Vec<(u8, u8, u8)>,
+    pub(crate) anchors: &'a mut Vec<u8>,
+    pub(crate) unpred: &'a mut Vec<u8>,
+    pub(crate) qprime: &'a mut Vec<i32>,
+    pub(crate) quantizers: &'a [LinearQuantizer],
+    pub(crate) stats: Option<SinkStats>,
 }
 
 /// Record the per-channel byte breakdown of one compressed stream (no-op
@@ -593,6 +597,10 @@ impl<T: Scalar> PointSink<T> for CompressSink<'_> {
             }
         }
     }
+
+    fn qp_mode(&self) -> qip_core::PredMode {
+        self.qp.config().mode
+    }
 }
 
 /// Decompression-side sink: read-only views over the decoded channels, so the
@@ -664,6 +672,10 @@ impl<T: Scalar> PointSink<T> for DecompressSink<'_, T> {
             let quant = &self.quantizers[level.min(self.quantizers.len() - 1)];
             Ok((quant.recover::<T>(pred, q), q, q_prime))
         }
+    }
+
+    fn qp_mode(&self) -> qip_core::PredMode {
+        self.qp.config().mode
     }
 }
 
@@ -781,7 +793,17 @@ impl InterpEngine {
         };
         {
             let _t = qip_trace::span("quantize");
-            run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
+            match crate::kernels::kernel_mode() {
+                crate::kernels::KernelMode::Chunked => {
+                    let mut qstore = Vec::new();
+                    crate::kernels::run_compress_vec(
+                        cfg, &dims, &strides, &mut buf, &mut sink, &mut qstore, capture,
+                    )?;
+                }
+                crate::kernels::KernelMode::ScalarRef => {
+                    run_pipeline(cfg, &dims, &strides, &mut buf, &mut sink, capture)?;
+                }
+            }
         }
         let (level_tags, stats) = (sink.level_tags, sink.stats);
         if let Some(stats) = stats {
@@ -855,16 +877,31 @@ impl InterpEngine {
         };
         {
             let _t = qip_trace::span("quantize");
-            run_pipeline_ctx(
-                cfg,
-                field.shape().dims(),
-                field.shape().strides(),
-                &mut buf,
-                &mut sink,
-                &mut ctx.points,
-                &mut ctx.qstore,
-                None,
-            )?;
+            match crate::kernels::kernel_mode() {
+                crate::kernels::KernelMode::Chunked => {
+                    crate::kernels::run_compress_vec(
+                        cfg,
+                        field.shape().dims(),
+                        field.shape().strides(),
+                        &mut buf,
+                        &mut sink,
+                        &mut ctx.qstore,
+                        None,
+                    )?;
+                }
+                crate::kernels::KernelMode::ScalarRef => {
+                    run_pipeline_ctx(
+                        cfg,
+                        field.shape().dims(),
+                        field.shape().strides(),
+                        &mut buf,
+                        &mut sink,
+                        &mut ctx.points,
+                        &mut ctx.qstore,
+                        None,
+                    )?;
+                }
+            }
         }
         let (level_tags, stats) = (sink.level_tags, sink.stats);
         if let Some(stats) = stats {
@@ -1003,7 +1040,17 @@ impl InterpEngine {
         };
         {
             let _t = qip_trace::span("reconstruct");
-            run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, None)?;
+            match crate::kernels::kernel_mode() {
+                crate::kernels::KernelMode::Chunked => {
+                    let mut qstore = Vec::new();
+                    crate::kernels::run_sink_vec(
+                        &p.eff, &dims, &strides, &mut buf, &mut sink, &mut qstore,
+                    )?;
+                }
+                crate::kernels::KernelMode::ScalarRef => {
+                    run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, None)?;
+                }
+            }
         }
         Ok(Field::from_vec(p.shape, buf)?)
     }
@@ -1049,16 +1096,30 @@ impl InterpEngine {
         };
         {
             let _t = qip_trace::span("reconstruct");
-            run_pipeline_ctx(
-                &p.eff,
-                p.shape.dims(),
-                p.shape.strides(),
-                &mut buf,
-                &mut sink,
-                &mut ctx.points,
-                &mut ctx.qstore,
-                None,
-            )?;
+            match crate::kernels::kernel_mode() {
+                crate::kernels::KernelMode::Chunked => {
+                    crate::kernels::run_sink_vec(
+                        &p.eff,
+                        p.shape.dims(),
+                        p.shape.strides(),
+                        &mut buf,
+                        &mut sink,
+                        &mut ctx.qstore,
+                    )?;
+                }
+                crate::kernels::KernelMode::ScalarRef => {
+                    run_pipeline_ctx(
+                        &p.eff,
+                        p.shape.dims(),
+                        p.shape.strides(),
+                        &mut buf,
+                        &mut sink,
+                        &mut ctx.points,
+                        &mut ctx.qstore,
+                        None,
+                    )?;
+                }
+            }
         }
         ctx.pools.release(anchors);
         ctx.pools.release(unpred);

@@ -1,0 +1,681 @@
+//! Chunked, lane-oriented pipeline drivers — the vectorized hot path.
+//!
+//! The scalar reference pipeline (`run_pipeline`/`run_pipeline_ctx` in
+//! `engine.rs`) walks the lattice point by point: per point it dispatches the
+//! 1-D spline boundary cases, branches on predictable/unpredictable, and pays
+//! a virtual-ish sink call. The drivers here restructure the same walk around
+//! *rows*: the innermost axis (unit stride in row-major layout) is processed
+//! in cache-blocked tiles of [`TILE`] points, with
+//!
+//! * boundary-case classification hoisted out of the inner loop — for outer
+//!   axes the spline case is constant along a row; for the inner axis the row
+//!   splits into at most four contiguous case segments computed once per
+//!   pass — so the per-point work is straight-line tap loads + FMA chains the
+//!   compiler can vectorize 4–8 wide;
+//! * the quantizer running branchless over 64-lane chunks
+//!   ([`qip_quant::LinearQuantizer::quantize_lanes`]), emitting indices
+//!   unconditionally plus an unpredictable-point bitmap that the (rare)
+//!   side-channel patch-up consumes afterwards;
+//! * level/QP gating hoisted out of the inner loop: QP-inactive levels skip
+//!   neighbor resolution and index-store writes entirely;
+//! * the QP transform fused into the same L1-resident tile, so the
+//!   orthogonal-plane neighbor reads hit lines the tile just touched
+//!   (the cache-blocked plane sweep of docs/kernels.md).
+//!
+//! Byte identity with the scalar reference is a hard invariant: every f64
+//! operation happens in the same order with the same operands (axis-major
+//! accumulation, `acc / used` division, verbatim reconstruction expression),
+//! and emission order is the reference's row-major visit order. The
+//! `kernel_equivalence` suite diffs the two paths across a seeded sweep; the
+//! conformance golden vectors pin both against committed streams.
+
+use crate::config::EngineConfig;
+use crate::engine::{CompressSink, PointSink, QuantCapture};
+use crate::lattice::{build_passes, for_each_point, num_levels, Pass};
+use qip_core::{CompressError, Neighbors, PredMode};
+use qip_predict::{cubic_interior, linear_edge2, linear_mid, quad_begin, quad_end, InterpKind};
+use qip_quant::UNPRED;
+use qip_tensor::Scalar;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Points per cache-blocked row tile. The per-tile scratch (f64 accumulator +
+/// prediction, gathered values, indices, reconstructions) stays ≈18 KB — L1
+/// resident — while the tile's tap reads touch at most four neighbor rows.
+const TILE: usize = 512;
+
+/// Which pipeline driver the engine entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Chunked, lane-oriented drivers (the default production hot path).
+    Chunked,
+    /// The retained scalar reference pipeline, kept alive so differential
+    /// tests (and the conformance golden suite) can diff the two paths.
+    ScalarRef,
+}
+
+/// Process-global kernel mode (0 = chunked, 1 = scalar reference).
+///
+/// A runtime switch rather than a cargo feature so one test binary can verify
+/// golden vectors under both modes. Both modes emit byte-identical streams,
+/// so concurrent flips are harmless — the mode only selects *how* the bytes
+/// are produced.
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The currently selected pipeline driver.
+pub fn kernel_mode() -> KernelMode {
+    if KERNEL_MODE.load(Ordering::Relaxed) == 0 {
+        KernelMode::Chunked
+    } else {
+        KernelMode::ScalarRef
+    }
+}
+
+/// Select the pipeline driver for subsequent engine calls (process-global).
+pub fn set_kernel_mode(mode: KernelMode) {
+    KERNEL_MODE.store(matches!(mode, KernelMode::ScalarRef) as u8, Ordering::Relaxed);
+}
+
+/// One resolved 1-D spline boundary case: which tap pattern a run of points
+/// uses. Mirrors the `predict_1d` match arms exactly (same predictor
+/// functions, same operand order) so contributions are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tap {
+    /// `cubic_interior(m3, m1, p1, p3)`
+    CubicInterior,
+    /// `quad_begin(m1, p1, p3)`
+    QuadBegin,
+    /// `quad_end(m3, m1, p1)`
+    QuadEnd,
+    /// `linear_mid(m1, p1)`
+    LinearMid,
+    /// `linear_edge2(m3, m1)`
+    LinearEdge2,
+    /// copy `m1`
+    Copy,
+}
+
+/// Classify the boundary case from neighbor availability, replicating the
+/// `predict_1d` decision tree (`m3` = `coord ≥ 3s`, `p1` = `coord + s < d`,
+/// `p3` = `coord + 3s < d`).
+fn classify(kind: InterpKind, m3: bool, p1: bool, p3: bool) -> Tap {
+    match kind {
+        InterpKind::Linear => {
+            if p1 {
+                Tap::LinearMid
+            } else if m3 {
+                Tap::LinearEdge2
+            } else {
+                Tap::Copy
+            }
+        }
+        InterpKind::Cubic => match (m3, p1, p3) {
+            (true, true, true) => Tap::CubicInterior,
+            (false, true, true) => Tap::QuadBegin,
+            (true, true, false) => Tap::QuadEnd,
+            (false, true, false) => Tap::LinearMid,
+            (true, false, _) => Tap::LinearEdge2,
+            (false, false, _) => Tap::Copy,
+        },
+    }
+}
+
+/// Case segmentation of a pass's inner-axis rows. Interpolation axes always
+/// have `start = s`, `step = 2s`, so `coord(j) = s + 2sj`: the `m3` tap exists
+/// from `j ≥ 1` and the forward taps vanish monotonically at `jb1`/`jb3` —
+/// at most four contiguous segments, shared by every row of the pass.
+fn inner_segs(kind: InterpKind, d: usize, s: usize, m: usize) -> Vec<(usize, usize, Tap)> {
+    let mut segs = Vec::with_capacity(4);
+    if m == 0 {
+        return segs;
+    }
+    // p1(j) ⇔ 2s(j+1) < d; p3(j) ⇔ 2s(j+1) + 2s < d. Both monotone in j.
+    let jb1 = if d > 2 * s { (d - 2 * s).div_ceil(2 * s).min(m) } else { 0 };
+    let jb3 = if d > 4 * s { (d - 4 * s).div_ceil(2 * s).min(m) } else { 0 };
+    segs.push((0, 1, classify(kind, false, jb1 > 0, jb3 > 0)));
+    let c3 = jb3.max(1);
+    let c1 = jb1.max(1);
+    if c3 > 1 {
+        segs.push((1, c3, classify(kind, true, true, true)));
+    }
+    if c1 > c3 {
+        segs.push((c3, c1, classify(kind, true, true, false)));
+    }
+    if m > c1 {
+        segs.push((c1, m, classify(kind, true, false, false)));
+    }
+    segs
+}
+
+/// Add one axis's 1-D spline contribution for points `j ∈ [j0, j1)` of a row
+/// into `acc[j - j_base]`. `row_flat` is the flat index of the row's first
+/// point, `stp` the flat step between consecutive row points, `off` the flat
+/// offset of one stride `s` along the contributing axis.
+#[allow(clippy::too_many_arguments)]
+fn add_axis_contrib<T: Scalar>(
+    acc: &mut [f64],
+    buf: &[T],
+    tap: Tap,
+    row_flat: usize,
+    stp: usize,
+    off: usize,
+    j0: usize,
+    j1: usize,
+    j_base: usize,
+) {
+    match tap {
+        Tap::CubicInterior => {
+            for j in j0..j1 {
+                let f = row_flat + j * stp;
+                acc[j - j_base] += cubic_interior(
+                    buf[f - 3 * off].to_f64(),
+                    buf[f - off].to_f64(),
+                    buf[f + off].to_f64(),
+                    buf[f + 3 * off].to_f64(),
+                );
+            }
+        }
+        Tap::QuadBegin => {
+            for j in j0..j1 {
+                let f = row_flat + j * stp;
+                acc[j - j_base] += quad_begin(
+                    buf[f - off].to_f64(),
+                    buf[f + off].to_f64(),
+                    buf[f + 3 * off].to_f64(),
+                );
+            }
+        }
+        Tap::QuadEnd => {
+            for j in j0..j1 {
+                let f = row_flat + j * stp;
+                acc[j - j_base] += quad_end(
+                    buf[f - 3 * off].to_f64(),
+                    buf[f - off].to_f64(),
+                    buf[f + off].to_f64(),
+                );
+            }
+        }
+        Tap::LinearMid => {
+            for j in j0..j1 {
+                let f = row_flat + j * stp;
+                acc[j - j_base] += linear_mid(buf[f - off].to_f64(), buf[f + off].to_f64());
+            }
+        }
+        Tap::LinearEdge2 => {
+            for j in j0..j1 {
+                let f = row_flat + j * stp;
+                acc[j - j_base] += linear_edge2(buf[f - 3 * off].to_f64(), buf[f - off].to_f64());
+            }
+        }
+        Tap::Copy => {
+            for j in j0..j1 {
+                acc[j - j_base] += buf[row_flat + j * stp - off].to_f64();
+            }
+        }
+    }
+}
+
+/// Fill `acc[0..t]` with the summed per-axis contributions for row points
+/// `j ∈ [j0, j0 + t)`. Axes accumulate in `active` order (axis-major), so
+/// per-point f64 addition order matches the scalar `predict_point` exactly.
+#[allow(clippy::too_many_arguments)]
+fn predict_tile<T: Scalar>(
+    buf: &[T],
+    dims: &[usize],
+    strides: &[usize],
+    pass: &Pass,
+    kind: InterpKind,
+    active: &[usize],
+    segs: &[(usize, usize, Tap)],
+    coords: &[usize; 4],
+    flat0: usize,
+    j0: usize,
+    t: usize,
+    acc: &mut [f64],
+) {
+    let s = pass.stride;
+    let inner = dims.len() - 1;
+    let stp = pass.step[inner] * strides[inner];
+    acc[..t].fill(0.0);
+    for &a in active {
+        let off = s * strides[a];
+        if a == inner {
+            for &(a0, a1, tap) in segs {
+                let lo = a0.max(j0);
+                let hi = a1.min(j0 + t);
+                if lo < hi {
+                    add_axis_contrib(&mut acc[..t], buf, tap, flat0, stp, off, lo, hi, j0);
+                }
+            }
+        } else {
+            let c = coords[a];
+            let d = dims[a];
+            let tap = classify(kind, c >= 3 * s, c + s < d, c + 3 * s < d);
+            add_axis_contrib(&mut acc[..t], buf, tap, flat0, stp, off, j0, j0 + t, j0);
+        }
+    }
+}
+
+/// Visit each row of a pass in the reference row-major order, calling
+/// `f(coords, flat0)` with the row's fixed outer coordinates (`coords[inner]`
+/// holds the inner start) and the flat index of its first point.
+fn for_each_row(
+    pass: &Pass,
+    dims: &[usize],
+    strides: &[usize],
+    mut f: impl FnMut(&[usize; 4], usize) -> Result<(), CompressError>,
+) -> Result<(), CompressError> {
+    let ndim = dims.len();
+    let counts = pass.counts(dims);
+    if counts.contains(&0) {
+        return Ok(());
+    }
+    let inner = ndim - 1;
+    let mut coords = [0usize; 4];
+    coords[..ndim].copy_from_slice(&pass.start);
+    let mut idx = [0usize; 4];
+    loop {
+        let flat0: usize = (0..ndim).map(|a| coords[a] * strides[a]).sum();
+        f(&coords, flat0)?;
+        // Row-major odometer over the outer axes (last outer axis fastest).
+        let mut axis = inner;
+        loop {
+            if axis == 0 {
+                return Ok(());
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < counts[axis] {
+                coords[axis] += pass.step[axis];
+                break;
+            }
+            idx[axis] = 0;
+            coords[axis] = pass.start[axis];
+        }
+    }
+}
+
+/// Shared prologue for both drivers: resolve the level schedule and feed the
+/// anchor grid through the sink. Returns `None` when there are no levels.
+fn run_anchors<T: Scalar, S: PointSink<T>>(
+    cfg: &EngineConfig,
+    dims: &[usize],
+    strides: &[usize],
+    buf: &mut [T],
+    sink: &mut S,
+) -> Result<Option<usize>, CompressError> {
+    let max_dim = dims.iter().copied().max().unwrap_or(0);
+    let levels = num_levels(max_dim);
+    let start_level = match cfg.anchor_log2 {
+        Some(m) => (m as usize).min(levels).max(1.min(levels)),
+        None => levels,
+    };
+    let anchor_step = 1usize << start_level;
+    let anchor_pass = Pass {
+        level: start_level.max(1),
+        stride: anchor_step,
+        start: vec![0; dims.len()],
+        step: vec![anchor_step; dims.len()],
+        interp_axes: vec![],
+        qp_axes: (None, None, None),
+    };
+    let mut err: Result<(), CompressError> = Ok(());
+    for_each_point(&anchor_pass, dims, strides, |_c, flat| {
+        if err.is_ok() {
+            err = sink.anchor(flat, buf);
+        }
+    });
+    err?;
+    Ok((levels > 0).then_some(start_level))
+}
+
+/// Resolve the active interpolation axes for a pass (axis-mask filter with
+/// the scalar path's fall-back-to-all rule) into `active`.
+fn resolve_active(pass: &Pass, axis_mask: u8, active: &mut Vec<usize>) {
+    active.clear();
+    for &a in &pass.interp_axes {
+        if axis_mask & (1 << a) != 0 {
+            active.push(a);
+        }
+    }
+    if active.is_empty() {
+        active.extend_from_slice(&pass.interp_axes);
+    }
+}
+
+/// Inner-axis point count of a pass (the reference `counts` formula).
+fn inner_count(pass: &Pass, dims: &[usize]) -> usize {
+    let inner = dims.len() - 1;
+    let (d, st, sp) = (dims[inner], pass.start[inner], pass.step[inner]);
+    if st < d {
+        1 + (d - 1 - st) / sp
+    } else {
+        0
+    }
+}
+
+/// Per-row QP neighbor-offset templates. The `qp_neighbors` availability
+/// check (`coords[a] >= start[a] + step[a]`) and flat offset
+/// (`step[a] * strides[a]`) are constant along a row for every axis except
+/// the inner one, whose −step neighbor exists exactly from the second row
+/// point on (`coords[inner] = start + j·step ⇒ available ⇔ j ≥ 1`). Hoisting
+/// them here turns the per-point neighbor resolution into a template select
+/// plus direct `qstore` loads.
+///
+/// Index 0 = the row's first point (`j = 0`), index 1 = all later points.
+struct QpRowOffsets {
+    l: [Option<usize>; 2],
+    t: [Option<usize>; 2],
+    b: [Option<usize>; 2],
+    /// Whether the configured mode's involved neighbors can all be present
+    /// (per template). When false the gate is closed for every point the
+    /// template covers, so the transform is the identity and neighbor loads
+    /// can be skipped entirely.
+    possible: [bool; 2],
+}
+
+impl QpRowOffsets {
+    fn for_row(
+        pass: &Pass,
+        row_coords: &[usize],
+        inner: usize,
+        strides: &[usize],
+        mode: PredMode,
+    ) -> Self {
+        let mk = |a: Option<usize>| -> [Option<usize>; 2] {
+            let Some(a) = a else { return [None, None] };
+            let off = pass.step[a] * strides[a];
+            if a == inner {
+                [None, Some(off)]
+            } else {
+                let have = row_coords[a] >= pass.start[a] + pass.step[a];
+                [have.then_some(off); 2]
+            }
+        };
+        let (la, ta, ba) = pass.qp_axes;
+        let (l, t, b) = (mk(la), mk(ta), mk(ba));
+        // The diagonal/back combinations exist iff their components do, so
+        // presence of the axis offsets decides the whole involved set.
+        let possible = std::array::from_fn(|s| match mode {
+            PredMode::Off => false,
+            PredMode::Back1 => b[s].is_some(),
+            PredMode::Top1 => t[s].is_some(),
+            PredMode::Left1 => l[s].is_some(),
+            PredMode::Lorenzo2d => l[s].is_some() && t[s].is_some(),
+            PredMode::Lorenzo3d => l[s].is_some() && t[s].is_some() && b[s].is_some(),
+        });
+        QpRowOffsets { l, t, b, possible }
+    }
+
+    /// Materialize the neighbor set for one point — identical to
+    /// `qp_neighbors` with the availability checks pre-resolved.
+    fn neighbors(&self, qstore: &[i32], sel: usize, flat: usize) -> Neighbors {
+        let (l, t, b) = (self.l[sel], self.t[sel], self.b[sel]);
+        let get = |off: Option<usize>| off.map(|o| qstore[flat - o]);
+        let combine = |x: Option<usize>, y: Option<usize>| match (x, y) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        Neighbors {
+            left: get(l),
+            top: get(t),
+            diag: get(combine(l, t)),
+            back: get(b),
+            left_back: get(combine(l, b)),
+            top_back: get(combine(t, b)),
+            diag_back: get(combine(combine(l, t), b)),
+        }
+    }
+}
+
+/// Vectorized compression driver: batched row prediction, branchless
+/// 64-lane quantization with an unpredictable-point bitmap, and a fused
+/// sequential QP/emission stage — byte-identical to `run_pipeline` feeding a
+/// [`CompressSink`].
+pub(crate) fn run_compress_vec<T: Scalar>(
+    cfg: &EngineConfig,
+    dims: &[usize],
+    strides: &[usize],
+    buf: &mut [T],
+    sink: &mut CompressSink<'_>,
+    qstore: &mut Vec<i32>,
+    mut capture: Option<&mut QuantCapture>,
+) -> Result<(), CompressError> {
+    let Some(start_level) = run_anchors(cfg, dims, strides, buf, sink)? else {
+        return Ok(());
+    };
+    qstore.clear();
+    qstore.resize(buf.len(), 0);
+
+    let ndim = dims.len();
+    let inner = ndim - 1;
+    let mut acc = vec![0f64; TILE];
+    let mut pred = vec![0f64; TILE];
+    let mut cur = [T::ZERO; TILE];
+    let mut idx = vec![0i32; TILE];
+    let mut rec = [T::ZERO; TILE];
+    let mut active: Vec<usize> = Vec::new();
+
+    for level in (1..=start_level).rev() {
+        let _lvl = qip_trace::span_with(|| format!("level_{level}"));
+        let params = sink.params_for_level(level, &*buf, dims, strides)?;
+        let passes = build_passes(ndim, level, &params.order, cfg.passes);
+        let qp_active = cfg.qp.is_enabled() && level <= cfg.qp.max_level;
+        let quant = sink.quantizers[level.min(sink.quantizers.len() - 1)];
+        for pass in &passes {
+            if pass.is_empty(dims) {
+                continue;
+            }
+            resolve_active(pass, params.axis_mask, &mut active);
+            let used = active.len() as f64;
+            let m = inner_count(pass, dims);
+            let segs = if active.contains(&inner) {
+                inner_segs(params.kind, dims[inner], pass.stride, m)
+            } else {
+                Vec::new()
+            };
+            let stp = pass.step[inner] * strides[inner];
+            let mode = sink.qp.config().mode;
+            for_each_row(pass, dims, strides, |row_coords, flat0| {
+                let qp_row = qp_active
+                    .then(|| QpRowOffsets::for_row(pass, row_coords, inner, strides, mode));
+                let mut j0 = 0usize;
+                while j0 < m {
+                    let t = TILE.min(m - j0);
+                    predict_tile(
+                        buf,
+                        dims,
+                        strides,
+                        pass,
+                        params.kind,
+                        &active,
+                        &segs,
+                        row_coords,
+                        flat0,
+                        j0,
+                        t,
+                        &mut acc,
+                    );
+                    for k in 0..t {
+                        pred[k] = acc[k] / used;
+                    }
+                    for k in 0..t {
+                        cur[k] = buf[flat0 + (j0 + k) * stp];
+                    }
+                    // Branchless quantization, 64 lanes per bitmap word.
+                    let mut masks = [0u64; TILE / 64];
+                    let mut k = 0usize;
+                    while k < t {
+                        let l = 64.min(t - k);
+                        masks[k / 64] = quant.quantize_lanes(
+                            &cur[k..k + l],
+                            &pred[k..k + l],
+                            &mut idx[k..k + l],
+                            &mut rec[k..k + l],
+                        );
+                        k += l;
+                    }
+                    // Sequential QP + emission in reference visit order. The
+                    // gate + compensation fuse into one neighbor scan
+                    // (`gated_predict`); rows/points whose involved
+                    // neighbors cannot all exist skip the scan outright
+                    // (gate provably closed ⇒ identity transform).
+                    for k in 0..t {
+                        let j = j0 + k;
+                        let flat = flat0 + j * stp;
+                        let comp = match &qp_row {
+                            Some(o) if o.possible[(j >= 1) as usize] => {
+                                let sel = (j >= 1) as usize;
+                                let nb = o.neighbors(qstore, sel, flat);
+                                sink.qp.gated_predict(level, &nb)
+                            }
+                            _ => None,
+                        };
+                        if let Some(st) = sink.stats.as_mut() {
+                            if let Some(ls) = st.levels.get_mut(level) {
+                                ls.points += 1;
+                                if comp.is_some() {
+                                    ls.accept += 1;
+                                }
+                            }
+                        }
+                        if masks[k / 64] >> (k % 64) & 1 == 0 {
+                            let index = idx[k];
+                            let qpv = match comp {
+                                Some(c) if index != UNPRED => index.wrapping_sub(c),
+                                _ => index,
+                            };
+                            sink.qprime.push(qpv);
+                            if let Some(st) = sink.stats.as_mut() {
+                                st.predictable += 1;
+                                if qpv != index {
+                                    if let Some(ls) = st.levels.get_mut(level) {
+                                        ls.fired += 1;
+                                    }
+                                }
+                            }
+                            buf[flat] = rec[k];
+                            if qp_active {
+                                qstore[flat] = index;
+                            }
+                            if let Some(cap) = capture.as_deref_mut() {
+                                cap.q[flat] = index;
+                                cap.q_prime[flat] = qpv;
+                                cap.level[flat] = level as u8;
+                            }
+                        } else {
+                            sink.qprime.push(UNPRED);
+                            if let Some(st) = sink.stats.as_mut() {
+                                st.unpredictable += 1;
+                            }
+                            cur[k].write_le(sink.unpred);
+                            if qp_active {
+                                qstore[flat] = UNPRED;
+                            }
+                            if let Some(cap) = capture.as_deref_mut() {
+                                cap.q[flat] = UNPRED;
+                                cap.q_prime[flat] = UNPRED;
+                                cap.level[flat] = level as u8;
+                            }
+                        }
+                    }
+                    j0 += t;
+                }
+                Ok(())
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Vectorized sink driver (used for decompression): batched row prediction
+/// feeding the sink's per-point `handle`, with the same row-tile structure
+/// and QP gating hoist as the compression driver. Byte/value-identical to
+/// `run_pipeline` over the same sink.
+pub(crate) fn run_sink_vec<T: Scalar, S: PointSink<T>>(
+    cfg: &EngineConfig,
+    dims: &[usize],
+    strides: &[usize],
+    buf: &mut [T],
+    sink: &mut S,
+    qstore: &mut Vec<i32>,
+) -> Result<(), CompressError> {
+    let Some(start_level) = run_anchors(cfg, dims, strides, buf, sink)? else {
+        return Ok(());
+    };
+    qstore.clear();
+    qstore.resize(buf.len(), 0);
+
+    let ndim = dims.len();
+    let inner = ndim - 1;
+    let mut acc = vec![0f64; TILE];
+    let mut pred = vec![0f64; TILE];
+    let mut active: Vec<usize> = Vec::new();
+
+    for level in (1..=start_level).rev() {
+        let _lvl = qip_trace::span_with(|| format!("level_{level}"));
+        let params = sink.params_for_level(level, &*buf, dims, strides)?;
+        let passes = build_passes(ndim, level, &params.order, cfg.passes);
+        let qp_active = cfg.qp.is_enabled() && level <= cfg.qp.max_level;
+        for pass in &passes {
+            if pass.is_empty(dims) {
+                continue;
+            }
+            resolve_active(pass, params.axis_mask, &mut active);
+            let used = active.len() as f64;
+            let m = inner_count(pass, dims);
+            let segs = if active.contains(&inner) {
+                inner_segs(params.kind, dims[inner], pass.stride, m)
+            } else {
+                Vec::new()
+            };
+            let stp = pass.step[inner] * strides[inner];
+            let mode = sink.qp_mode();
+            for_each_row(pass, dims, strides, |row_coords, flat0| {
+                let qp_row = qp_active
+                    .then(|| QpRowOffsets::for_row(pass, row_coords, inner, strides, mode));
+                let mut j0 = 0usize;
+                while j0 < m {
+                    let t = TILE.min(m - j0);
+                    predict_tile(
+                        buf,
+                        dims,
+                        strides,
+                        pass,
+                        params.kind,
+                        &active,
+                        &segs,
+                        row_coords,
+                        flat0,
+                        j0,
+                        t,
+                        &mut acc,
+                    );
+                    for (p, &a) in pred[..t].iter_mut().zip(&acc[..t]) {
+                        *p = a / used;
+                    }
+                    for (k, &pk) in pred.iter().enumerate().take(t) {
+                        let j = j0 + k;
+                        let flat = flat0 + j * stp;
+                        // Rows/points whose involved neighbors cannot all
+                        // exist get the default (empty) neighbor set — the
+                        // gate is provably closed either way.
+                        let nb = match &qp_row {
+                            Some(o) if o.possible[(j >= 1) as usize] => {
+                                o.neighbors(qstore, (j >= 1) as usize, flat)
+                            }
+                            _ => Neighbors::default(),
+                        };
+                        let (value, q, _q_prime) = sink.handle(buf[flat], pk, level, &nb)?;
+                        buf[flat] = value;
+                        if qp_active {
+                            qstore[flat] = q;
+                        }
+                    }
+                    j0 += t;
+                }
+                Ok(())
+            })?;
+        }
+    }
+    Ok(())
+}

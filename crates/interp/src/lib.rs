@@ -29,8 +29,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod kernels;
 pub mod lattice;
 pub mod select;
 
 pub use config::{EngineConfig, LevelParams, PassStructure};
 pub use engine::{InterpEngine, QuantCapture};
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};

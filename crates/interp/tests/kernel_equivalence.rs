@@ -1,0 +1,201 @@
+//! Differential kernel-equivalence suite: the chunked, lane-oriented drivers
+//! must be byte/bit-identical to the retained scalar reference pipeline.
+//!
+//! Each case compresses and decompresses the same field under both
+//! [`KernelMode`]s and diffs everything observable: the compressed stream
+//! bytes, the captured quantization index arrays (`Q`, `Q'`, per-point
+//! level), the decompressed field bits, and the buffer-reusing ctx paths.
+//! The sweep covers 1-D/2-D/3-D/4-D shapes with odd/prime edge lengths and
+//! chunk-boundary ±1 sizes (63/64/65 around the 64-lane quantizer word,
+//! 511/512/513 around the row tile), f32 + f64, all three engine presets,
+//! and QP off vs. best-fit — with NaN/∞ injections to exercise the
+//! unpredictable bitmap patch-up.
+
+use qip_core::{CompressCtx, Compressor, ErrorBound, QpConfig};
+use qip_interp::{set_kernel_mode, EngineConfig, InterpEngine, KernelMode};
+use qip_tensor::{Field, Scalar, Shape};
+use std::sync::{Mutex, MutexGuard};
+
+/// The kernel mode is process-global; serialize tests that flip it.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII guard: hold the lock, restore the chunked default on drop.
+struct ModeGuard<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+fn lock_modes() -> ModeGuard<'static> {
+    let guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ModeGuard(guard)
+}
+
+impl Drop for ModeGuard<'_> {
+    fn drop(&mut self) {
+        set_kernel_mode(KernelMode::Chunked);
+    }
+}
+
+/// Deterministic xorshift state for field synthesis.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Mixed-texture field: smooth base + localized noise + a few non-finite
+/// points, so every quantizer outcome (predictable, out-of-radius, NaN/∞)
+/// appears in the sweep.
+fn field_for<T: Scalar>(dims: &[usize], seed: u64) -> Field<T> {
+    let mut state = seed | 1;
+    let mut f = Field::<T>::from_fn(Shape::new(dims), |c| {
+        let x = c.first().copied().unwrap_or(0) as f64;
+        let y = c.get(1).copied().unwrap_or(0) as f64;
+        let z = c.get(2).copied().unwrap_or(0) as f64;
+        T::from_f64((0.13 * x).sin() + (0.09 * y).cos() * 0.5 + 0.02 * z)
+    });
+    let n = f.len();
+    if n >= 8 {
+        let slice = f.as_mut_slice();
+        for _ in 0..(n / 7).max(1) {
+            // Noise spikes: some land out of quantizer range under tight eb.
+            let i = (next(&mut state) as usize) % n;
+            let spike = ((next(&mut state) % 2000) as f64 - 1000.0) * 0.25;
+            slice[i] = T::from_f64(spike);
+        }
+        let i = (next(&mut state) as usize) % n;
+        slice[i] = T::from_f64(f64::NAN);
+        let j = (next(&mut state) as usize) % n;
+        slice[j] = T::from_f64(f64::INFINITY);
+    }
+    f
+}
+
+fn engines() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::sz3_like(0x10),
+        EngineConfig::qoz_like(0x11),
+        EngineConfig::hpez_like(0x12),
+    ]
+}
+
+/// Everything observable from one compress/decompress round under one mode.
+struct ModeOutput {
+    bytes: Vec<u8>,
+    ctx_bytes: Vec<u8>,
+    q: Vec<i32>,
+    q_prime: Vec<i32>,
+    level: Vec<u8>,
+    decoded_bits: Vec<u64>,
+    ctx_decoded_bits: Vec<u64>,
+}
+
+fn run_mode<T: Scalar>(
+    mode: KernelMode,
+    eng: &InterpEngine,
+    field: &Field<T>,
+    eb: f64,
+) -> ModeOutput {
+    set_kernel_mode(mode);
+    let (bytes, cap) = eng.compress_capturing(field, ErrorBound::Abs(eb)).unwrap();
+    let mut ctx = CompressCtx::new();
+    let mut ctx_bytes = Vec::new();
+    eng.compress_into(field, ErrorBound::Abs(eb), &mut ctx, &mut ctx_bytes).unwrap();
+    let decoded: Field<T> = eng.decompress(&bytes).unwrap();
+    let ctx_decoded: Field<T> = eng.decompress_into(&bytes, &mut ctx).unwrap();
+    let bits =
+        |f: &Field<T>| f.as_slice().iter().map(|v| v.to_f64().to_bits()).collect::<Vec<u64>>();
+    ModeOutput {
+        bytes,
+        ctx_bytes,
+        q: cap.q,
+        q_prime: cap.q_prime,
+        level: cap.level,
+        decoded_bits: bits(&decoded),
+        ctx_decoded_bits: bits(&ctx_decoded),
+    }
+}
+
+fn diff_case<T: Scalar>(dims: &[usize], cfg: EngineConfig, qp: QpConfig, eb: f64, seed: u64) {
+    let mut cfg = cfg;
+    cfg.qp = qp;
+    let eng = InterpEngine::new(cfg);
+    let field = field_for::<T>(dims, seed);
+    let chunked = run_mode(KernelMode::Chunked, &eng, &field, eb);
+    let scalar = run_mode(KernelMode::ScalarRef, &eng, &field, eb);
+    let tag = format!("dims={dims:?} magic=0x{:02x} qp={:?} eb={eb}", cfg.magic, qp.mode);
+    assert_eq!(chunked.bytes, scalar.bytes, "{tag}: compressed stream diverged");
+    assert_eq!(chunked.ctx_bytes, scalar.ctx_bytes, "{tag}: ctx stream diverged");
+    assert_eq!(chunked.bytes, chunked.ctx_bytes, "{tag}: ctx vs plain diverged");
+    assert_eq!(chunked.q, scalar.q, "{tag}: Q diverged");
+    assert_eq!(chunked.q_prime, scalar.q_prime, "{tag}: Q' diverged");
+    assert_eq!(chunked.level, scalar.level, "{tag}: level map diverged");
+    assert_eq!(chunked.decoded_bits, scalar.decoded_bits, "{tag}: decode diverged");
+    assert_eq!(
+        chunked.ctx_decoded_bits, scalar.ctx_decoded_bits,
+        "{tag}: ctx decode diverged"
+    );
+}
+
+#[test]
+fn chunk_boundary_sizes_1d() {
+    let _g = lock_modes();
+    // 64-lane quantizer word boundaries and the 512-point row tile boundary,
+    // each ±1, plus tiny/prime lengths.
+    for n in [1usize, 2, 3, 5, 7, 63, 64, 65, 127, 509, 511, 512, 513] {
+        for cfg in engines() {
+            for qp in [QpConfig::off(), QpConfig::best_fit()] {
+                diff_case::<f32>(&[n], cfg, qp, 1e-3, 0xA1 + n as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn odd_prime_2d() {
+    let _g = lock_modes();
+    for dims in [[9usize, 7], [17, 16], [31, 33], [13, 5], [1, 19], [64, 3]] {
+        for cfg in engines() {
+            for qp in [QpConfig::off(), QpConfig::best_fit()] {
+                diff_case::<f32>(&dims, cfg, qp, 1e-3, 0xB2 + dims[0] as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn odd_prime_3d() {
+    let _g = lock_modes();
+    for dims in [[7usize, 11, 13], [17, 9, 8], [33, 5, 6], [2, 3, 65]] {
+        for cfg in engines() {
+            for qp in [QpConfig::off(), QpConfig::best_fit()] {
+                diff_case::<f32>(&dims, cfg, qp, 1e-3, 0xC3 + dims[2] as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn f64_fields_and_tight_bounds() {
+    let _g = lock_modes();
+    for dims in [vec![127usize], vec![19, 23], vec![11, 13, 7]] {
+        for cfg in engines() {
+            diff_case::<f64>(&dims, cfg, QpConfig::best_fit(), 1e-9, 0xD4);
+            diff_case::<f64>(&dims, cfg, QpConfig::off(), 1e-2, 0xD5);
+        }
+    }
+    // f32 with a bound tight enough that storage rounding trips the
+    // post-reconstruction check — the third unpredictable condition.
+    for cfg in engines() {
+        diff_case::<f32>(&[33, 18], cfg, QpConfig::best_fit(), 1e-7, 0xD6);
+    }
+}
+
+#[test]
+fn four_d_small() {
+    let _g = lock_modes();
+    for cfg in engines() {
+        for qp in [QpConfig::off(), QpConfig::best_fit()] {
+            diff_case::<f32>(&[3, 3, 3, 3], cfg, qp, 1e-3, 0xE5);
+            diff_case::<f32>(&[5, 2, 4, 3], cfg, qp, 1e-3, 0xE6);
+        }
+    }
+}

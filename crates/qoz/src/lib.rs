@@ -184,11 +184,12 @@ impl<T: Scalar> Compressor<T> for Qoz {
     }
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        let (alpha, beta) = self.tune(field, bound);
-        trace_tuned(alpha, beta);
-        let stream = self.engine(alpha, beta).compress(field, bound)?;
-        let _t = qip_trace::span("seal");
-        Ok(qip_core::integrity::seal(stream))
+        // Route through the ctx scratch arena (fresh context) so the plain
+        // API stops paying per-point allocation; byte-identical to
+        // `compress_into` by construction — it IS `compress_into`.
+        let mut out = Vec::new();
+        self.compress_into(field, bound, &mut CompressCtx::new(), &mut out)?;
+        Ok(out)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {

@@ -111,6 +111,48 @@ impl LinearQuantizer {
     pub fn recover<T: Scalar>(&self, pred: f64, index: i32) -> T {
         T::from_f64(pred + 2.0 * index as f64 * self.eb)
     }
+
+    /// Branchless chunked quantization over up to 64 lanes.
+    ///
+    /// Computes every lane's index and reconstruction *unconditionally* — no
+    /// per-point predictable/unpredictable branch — and reports out-of-range
+    /// lanes through the returned bitmap instead (bit `j` set ⇔ lane `j` is
+    /// unpredictable). For predictable lanes the emitted index and
+    /// reconstruction are exactly what [`LinearQuantizer::quantize`] produces;
+    /// for unpredictable lanes `idx`/`recon` hold don't-care values the caller
+    /// must patch (the engine writes [`UNPRED`] and the exact value). The
+    /// arithmetic mirrors the scalar path expression-for-expression so the two
+    /// are bit-identical — pinned by the `kernel_equivalence` suite.
+    ///
+    /// All four slices must share a length `≤ 64`.
+    #[inline]
+    pub fn quantize_lanes<T: Scalar>(
+        &self,
+        data: &[T],
+        pred: &[f64],
+        idx: &mut [i32],
+        recon: &mut [T],
+    ) -> u64 {
+        let lanes = data.len();
+        debug_assert!(lanes <= 64, "at most 64 lanes per bitmap word");
+        assert!(pred.len() == lanes && idx.len() == lanes && recon.len() == lanes);
+        let two_eb = 2.0 * self.eb;
+        let radius_f = self.radius as f64;
+        let mut unpred = 0u64;
+        for j in 0..lanes {
+            let df = data[j].to_f64();
+            let q = ((df - pred[j]) / two_eb).round();
+            // Saturating cast; NaN → 0. Only read when the lane is predictable,
+            // where it equals the scalar path's in-radius `q as i32`.
+            let qi = q as i32;
+            let r = T::from_f64(pred[j] + 2.0 * qi as f64 * self.eb);
+            let out = !df.is_finite() | (q.abs() >= radius_f) | ((r.to_f64() - df).abs() > self.eb);
+            unpred |= (out as u64) << j;
+            idx[j] = qi;
+            recon[j] = r;
+        }
+        unpred
+    }
 }
 
 /// A reusable bank of per-level quantizers.
@@ -275,6 +317,76 @@ mod tests {
     #[should_panic]
     fn zero_bound_rejected() {
         let _ = LinearQuantizer::new(0.0);
+    }
+
+    #[test]
+    fn lanes_match_scalar_quantize() {
+        // Differential sweep: the branchless lane kernel must agree with the
+        // scalar reference on bitmap, indices, and reconstructions — across
+        // normal points, radius edges, non-finite values, and tight-f32 cases.
+        let quants =
+            [LinearQuantizer::new(1e-3), LinearQuantizer::with_radius(0.5, 4), LinearQuantizer::new(1e-7)];
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for quant in quants {
+            for trial in 0..32 {
+                let lanes = (trial % 64) + 1;
+                let mut data = Vec::new();
+                let mut pred = Vec::new();
+                for j in 0..lanes {
+                    let p = ((next() % 2000) as f64 - 1000.0) * 0.01;
+                    let d = match j % 7 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => p + quant.radius() as f64 * 2.0 * quant.error_bound(),
+                        _ => p + ((next() % 1000) as f64 - 500.0) * quant.error_bound(),
+                    };
+                    data.push(d);
+                    pred.push(p);
+                }
+                let mut idx = vec![0i32; lanes];
+                let mut recon = vec![0f64; lanes];
+                let mask = quant.quantize_lanes(&data, &pred, &mut idx, &mut recon);
+                for j in 0..lanes {
+                    match quant.quantize(data[j], pred[j]) {
+                        Quantized::Pred { index, recon: r } => {
+                            assert_eq!(mask >> j & 1, 0, "lane {j} wrongly unpred");
+                            assert_eq!(idx[j], index, "lane {j} index");
+                            assert_eq!(recon[j].to_bits(), r.to_bits(), "lane {j} recon");
+                        }
+                        Quantized::Unpred => {
+                            assert_eq!(mask >> j & 1, 1, "lane {j} wrongly pred");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_quantize_f32() {
+        // f32 storage rounding interacts with the bound check; diff that too.
+        let quant = LinearQuantizer::new(1e-6);
+        let data: Vec<f32> = (0..64).map(|i| 123.456 + i as f32 * 1e-6).collect();
+        let pred: Vec<f64> = (0..64).map(|i| 123.456 + (i % 3) as f64 * 1e-7).collect();
+        let mut idx = vec![0i32; 64];
+        let mut recon = vec![0f32; 64];
+        let mask = quant.quantize_lanes(&data, &pred, &mut idx, &mut recon);
+        for j in 0..64 {
+            match quant.quantize(data[j], pred[j]) {
+                Quantized::Pred { index, recon: r } => {
+                    assert_eq!(mask >> j & 1, 0);
+                    assert_eq!(idx[j], index);
+                    assert_eq!(recon[j].to_bits(), r.to_bits());
+                }
+                Quantized::Unpred => assert_eq!(mask >> j & 1, 1),
+            }
+        }
     }
 
     #[test]

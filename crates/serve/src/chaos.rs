@@ -338,7 +338,7 @@ impl TraceEchoReport {
 
     /// True when a response with the given status name was observed.
     pub fn saw_status(&self, name: &str) -> bool {
-        self.statuses_seen.iter().any(|s| *s == name)
+        self.statuses_seen.contains(&name)
     }
 
     fn check(&mut self, expected: TraceId, resp: &wire::Response) {

@@ -1000,6 +1000,7 @@ fn run_compress_tiled(
 /// `READ_REGION`: decode one region of a tiled container; only intersecting
 /// tiles are decompressed. Invalid regions answer the typed
 /// [`Status::BadRegion`]; a non-container payload is a `BAD_REQUEST`.
+#[allow(clippy::too_many_arguments)] // wire fields map 1:1 onto parameters
 fn run_read_region(
     shared: &Arc<Shared>,
     token: &DeadlineToken,

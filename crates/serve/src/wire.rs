@@ -950,7 +950,7 @@ mod tests {
             body.push_u64(1);
             body.push(OpKind::Ping.tag());
             body.push_u32(0);
-            body.extend(std::iter::repeat(0xEE).take(extra));
+            body.extend(std::iter::repeat_n(0xEE, extra));
             let framed = integrity::seal(body);
             assert!(
                 decode_request(&framed, 1 << 20).is_err(),

@@ -34,7 +34,7 @@
 pub mod lorenzo;
 pub mod regression;
 
-use qip_codec::{ByteReader, ByteWriter};
+use qip_codec::ByteReader;
 use qip_core::{CompressCtx, CompressError, Compressor, ErrorBound, QpConfig};
 use qip_interp::{EngineConfig, InterpEngine};
 use qip_tensor::{Field, Scalar};
@@ -106,16 +106,10 @@ impl Sz3 {
 
     /// Decide the pipeline by trial-compressing a central sample block with
     /// both predictors and keeping the smaller stream (mirrors SZ3's
-    /// sampling-based predictor selection).
-    fn choose_pipeline<T: Scalar>(&self, field: &Field<T>, bound: ErrorBound) -> Pipeline {
-        self.choose_pipeline_with(field, bound, &mut CompressCtx::new(), &mut Vec::new())
-    }
-
-    /// [`Self::choose_pipeline`] with caller-provided scratch, so the
-    /// `compress_into` path's trial compression reuses the context instead
-    /// of allocating per-point scratch of its own. The trial stream is
-    /// byte-identical either way, so both entry points pick the same
-    /// pipeline.
+    /// sampling-based predictor selection). Caller-provided scratch lets the
+    /// trial compression reuse the context instead of allocating per-point
+    /// scratch of its own; the trial stream is byte-identical either way, so
+    /// every entry point picks the same pipeline.
     fn choose_pipeline_with<T: Scalar>(
         &self,
         field: &Field<T>,
@@ -211,22 +205,13 @@ impl<T: Scalar> Compressor<T> for Sz3 {
     }
 
     fn compress(&self, field: &Field<T>, bound: ErrorBound) -> Result<Vec<u8>, CompressError> {
-        let pipeline = self.choose_pipeline(field, bound);
-        trace_pipeline_choice(pipeline);
-        let mut w = ByteWriter::new();
-        w.put_u8(MAGIC_SZ3);
-        match pipeline {
-            Pipeline::Interpolation => {
-                w.put_u8(0);
-                w.put_bytes(&self.engine().compress(field, bound)?);
-            }
-            Pipeline::Lorenzo => {
-                w.put_u8(1);
-                w.put_bytes(&lorenzo::compress(field, bound, MAGIC_SZ3_LORENZO)?);
-            }
-        }
-        let _t = qip_trace::span("seal");
-        Ok(qip_core::integrity::seal(w.finish()))
+        // Route through the ctx scratch arena: even a fresh context pools the
+        // per-level working set, so the plain API no longer pays per-point
+        // allocation (the SegSalt ~5.6M-allocs hot spot). Byte-identical to
+        // `compress_into` by construction — it IS `compress_into`.
+        let mut out = Vec::new();
+        self.compress_into(field, bound, &mut CompressCtx::new(), &mut out)?;
+        Ok(out)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {

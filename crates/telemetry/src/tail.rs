@@ -105,7 +105,7 @@ impl TailSampler {
     /// claim the (single) live trace session. Wait-free.
     pub fn begin(&self) -> TailToken {
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
-        let sampled = n % self.sample_every == 0;
+        let sampled = n.is_multiple_of(self.sample_every);
         let traced = qip_trace::compiled()
             && self
                 .session_busy
