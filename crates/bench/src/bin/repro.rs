@@ -27,6 +27,11 @@
 //!              throughput drops >2% (geomean) below detached
 //!   profile    per-stage trace profiles for every registry compressor
 //!              (build with --features trace for populated stage tables)
+//!   inspect    stream-forensics sweep: every registry compressor (plus a
+//!              tiled container) compressed and inspected; publishes per-level
+//!              index bits + QP accept rates into BENCH_inspect.json and exits
+//!              1 when any ledger is inexact, any stream changes after
+//!              inspection, or the dormant decompress path slows >2%
 //!   conformance  golden-vector verification, execution-path differential
 //!              oracles, and the error-bound contract suite; exits 1 on any
 //!              failure. `--bless` regenerates the committed golden fixtures
@@ -54,6 +59,9 @@
 //!
 //! `--scale N` divides every paper dimension by N (default 4); `--full` is
 //! `--scale 1` (paper sizes — hours of runtime and tens of GB of memory).
+//! `--kernel scalar|chunked` selects the codec kernel implementation for the
+//! whole process (default chunked), so e.g. `repro throughput --kernel scalar`
+//! measures the reference kernels.
 
 use qip_bench::experiments::{self, Opts};
 use qip_data::{Dataset, RD_DATASETS};
@@ -80,8 +88,8 @@ fn print_table1() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|conformance|table4|fig18|ablate|serve|slo|tiles|all> \
-         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--min-speedup X] [--bless]"
+        "usage: repro <table1|table2|fig3|fig4|fig5|fig7|fig8|fig9|rd|speed|throughput|monitor|profile|inspect|conformance|table4|fig18|ablate|serve|slo|tiles|all> \
+         [--scale N] [--fields K] [--out DIR] [--full] [--dataset NAME] [--baseline FILE] [--gate PCT] [--min-speedup X] [--kernel scalar|chunked] [--bless]"
     );
     std::process::exit(2);
 }
@@ -131,6 +139,15 @@ fn main() {
                 i += 1;
                 min_speedup =
                     Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--kernel" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_else(|| usage());
+                let mode = qip_interp::KernelMode::parse(&name).unwrap_or_else(|| {
+                    eprintln!("bad --kernel '{name}': expected scalar or chunked");
+                    std::process::exit(2);
+                });
+                qip_interp::set_kernel_mode(mode);
             }
             other => {
                 eprintln!("unknown option: {other}");
@@ -194,6 +211,12 @@ fn main() {
         "profile" => {
             experiments::profile::run(&opts);
         }
+        "inspect" => {
+            if let Err(msg) = experiments::inspect::run(&opts) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
         "conformance" => {
             if !experiments::conformance::run(&opts, bless) {
                 std::process::exit(1);
@@ -247,6 +270,9 @@ fn main() {
                 failures.push(format!("monitor: {msg}"));
             }
             experiments::profile::run(&opts);
+            if let Err(msg) = experiments::inspect::run(&opts) {
+                failures.push(format!("inspect: {msg}"));
+            }
             if !experiments::conformance::run(&opts, false) {
                 failures.push("conformance: suite reported failures (see log above)".into());
             }

@@ -4,6 +4,7 @@ pub mod ablate;
 pub mod characterize;
 pub mod config_explore;
 pub mod conformance;
+pub mod inspect;
 pub mod monitor;
 pub mod profile;
 pub mod rd;
@@ -15,7 +16,43 @@ pub mod throughput;
 pub mod tiles;
 pub mod transfer;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Canonical cross-run benchmark history file: `BENCH_history.jsonl` at the
+/// repository root. Every experiment appends here regardless of `--out`
+/// (per-run artifacts like `BENCH_throughput.json` still land in `--out`),
+/// so the trend file cannot split between `results/` and the root again.
+/// `QIP_BENCH_HISTORY=PATH` overrides the location — tests use it to keep
+/// smoke runs from appending to the committed file.
+pub fn history_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("QIP_BENCH_HISTORY") {
+        return PathBuf::from(p);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the repo root")
+        .join("BENCH_history.jsonl")
+}
+
+/// Append one pre-rendered JSON line to a history file, creating parent
+/// directories as needed. Shared by every history writer so the framing
+/// (append-only, one line per run, trailing newline) stays uniform.
+pub fn append_history_line_to(path: &Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(line.as_bytes())?;
+    if !line.ends_with('\n') {
+        f.write_all(b"\n")?;
+    }
+    eprintln!("[history appended to {}]", path.display());
+    Ok(())
+}
 
 /// Common experiment options.
 #[derive(Debug, Clone)]

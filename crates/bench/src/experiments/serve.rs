@@ -401,7 +401,7 @@ pub fn run(opts: &Opts) -> Result<ServeReport, String> {
     if let Err(e) = write_json(opts, &report) {
         eprintln!("[failed to write BENCH_serve.json: {e}]");
     }
-    if let Err(e) = append_history(opts, &report) {
+    if let Err(e) = append_history_at(&super::history_path(), opts.scale, &report) {
         eprintln!("[failed to append BENCH_history.jsonl: {e}]");
     }
     Ok(report)
@@ -417,26 +417,24 @@ fn write_json(opts: &Opts, report: &ServeReport) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Append this run as `{"ts_unix":…,"scale":…,"serve":{…}}`. The `serve` key
-/// (instead of `records`) keeps the throughput baseline gate from treating a
-/// serve run as its newest throughput entry.
-fn append_history(opts: &Opts, report: &ServeReport) -> std::io::Result<()> {
-    use std::io::Write;
-    std::fs::create_dir_all(&opts.out)?;
-    let path = opts.out.join("BENCH_history.jsonl");
+/// Append this run to the canonical repo-root history (see
+/// [`super::history_path`]) as `{"ts_unix":…,"scale":…,"serve":{…}}`. The
+/// `serve` key (instead of `records`) keeps the throughput baseline gate
+/// from treating a serve run as its newest throughput entry.
+fn append_history_at(
+    path: &std::path::Path,
+    scale: usize,
+    report: &ServeReport,
+) -> std::io::Result<()> {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let line = format!(
-        "{{\"ts_unix\":{ts},\"scale\":{},\"serve\":{}}}\n",
-        opts.scale,
+        "{{\"ts_unix\":{ts},\"scale\":{scale},\"serve\":{}}}\n",
         serde_json::to_string(report).expect("serializable report")
     );
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-    f.write_all(line.as_bytes())?;
-    eprintln!("[history appended to {}]", path.display());
-    Ok(())
+    super::append_history_line_to(path, &line)
 }
 
 #[cfg(test)]
@@ -455,7 +453,6 @@ mod tests {
     #[test]
     fn serve_history_line_is_skipped_by_throughput_gate() {
         let out = std::env::temp_dir().join("qip_serve_history_test");
-        let opts = Opts { scale: 48, fields: 1, out: out.clone() };
         let path = out.join("BENCH_history.jsonl");
         let _ = std::fs::remove_file(&path);
         let report = ServeReport {
@@ -482,7 +479,7 @@ mod tests {
                 server_panics: 0,
             },
         };
-        append_history(&opts, &report).unwrap();
+        append_history_at(&path, 48, &report).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let runs = crate::jsonx::parse_lines(&text).unwrap();
         assert_eq!(runs.len(), 1);

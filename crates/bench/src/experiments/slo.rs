@@ -213,7 +213,7 @@ fn run_phases(opts: &Opts, hub: &Arc<MetricsHub>) -> Result<SloReport, String> {
     if let Err(e) = write_artifacts(opts, &report, hub, &events) {
         eprintln!("[failed to write slo artifacts: {e}]");
     }
-    if let Err(e) = append_history(opts, &report) {
+    if let Err(e) = append_history_at(&super::history_path(), opts.scale, &report) {
         eprintln!("[failed to append BENCH_history.jsonl: {e}]");
     }
 
@@ -254,26 +254,24 @@ fn write_artifacts(
     Ok(())
 }
 
-/// Append this run as `{"ts_unix":…,"scale":…,"slo":{…}}`. The `slo` key
-/// (instead of `records`) keeps the throughput baseline gate from treating
-/// an SLO run as its newest throughput entry.
-fn append_history(opts: &Opts, report: &SloReport) -> std::io::Result<()> {
-    use std::io::Write;
-    std::fs::create_dir_all(&opts.out)?;
-    let path = opts.out.join("BENCH_history.jsonl");
+/// Append this run to the canonical repo-root history (see
+/// [`super::history_path`]) as `{"ts_unix":…,"scale":…,"slo":{…}}`. The
+/// `slo` key (instead of `records`) keeps the throughput baseline gate from
+/// treating an SLO run as its newest throughput entry.
+fn append_history_at(
+    path: &std::path::Path,
+    scale: usize,
+    report: &SloReport,
+) -> std::io::Result<()> {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let line = format!(
-        "{{\"ts_unix\":{ts},\"scale\":{},\"slo\":{}}}\n",
-        opts.scale,
+        "{{\"ts_unix\":{ts},\"scale\":{scale},\"slo\":{}}}\n",
         serde_json::to_string(report).expect("serializable report")
     );
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-    f.write_all(line.as_bytes())?;
-    eprintln!("[history appended to {}]", path.display());
-    Ok(())
+    super::append_history_line_to(path, &line)
 }
 
 #[cfg(test)]
@@ -283,7 +281,6 @@ mod tests {
     #[test]
     fn slo_history_line_is_skipped_by_throughput_gate() {
         let out = std::env::temp_dir().join("qip_slo_history_test");
-        let opts = Opts { scale: 48, fields: 1, out: out.clone() };
         let path = out.join("BENCH_history.jsonl");
         let _ = std::fs::remove_file(&path);
         let tracker = qip_telemetry::SloTracker::default();
@@ -295,7 +292,7 @@ mod tests {
             tail_p99_ns: 0,
             snapshot: tracker.snapshot(),
         };
-        append_history(&opts, &report).unwrap();
+        append_history_at(&path, 48, &report).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let runs = crate::jsonx::parse_lines(&text).unwrap();
         assert_eq!(runs.len(), 1);

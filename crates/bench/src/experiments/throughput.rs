@@ -201,26 +201,28 @@ pub fn run(opts: &Opts) -> Vec<ThroughputRecord> {
     if let Err(e) = write_json(opts, &records) {
         eprintln!("[failed to write BENCH_throughput.json: {e}]");
     }
-    if let Err(e) = append_history(opts, &records) {
+    if let Err(e) = append_history_at(&super::history_path(), opts.scale, &records) {
         eprintln!("[failed to append BENCH_history.jsonl: {e}]");
     }
     records
 }
 
-/// Append this run to `BENCH_history.jsonl`, one self-contained line per run:
+/// Append this run to the canonical repo-root `BENCH_history.jsonl` (see
+/// [`super::history_path`]), one self-contained line per run:
 /// `{"ts_unix":…,"scale":…,"records":[…]}`. The file accumulates across runs
 /// so trends survive individual `BENCH_throughput.json` overwrites, and the
-/// regression gate accepts it directly (`--baseline results/BENCH_history.jsonl`
+/// regression gate accepts it directly (`--baseline BENCH_history.jsonl`
 /// compares against the newest entry).
-fn append_history(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<()> {
-    use std::io::Write;
-    std::fs::create_dir_all(&opts.out)?;
-    let path = opts.out.join("BENCH_history.jsonl");
+fn append_history_at(
+    path: &std::path::Path,
+    scale: usize,
+    records: &[ThroughputRecord],
+) -> std::io::Result<()> {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let mut line = format!("{{\"ts_unix\":{ts},\"scale\":{},\"records\":[", opts.scale);
+    let mut line = format!("{{\"ts_unix\":{ts},\"scale\":{scale},\"records\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             line.push(',');
@@ -228,10 +230,7 @@ fn append_history(opts: &Opts, records: &[ThroughputRecord]) -> std::io::Result<
         line.push_str(&serde_json::to_string(r).expect("serializable record"));
     }
     line.push_str("]}\n");
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-    f.write_all(line.as_bytes())?;
-    eprintln!("[history appended to {}]", path.display());
-    Ok(())
+    super::append_history_line_to(path, &line)
 }
 
 /// The four throughput metrics the baseline gate compares.
@@ -425,6 +424,9 @@ mod tests {
             fields: 1,
             out: std::env::temp_dir().join("qip_throughput_test"),
         };
+        // Keep the smoke run's history line out of the committed repo-root
+        // file (no other test in this binary reads `history_path`).
+        std::env::set_var("QIP_BENCH_HISTORY", opts.out.join("BENCH_history.jsonl"));
         let records = run(&opts);
         assert_eq!(records.len(), 2 * 11);
         for r in &records {
@@ -476,12 +478,11 @@ mod tests {
     #[test]
     fn baseline_gate_reads_history_jsonl() {
         let out = std::env::temp_dir().join("qip_history_test");
-        let opts = Opts { scale: 32, fields: 1, out: out.clone() };
         let path = out.join("BENCH_history.jsonl");
         let _ = std::fs::remove_file(&path);
         // Two appended runs; the gate must compare against the NEWEST line.
-        append_history(&opts, &[fake_record(50.0)]).unwrap();
-        append_history(&opts, &[fake_record(100.0)]).unwrap();
+        append_history_at(&path, 32, &[fake_record(50.0)]).unwrap();
+        append_history_at(&path, 32, &[fake_record(100.0)]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         let runs = crate::jsonx::parse_lines(&text).unwrap();

@@ -37,9 +37,33 @@ fn failed_gate_exits_1() {
         .arg("--out")
         .arg(&out)
         .args(["--baseline", "/nonexistent/qip-baseline.json"])
+        .env("QIP_BENCH_HISTORY", out.join("BENCH_history.jsonl"))
         .status()
         .unwrap();
     assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn inspect_healthy_run_exits_0_and_writes_artifacts() {
+    let out = std::env::temp_dir().join("qip_exit_code_inspect_test");
+    let _ = std::fs::remove_dir_all(&out);
+    let status = repro()
+        .args(["inspect", "--scale", "16", "--fields", "1"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "healthy inspect run must exit 0");
+    let doc = std::fs::read_to_string(out.join("BENCH_inspect.json")).unwrap();
+    assert!(doc.contains("\"ledger_exact\":true"), "{doc}");
+    assert!(doc.contains("\"accept_rate\""));
+    assert!(doc.contains("\"dormant\""));
+}
+
+#[test]
+fn bad_kernel_name_exits_2() {
+    let status = repro().args(["table1", "--kernel", "bogus"]).status().unwrap();
+    assert_eq!(status.code(), Some(2));
 }
 
 #[test]
@@ -50,6 +74,7 @@ fn slo_healthy_run_exits_0_and_writes_artifacts() {
         .args(["slo", "--scale", "16", "--fields", "1"])
         .arg("--out")
         .arg(&out)
+        .env("QIP_BENCH_HISTORY", out.join("BENCH_history.jsonl"))
         .status()
         .unwrap();
     assert_eq!(status.code(), Some(0), "healthy slo run must exit 0");

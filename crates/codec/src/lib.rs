@@ -19,6 +19,7 @@
 
 pub mod bits;
 pub mod huffman;
+pub mod inspect;
 pub mod lossless;
 pub mod lz;
 pub mod range;
@@ -26,6 +27,7 @@ pub mod stream;
 pub mod varint;
 
 pub use bits::{BitReader, BitWriter, ScalarBitWriter};
+pub use inspect::{inspect_index_block, price_symbol_range, ChunkForensics, IndexForensics};
 pub use lossless::{
     decode_indices, decode_indices_capped, decode_indices_capped_into, encode_indices,
     encode_indices_into, CHUNK_SYMBOLS,

@@ -80,6 +80,15 @@ impl ContainerInfo {
         self.tiles.last().map(|t| t.offset + t.len).unwrap_or(0)
     }
 
+    /// Slice tile `i`'s sealed stream out of the payload returned by
+    /// [`ContainerInfo::parse`]. `None` if the index has no such tile or the
+    /// payload is shorter than the entry claims (qip-inspect's per-tile
+    /// forensics walk the container with this).
+    pub fn tile_payload<'a>(&self, payload: &'a [u8], i: usize) -> Option<&'a [u8]> {
+        let t = self.tiles.get(i)?;
+        payload.get(t.offset..t.offset + t.len)
+    }
+
     /// Decode and validate a container, returning the index and the payload
     /// slice the tile offsets point into.
     pub fn parse(bytes: &[u8]) -> Result<(ContainerInfo, &[u8]), CompressError> {

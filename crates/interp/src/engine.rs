@@ -51,7 +51,7 @@ impl InterpEngine {
 /// Figs. 3–5): the original index array `Q`, the QP-transformed array `Q'`,
 /// and the interpolation level of every point — all in spatial (row-major)
 /// layout. Anchor points carry index 0 and level 0.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QuantCapture {
     /// Original quantization indices (`UNPRED` marks unpredictable points).
     pub q: Vec<i32>,
@@ -224,6 +224,21 @@ pub(crate) trait PointSink<T: Scalar> {
     /// The sink's QP prediction mode (the chunked driver hoists the
     /// per-row neighbor availability decision on it).
     fn qp_mode(&self) -> qip_core::PredMode;
+
+    /// [`PointSink::handle`] plus the point's flat index. The scalar
+    /// reference driver calls this variant so position-aware sinks (the
+    /// forensic decoder's spatial accept map) can observe *where* each
+    /// decision landed; everything else inherits this delegation.
+    fn handle_at(
+        &mut self,
+        _flat: usize,
+        current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError> {
+        self.handle(current, pred, level, nb)
+    }
 }
 
 /// Shared driver: walks the full lattice schedule, feeding the sink.
@@ -297,7 +312,7 @@ fn run_pipeline<T: Scalar, S: PointSink<T>>(
                     Neighbors::default()
                 };
                 let _ = &qp;
-                match sink.handle(buf[flat], pred, level, &nb) {
+                match sink.handle_at(flat, buf[flat], pred, level, &nb) {
                     Ok((value, q, q_prime)) => {
                         buf[flat] = value;
                         qstore[flat] = q;
@@ -676,6 +691,158 @@ impl<T: Scalar> PointSink<T> for DecompressSink<'_, T> {
 
     fn qp_mode(&self) -> qip_core::PredMode {
         self.qp.config().mode
+    }
+}
+
+/// Per-level decision counters recovered by a forensic decode.
+#[derive(Debug, Clone, Default)]
+pub struct LevelForensics {
+    /// Interpolation level (1 = finest).
+    pub level: usize,
+    /// Interpolated points processed on this level.
+    pub points: u64,
+    /// Points where the QP gate was open (transform accepted).
+    pub accepted: u64,
+    /// Points where the transform actually changed the index (`Q' ≠ Q`).
+    pub fired: u64,
+    /// Start of this level's segment in the transformed index stream.
+    pub qprime_start: usize,
+    /// End (exclusive) of this level's segment.
+    pub qprime_end: usize,
+}
+
+/// Exact byte layout of one engine stream (seal excluded — the wrapper owns
+/// it). Every field is a contiguous region; [`EngineLayout::total`] must
+/// equal the unsealed stream length or the forensic decode refuses.
+#[derive(Debug, Clone, Default)]
+pub struct EngineLayout {
+    /// `StreamHeader` bytes (magic, scalar width, shape, error bound).
+    pub header_bytes: u64,
+    /// Fixed config prefix (version, α/β, passes, QP config, radius, level).
+    pub config_bytes: u64,
+    /// Per-level parameter tags (3 bytes per level).
+    pub level_tag_bytes: u64,
+    /// Block length prefixes (LEB128) for the three channels.
+    pub framing_bytes: u64,
+    /// Raw anchor-point scalars.
+    pub anchor_bytes: u64,
+    /// Unpredictable-value side channel.
+    pub unpred_bytes: u64,
+    /// Entropy-coded quantization index block.
+    pub index_bytes: u64,
+}
+
+impl EngineLayout {
+    /// Sum of every region — must equal the unsealed stream length.
+    pub fn total(&self) -> u64 {
+        self.header_bytes
+            + self.config_bytes
+            + self.level_tag_bytes
+            + self.framing_bytes
+            + self.anchor_bytes
+            + self.unpred_bytes
+            + self.index_bytes
+    }
+}
+
+/// Everything a forensic decode recovers from one engine stream: the
+/// reconstructed field plus the byte layout, per-level QP decision counters,
+/// the transformed index stream, the per-point capture, and a spatial map of
+/// where the gate opened.
+#[derive(Debug, Clone)]
+pub struct EngineForensics<T: Scalar> {
+    /// The reconstructed field (bit-identical to a plain decompress).
+    pub field: Field<T>,
+    /// Exact byte accounting for the unsealed stream.
+    pub layout: EngineLayout,
+    /// Absolute error bound recorded in the header.
+    pub abs_eb: f64,
+    /// Coarsest processed level.
+    pub start_level: usize,
+    /// Per-level decision counters, coarsest first; empty levels omitted.
+    pub levels: Vec<LevelForensics>,
+    /// The decoded transformed index stream (encoder emission order).
+    pub qprime: Vec<i32>,
+    /// Per-point indices and levels in spatial layout.
+    pub capture: QuantCapture,
+    /// Per-point gate map: 0 = anchor, 1 = gate closed, 2 = gate open.
+    pub accepted: Vec<u8>,
+    /// Anchor-grid point count.
+    pub anchors: u64,
+    /// Unpredictable (escaped) point count.
+    pub unpredictable: u64,
+    /// Copy of the entropy-coded index block (for table-level forensics).
+    pub index_block: Vec<u8>,
+    /// Whether the stream's QP config enables the transform at all.
+    pub qp_enabled: bool,
+}
+
+/// Decompression sink that additionally records QP decisions per level and
+/// per point. Wraps [`DecompressSink`]; reconstruction arithmetic is the
+/// inner sink's, untouched.
+struct InspectSink<'a, T: Scalar> {
+    inner: DecompressSink<'a, T>,
+    levels: Vec<LevelForensics>,
+    accepted: Vec<u8>,
+    unpredictable: u64,
+}
+
+impl<T: Scalar> PointSink<T> for InspectSink<'_, T> {
+    fn params_for_level(
+        &mut self,
+        level: usize,
+        buf: &[T],
+        dims: &[usize],
+        strides: &[usize],
+    ) -> Result<LevelParams, CompressError> {
+        if let Some(ls) = self.levels.get_mut(level) {
+            ls.qprime_start = self.inner.q_cursor;
+        }
+        self.inner.params_for_level(level, buf, dims, strides)
+    }
+
+    fn anchor(&mut self, flat: usize, buf: &mut [T]) -> Result<(), CompressError> {
+        self.inner.anchor(flat, buf)
+    }
+
+    fn handle(
+        &mut self,
+        current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError> {
+        self.inner.handle(current, pred, level, nb)
+    }
+
+    fn handle_at(
+        &mut self,
+        flat: usize,
+        current: T,
+        pred: f64,
+        level: usize,
+        nb: &Neighbors,
+    ) -> Result<(T, i32, i32), CompressError> {
+        let open = self.inner.qp.gate_open(level, nb);
+        let (value, q, q_prime) = self.inner.handle(current, pred, level, nb)?;
+        if let Some(ls) = self.levels.get_mut(level) {
+            ls.points += 1;
+            if open {
+                ls.accepted += 1;
+            }
+            if q != q_prime {
+                ls.fired += 1;
+            }
+        }
+        if q == UNPRED {
+            self.unpredictable += 1;
+        }
+        self.accepted[flat] = if open { 2 } else { 1 };
+        Ok((value, q, q_prime))
+    }
+
+    fn qp_mode(&self) -> qip_core::PredMode {
+        self.inner.qp_mode()
     }
 }
 
@@ -1125,6 +1292,119 @@ impl InterpEngine {
         ctx.pools.release(unpred);
         Ok(Field::from_vec(p.shape, buf)?)
     }
+
+    /// Forensic decompression: reconstruct the field exactly as
+    /// [`Compressor::decompress`] would, while recovering the stream's byte
+    /// layout, per-level QP decision counters, the transformed index stream,
+    /// and a per-point gate map. Always runs the scalar reference driver so
+    /// the recovered decision record is deterministic regardless of the
+    /// process-wide kernel switch; arithmetic is identical by the kernel
+    /// equivalence pin, so the field matches either path bit-for-bit.
+    pub fn decompress_forensic<T: Scalar>(
+        &self,
+        bytes: &[u8],
+    ) -> Result<EngineForensics<T>, CompressError> {
+        use qip_codec::varint::uvarint_len;
+        let p = self.parse_stream::<T>(bytes)?;
+
+        let mut layout = EngineLayout {
+            header_bytes: 3
+                + p.shape.dims().iter().map(|&d| uvarint_len(d as u64)).sum::<u64>()
+                + 8,
+            config_bytes: 26,
+            ..EngineLayout::default()
+        };
+        if p.n == 0 {
+            if layout.total() != bytes.len() as u64 {
+                return Err(CompressError::Corrupt("stream layout does not sum"));
+            }
+            return Ok(EngineForensics {
+                field: Field::zeros(p.shape),
+                layout,
+                abs_eb: p.abs_eb,
+                start_level: p.start_level,
+                levels: Vec::new(),
+                qprime: Vec::new(),
+                capture: QuantCapture::zeros(0),
+                accepted: Vec::new(),
+                anchors: 0,
+                unpredictable: 0,
+                index_block: Vec::new(),
+                qp_enabled: p.eff.qp.is_enabled(),
+            });
+        }
+        layout.level_tag_bytes = 3 * p.start_level as u64;
+        layout.framing_bytes = uvarint_len(p.anchor_bytes.len() as u64)
+            + uvarint_len(p.unpred_bytes.len() as u64)
+            + uvarint_len(p.index_block.len() as u64);
+        layout.anchor_bytes = p.anchor_bytes.len() as u64;
+        layout.unpred_bytes = p.unpred_bytes.len() as u64;
+        layout.index_bytes = p.index_block.len() as u64;
+        if layout.total() != bytes.len() as u64 {
+            return Err(CompressError::Corrupt("stream layout does not sum"));
+        }
+
+        let mut anchors = Vec::new();
+        decode_scalars_into(p.anchor_bytes, &mut anchors, "anchor block misaligned")?;
+        let mut unpred = Vec::new();
+        decode_scalars_into(p.unpred_bytes, &mut unpred, "unpredictable block misaligned")?;
+        let qprime = qip_codec::decode_indices_capped(p.index_block, p.n)?;
+        let mut bank = QuantizerBank::new();
+        build_decode_quantizers(&p.eff, p.abs_eb, p.start_level, &mut bank)?;
+
+        let dims = p.shape.dims().to_vec();
+        let strides = p.shape.strides().to_vec();
+        let mut buf = qip_core::try_zeroed_vec::<T>(p.n)?;
+        let mut cap = QuantCapture::zeros(p.n);
+        let mut sink = InspectSink {
+            inner: DecompressSink {
+                qp: QpEngine::new(p.eff.qp),
+                level_tags: &p.level_tags,
+                level_cursor: 0,
+                anchors: &anchors,
+                anchor_cursor: 0,
+                unpred: &unpred,
+                unpred_cursor: 0,
+                qprime: &qprime,
+                q_cursor: 0,
+                quantizers: bank.as_slice(),
+            },
+            levels: (0..=p.start_level)
+                .map(|level| LevelForensics { level, ..LevelForensics::default() })
+                .collect(),
+            accepted: vec![0u8; p.n],
+            unpredictable: 0,
+        };
+        run_pipeline(&p.eff, &dims, &strides, &mut buf, &mut sink, Some(&mut cap))?;
+
+        // Close each level's index-stream segment: levels run coarsest first,
+        // so level L ends where level L-1 begins (the finest ends the stream).
+        let anchors_read = sink.inner.anchor_cursor as u64;
+        let unpredictable = sink.unpredictable;
+        let accepted = sink.accepted;
+        let mut levels = sink.levels;
+        for level in 1..=p.start_level {
+            let end = if level > 1 { levels[level - 1].qprime_start } else { qprime.len() };
+            levels[level].qprime_end = end;
+        }
+        let levels: Vec<LevelForensics> =
+            levels.into_iter().rev().filter(|ls| ls.points > 0).collect();
+
+        Ok(EngineForensics {
+            field: Field::from_vec(p.shape, buf)?,
+            layout,
+            abs_eb: p.abs_eb,
+            start_level: p.start_level,
+            levels,
+            qprime,
+            capture: cap,
+            accepted,
+            anchors: anchors_read,
+            unpredictable,
+            index_block: p.index_block.to_vec(),
+            qp_enabled: p.eff.qp.is_enabled(),
+        })
+    }
 }
 
 /// Everything [`InterpEngine::parse_stream`] extracts from a stream before
@@ -1198,6 +1478,36 @@ mod tests {
             ("qoz-like", EngineConfig::qoz_like(0x11)),
             ("hpez-like", EngineConfig::hpez_like(0x12)),
         ]
+    }
+
+    #[test]
+    fn forensic_decode_matches_plain_and_sums() {
+        let field = smooth_field(&[17, 12, 9]);
+        for (name, cfg) in engines() {
+            for qp in [QpConfig::off(), QpConfig::best_fit()] {
+                let mut cfg = cfg;
+                cfg.qp = qp;
+                let eng = InterpEngine::new(cfg);
+                let bytes = eng.compress(&field, ErrorBound::Abs(1e-3)).unwrap();
+                let plain: Field<f32> = eng.decompress(&bytes).unwrap();
+                let fx = eng.decompress_forensic::<f32>(&bytes).unwrap();
+                assert_eq!(fx.field.as_slice(), plain.as_slice(), "{name}");
+                assert_eq!(fx.layout.total(), bytes.len() as u64, "{name}");
+                let pts: u64 = fx.levels.iter().map(|l| l.points).sum();
+                assert_eq!(pts + fx.anchors, field.len() as u64, "{name}");
+                assert_eq!(fx.qprime.len() as u64, pts, "{name}");
+                // Level segments tile the index stream without gaps.
+                let mut cursor = 0usize;
+                for ls in fx.levels.iter() {
+                    assert_eq!(ls.qprime_start, cursor, "{name} l{}", ls.level);
+                    cursor = ls.qprime_end;
+                }
+                assert_eq!(cursor, fx.qprime.len(), "{name}");
+                if !qp.is_enabled() {
+                    assert!(fx.levels.iter().all(|l| l.fired == 0), "{name}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! 1-D spline boundary cases, branches on predictable/unpredictable, and pays
 //! a virtual-ish sink call. The drivers here restructure the same walk around
 //! *rows*: the innermost axis (unit stride in row-major layout) is processed
-//! in cache-blocked tiles of [`TILE`] points, with
+//! in cache-blocked tiles of `TILE` points, with
 //!
 //! * boundary-case classification hoisted out of the inner loop — for outer
 //!   axes the spline case is constant along a row; for the inner axis the row
@@ -51,6 +51,27 @@ pub enum KernelMode {
     /// The retained scalar reference pipeline, kept alive so differential
     /// tests (and the conformance golden suite) can diff the two paths.
     ScalarRef,
+}
+
+impl KernelMode {
+    /// Stable lowercase name (`"chunked"` / `"scalar"`) used by the CLI
+    /// `--kernel` flag and the flight recorder's `kernel_mode` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelMode::Chunked => "chunked",
+            KernelMode::ScalarRef => "scalar",
+        }
+    }
+
+    /// Parse a CLI spelling; accepts the [`KernelMode::as_str`] names plus
+    /// `scalar-ref` as an alias.
+    pub fn parse(name: &str) -> Option<KernelMode> {
+        match name {
+            "chunked" => Some(KernelMode::Chunked),
+            "scalar" | "scalar-ref" | "scalar_ref" => Some(KernelMode::ScalarRef),
+            _ => None,
+        }
+    }
 }
 
 /// Process-global kernel mode (0 = chunked, 1 = scalar reference).

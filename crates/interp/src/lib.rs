@@ -34,5 +34,5 @@ pub mod lattice;
 pub mod select;
 
 pub use config::{EngineConfig, LevelParams, PassStructure};
-pub use engine::{InterpEngine, QuantCapture};
+pub use engine::{EngineForensics, EngineLayout, InterpEngine, LevelForensics, QuantCapture};
 pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};

@@ -33,7 +33,7 @@ use qip_core::{
     StreamHeader,
 };
 use qip_interp::lattice::{build_passes, for_each_point, num_levels, Pass};
-use qip_interp::{PassStructure, QuantCapture};
+use qip_interp::{EngineLayout, LevelForensics, PassStructure, QuantCapture};
 use qip_quant::UNPRED;
 use qip_tensor::{Field, Scalar};
 
@@ -122,12 +122,91 @@ impl Mgard {
         bytes: &[u8],
         stop_level: usize,
     ) -> Result<Field<T>, CompressError> {
-        let full: Field<T> = self.decompress_impl(bytes, stop_level, &mut CompressCtx::new())?;
+        let full: Field<T> =
+            self.decompress_impl(bytes, stop_level, &mut CompressCtx::new(), None)?;
         if stop_level == 0 {
             return Ok(full);
         }
         Ok(full.decimate(1 << stop_level))
     }
+
+    /// Forensic decompression: reconstruct the field exactly as
+    /// [`Compressor::decompress`] would, while recovering the stream's byte
+    /// layout (seal included), per-level QP decision counters, the
+    /// transformed coefficient index stream, and a per-point gate map.
+    pub fn decompress_forensic<T: Scalar>(
+        &self,
+        bytes: &[u8],
+    ) -> Result<MgardForensics<T>, CompressError> {
+        let mut probe = ForensicProbe::default();
+        let field =
+            self.decompress_impl(bytes, 0, &mut CompressCtx::new(), Some(&mut probe))?;
+        if probe.layout.total() + probe.seal_bytes != bytes.len() as u64 {
+            return Err(CompressError::Corrupt("stream layout does not sum"));
+        }
+        Ok(MgardForensics {
+            field,
+            layout: probe.layout,
+            seal_bytes: probe.seal_bytes,
+            abs_eb: probe.abs_eb,
+            levels: probe.levels,
+            qprime: probe.qprime,
+            capture: probe.capture,
+            accepted: probe.accepted,
+            anchors: probe.anchors,
+            unpredictable: probe.unpredictable,
+            index_block: probe.index_block,
+            qp_enabled: probe.qp_enabled,
+        })
+    }
+}
+
+/// Everything a forensic decode recovers from one MGARD stream (the analog of
+/// qip-interp's `EngineForensics`; the layout reuses [`EngineLayout`] with
+/// `level_tag_bytes = 0` and `anchor_bytes` holding the coarse-node block).
+#[derive(Debug, Clone)]
+pub struct MgardForensics<T: Scalar> {
+    /// The reconstructed field (bit-identical to a plain decompress).
+    pub field: Field<T>,
+    /// Exact byte accounting for the unsealed payload.
+    pub layout: EngineLayout,
+    /// Integrity seal trailer length.
+    pub seal_bytes: u64,
+    /// Absolute error bound recorded in the header.
+    pub abs_eb: f64,
+    /// Per-level decision counters, coarsest first; empty levels omitted.
+    pub levels: Vec<LevelForensics>,
+    /// The decoded transformed coefficient index stream.
+    pub qprime: Vec<i32>,
+    /// Per-point indices and levels in spatial layout.
+    pub capture: QuantCapture,
+    /// Per-point gate map: 0 = coarse node, 1 = gate closed, 2 = gate open.
+    pub accepted: Vec<u8>,
+    /// Coarse-node count.
+    pub anchors: u64,
+    /// Unpredictable (escaped) coefficient count.
+    pub unpredictable: u64,
+    /// Copy of the entropy-coded index block (for table-level forensics).
+    pub index_block: Vec<u8>,
+    /// Whether the stream's QP config enables the transform at all.
+    pub qp_enabled: bool,
+}
+
+/// Accumulator filled by `decompress_impl` on the forensic path only (`None`
+/// on every plain decode — the hot loop pays one `Option` test per point).
+#[derive(Default)]
+struct ForensicProbe {
+    layout: EngineLayout,
+    seal_bytes: u64,
+    abs_eb: f64,
+    levels: Vec<LevelForensics>,
+    qprime: Vec<i32>,
+    capture: QuantCapture,
+    accepted: Vec<u8>,
+    anchors: u64,
+    unpredictable: u64,
+    index_block: Vec<u8>,
+    qp_enabled: bool,
 }
 
 impl Default for Mgard {
@@ -244,7 +323,7 @@ impl<T: Scalar> Compressor<T> for Mgard {
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field<T>, CompressError> {
-        self.decompress_impl(bytes, 0, &mut CompressCtx::new())
+        self.decompress_impl(bytes, 0, &mut CompressCtx::new(), None)
     }
 
     fn compress_into(
@@ -263,7 +342,7 @@ impl<T: Scalar> Compressor<T> for Mgard {
         bytes: &[u8],
         ctx: &mut CompressCtx,
     ) -> Result<Field<T>, CompressError> {
-        self.decompress_impl(bytes, 0, ctx)
+        self.decompress_impl(bytes, 0, ctx, None)
     }
 }
 
@@ -472,8 +551,10 @@ impl Mgard {
         bytes: &[u8],
         stop_level: usize,
         ctx: &mut CompressCtx,
+        mut probe: Option<&mut ForensicProbe>,
     ) -> Result<Field<T>, CompressError> {
         let parse_span = qip_trace::span("parse");
+        let sealed_len = bytes.len();
         let bytes = qip_core::integrity::check(bytes)?;
         let mut r = ByteReader::new(bytes);
         let header = StreamHeader::read(&mut r, MAGIC_MGARD, T::BITS as u8)?;
@@ -486,6 +567,15 @@ impl Mgard {
         let dims = header.shape.dims().to_vec();
         let strides = header.shape.strides().to_vec();
         let n: usize = dims.iter().product();
+        if let Some(pr) = probe.as_deref_mut() {
+            pr.seal_bytes = (sealed_len - bytes.len()) as u64;
+            pr.layout.header_bytes = 3
+                + dims.iter().map(|&d| qip_codec::varint::uvarint_len(d as u64)).sum::<u64>()
+                + 8;
+            pr.layout.config_bytes = 5; // version + l2 flag + QP config
+            pr.abs_eb = header.abs_eb;
+            pr.qp_enabled = qp_cfg.is_enabled();
+        }
         if n == 0 {
             return Ok(Field::zeros(header.shape));
         }
@@ -497,13 +587,30 @@ impl Mgard {
 
         let coarse_bytes = r.get_block()?;
         let unpred_bytes = r.get_block()?;
+        let index_bytes = r.get_block()?;
         if coarse_bytes.len() % 8 != 0 || unpred_bytes.len() % 8 != 0 {
             return Err(CompressError::WrongFormat("misaligned f64 block"));
         }
         drop(parse_span);
         {
             let _t = qip_trace::span("entropy_decode");
-            qip_codec::decode_indices_capped_into(r.get_block()?, n, &mut ctx.qprime)?;
+            qip_codec::decode_indices_capped_into(index_bytes, n, &mut ctx.qprime)?;
+        }
+        if let Some(pr) = probe.as_deref_mut() {
+            use qip_codec::varint::uvarint_len;
+            pr.layout.config_bytes += 1; // level-count byte
+            pr.layout.framing_bytes = uvarint_len(coarse_bytes.len() as u64)
+                + uvarint_len(unpred_bytes.len() as u64)
+                + uvarint_len(index_bytes.len() as u64);
+            pr.layout.anchor_bytes = coarse_bytes.len() as u64;
+            pr.layout.unpred_bytes = unpred_bytes.len() as u64;
+            pr.layout.index_bytes = index_bytes.len() as u64;
+            pr.index_block = index_bytes.to_vec();
+            pr.anchors = (coarse_bytes.len() / 8) as u64;
+            pr.capture =
+                QuantCapture { q: vec![0; n], q_prime: vec![0; n], level: vec![0; n] };
+            pr.accepted = vec![0u8; n];
+            pr.qprime = ctx.qprime.clone();
         }
 
         // `try_zeroed_vec` validates that `n` is allocatable before any of the
@@ -553,6 +660,8 @@ impl Mgard {
         let mut fail: Option<CompressError> = None;
         for level in (1..=levels).rev() {
             let b = Mgard::budget(header.abs_eb, level);
+            let level_q_start = q_cursor;
+            let (mut lvl_points, mut lvl_accept, mut lvl_fired) = (0u64, 0u64, 0u64);
             for pass in build_passes(dims.len(), level, &order, PassStructure::MultiDim) {
                 if pass.is_empty(&dims) {
                     continue;
@@ -569,6 +678,23 @@ impl Mgard {
                     let nb = qp_neighbors(qstore, &pass, coords, flat, &strides);
                     let q = qp.recover(qp_val, level, &nb);
                     qstore[flat] = q;
+                    if let Some(pr) = probe.as_deref_mut() {
+                        let open = qp.gate_open(level, &nb);
+                        lvl_points += 1;
+                        if open {
+                            lvl_accept += 1;
+                        }
+                        if q != qp_val {
+                            lvl_fired += 1;
+                        }
+                        if q == UNPRED {
+                            pr.unpredictable += 1;
+                        }
+                        pr.capture.q[flat] = q;
+                        pr.capture.q_prime[flat] = qp_val;
+                        pr.capture.level[flat] = level as u8;
+                        pr.accepted[flat] = if open { 2 } else { 1 };
+                    }
                     if q == UNPRED {
                         match unpred.get(u_cursor) {
                             Some(&d) => {
@@ -585,6 +711,18 @@ impl Mgard {
                         buf[flat] = 2.0 * q as f64 * b;
                     }
                 });
+            }
+            if let Some(pr) = probe.as_deref_mut() {
+                if lvl_points > 0 {
+                    pr.levels.push(LevelForensics {
+                        level,
+                        points: lvl_points,
+                        accepted: lvl_accept,
+                        fired: lvl_fired,
+                        qprime_start: level_q_start,
+                        qprime_end: q_cursor,
+                    });
+                }
             }
         }
         if let Some(e) = fail {
@@ -668,6 +806,31 @@ mod tests {
             let z = c.get(2).copied().unwrap_or(0) as f32;
             (0.07 * x).sin() + 0.5 * (0.11 * y).cos() + 0.02 * z
         })
+    }
+
+    #[test]
+    fn forensic_decode_matches_plain_and_sums() {
+        let f = smooth(&[21, 17, 13]);
+        for qp in [QpConfig::off(), QpConfig::best_fit()] {
+            let m = Mgard::new().with_qp(qp);
+            let bytes = m.compress(&f, ErrorBound::Abs(1e-3)).unwrap();
+            let plain: Field<f32> = m.decompress(&bytes).unwrap();
+            let fx = m.decompress_forensic::<f32>(&bytes).unwrap();
+            assert_eq!(fx.field.as_slice(), plain.as_slice());
+            assert_eq!(fx.layout.total() + fx.seal_bytes, bytes.len() as u64);
+            let pts: u64 = fx.levels.iter().map(|l| l.points).sum();
+            assert_eq!(pts + fx.anchors, f.len() as u64);
+            assert_eq!(fx.qprime.len() as u64, pts);
+            let mut cursor = 0usize;
+            for ls in fx.levels.iter() {
+                assert_eq!(ls.qprime_start, cursor, "l{}", ls.level);
+                cursor = ls.qprime_end;
+            }
+            assert_eq!(cursor, fx.qprime.len());
+            if !qp.is_enabled() {
+                assert!(fx.levels.iter().all(|l| l.fired == 0));
+            }
+        }
     }
 
     #[test]

@@ -317,6 +317,7 @@ fn record_compress<T: Scalar>(
                 Ok(_) => "ok".to_string(),
                 Err(e) => e.to_string(),
             },
+            kernel_mode: qip_interp::kernel_mode().as_str(),
         },
     );
 }
@@ -350,6 +351,7 @@ fn record_decompress<T: Scalar>(
                 Ok(_) => "ok".to_string(),
                 Err(e) => e.to_string(),
             },
+            kernel_mode: qip_interp::kernel_mode().as_str(),
         },
     );
 }

@@ -4,6 +4,7 @@
 //! qip compress   -i data.f32 -d 256x384x384 -m sz3 --eb rel:1e-3 [--qp] [--f64] -o data.qip
 //! qip decompress -i data.qip -o restored.f32 [--f64]
 //! qip info       -i data.qip
+//! qip inspect    -i data.qip [--original data.f32 -d 256x384x384] [--json report.json]
 //! qip gen        --dataset miranda -d 64x96x96 [--field 0] -o data.f32
 //! qip serve      [--listen 127.0.0.1:9314] [--workers N] [--queue N] [--duration-s S]
 //! ```
@@ -190,6 +191,15 @@ fn run() -> Result<(), String> {
     };
     let is_f64 = flags.iter().any(|f| f == "f64");
 
+    // Global kernel switch: `--kernel scalar|chunked` selects the interp/quant
+    // kernel implementation for this process (default chunked; see
+    // docs/kernels.md). Applies to every subcommand that touches a codec.
+    if let Some(k) = opts.get("kernel") {
+        let mode = qip::interp::KernelMode::parse(k)
+            .ok_or_else(|| format!("bad --kernel '{k}': expected scalar or chunked"))?;
+        qip::interp::set_kernel_mode(mode);
+    }
+
     match cmd.as_str() {
         "compress" => {
             let input = need("i")?;
@@ -284,7 +294,59 @@ fn run() -> Result<(), String> {
                 println!("tiles: {}", info.tiles.len());
                 println!("abs bound: {}", info.abs_bound);
                 println!("scalar bits: {}", info.bits);
+                // Per-tile ledger rollup: every byte of the container attributed
+                // to a component, aggregated across tiles (see qip-inspect).
+                let report =
+                    qip::inspect::inspect_bytes(&bytes).map_err(|e| e.to_string())?;
+                if let Some(t) = &report.tiles {
+                    println!(
+                        "tile bytes min/median/max: {} / {} / {}",
+                        t.min_tile_bytes, t.median_tile_bytes, t.max_tile_bytes
+                    );
+                    for (name, tiles, total) in &t.by_compressor {
+                        println!("  {name}: {tiles} tiles, {total} bytes");
+                    }
+                }
+                println!("ledger ({} bytes accounted):", report.ledger_total());
+                for e in &report.ledger {
+                    println!("  {:<18} {:>10}", e.component, e.bytes);
+                }
             }
+            Ok(())
+        }
+        "inspect" => {
+            // Decode-time stream forensics: exact bit-accounting ledger, QP
+            // decision maps, and (with --original) error-budget analytics.
+            let input = need("i")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let report = with_cli_obs(CliObs::from_cli(&opts, &flags), || {
+                match opts.get("original") {
+                    Some(orig) => {
+                        let dims = parse_dims(need("d")?)?;
+                        let raw =
+                            std::fs::read(orig).map_err(|e| format!("read {orig}: {e}"))?;
+                        let shape = Shape::new(&dims);
+                        if is_f64 {
+                            let field = Field::<f64>::from_le_bytes(shape, &raw)
+                                .map_err(|e| format!("{orig}: {e}"))?;
+                            qip::inspect::inspect_bytes_with_original(&bytes, &field)
+                                .map_err(|e| e.to_string())
+                        } else {
+                            let field = Field::<f32>::from_le_bytes(shape, &raw)
+                                .map_err(|e| format!("{orig}: {e}"))?;
+                            qip::inspect::inspect_bytes_with_original(&bytes, &field)
+                                .map_err(|e| e.to_string())
+                        }
+                    }
+                    None => qip::inspect::inspect_bytes(&bytes).map_err(|e| e.to_string()),
+                }
+            })?;
+            if let Some(path) = opts.get("json") {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                eprintln!("[report written to {path}]");
+            }
+            println!("{}", report.render_table());
             Ok(())
         }
         "tile" => {
@@ -516,13 +578,17 @@ fn usage() -> String {
      qip decompress -i IN -o OUT [--f64] [OBSERVABILITY]\n  \
      qip tile       -i IN -o OUT -d NxNxN [-m NAME] [--tile 64] [--eb rel:1e-3] [--qp] [--f64]   (tiled container, random access)\n  \
      qip read       -i IN.qip -o OUT [--region o:e,o:e,...] [--coarse L] [--f64]   (region = only intersecting tiles decode)\n  \
-     qip info       -i IN\n  \
+     qip info       -i IN   (tiled containers also print the per-tile ledger rollup)\n  \
+     qip inspect    -i IN [--original RAW -d NxNxN [--f64]] [--json R.json] [OBSERVABILITY]\n                 \
+     (stream forensics: exact byte ledger, QP decision maps, error budget; see docs/observability.md)\n  \
      qip gen        -o OUT -d NxNxN [--dataset miranda|hurricane|segsalt|scale|s3d|cesm|rtm] [--field K] [--f64]\n  \
      qip serve      [--listen ADDR] [--workers N] [--queue N] [--max-conns N] [--deadline-ms MS]\n                 \
      [--duration-s S] [--prom M.prom] [--tails T.jsonl] [--events E.jsonl]\n                 \
      (see docs/serving.md; FORMAT.md for the wire protocol; --tails dumps the\n                 \
      tail-sampler reservoir and --events the per-request event log at drain)\n\n\
-     OBSERVABILITY (compress/decompress):\n  \
+     Every subcommand accepts --kernel scalar|chunked to pick the codec kernel\n     \
+     implementation for the process (default chunked; see docs/kernels.md).\n\n\
+     OBSERVABILITY (compress/decompress/inspect):\n  \
      --metrics-out M.json   telemetry snapshot (counters, gauges, latency histograms) as JSON\n  \
      --prom M.prom          the same snapshot in Prometheus text exposition format\n  \
      --flight F.jsonl       flight-recorder dump, one JSON record per compress/decompress call\n  \

@@ -22,6 +22,7 @@ pub use qip_container as container;
 pub use qip_core as core;
 pub use qip_data as data;
 pub use qip_hpez as hpez;
+pub use qip_inspect as inspect;
 pub use qip_interp as interp;
 pub use qip_metrics as metrics;
 pub use qip_mgard as mgard;
